@@ -1,0 +1,119 @@
+// Command gkmeans clusters a dataset from the command line with the
+// GK-means pipeline and optionally saves the labels, centroids and k-NN
+// graph.
+//
+// Input is either an fvecs file (-data) or a named synthetic corpus
+// (-synth sift|gist|glove|vlad with -n). Examples:
+//
+//	gkmeans -synth sift -n 10000 -k 500
+//	gkmeans -data sift1m.fvecs -k 10000 -labels out.ivecs -centroids c.fvecs
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gkmeans"
+	"gkmeans/internal/dataset"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "fvecs input file (alternative to -synth)")
+		synth     = flag.String("synth", "", "synthetic corpus: sift, gist, glove or vlad")
+		n         = flag.Int("n", 10000, "number of samples (synthetic input or fvecs cap)")
+		k         = flag.Int("k", 1000, "number of clusters")
+		kappa     = flag.Int("kappa", 50, "graph neighbours per sample (κ)")
+		xi        = flag.Int("xi", 50, "refinement cluster size (ξ)")
+		tau       = flag.Int("tau", 10, "graph construction rounds (τ)")
+		maxIter   = flag.Int("iter", 50, "maximum optimisation epochs")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+		trad      = flag.Bool("traditional", false, "use the GK-means− (nearest centroid) variant")
+		labelsOut = flag.String("labels", "", "write labels to this ivecs file")
+		centsOut  = flag.String("centroids", "", "write centroids to this fvecs file")
+		graphOut  = flag.String("graph", "", "write the k-NN graph to this file")
+	)
+	flag.Parse()
+	if err := run(*dataPath, *synth, *n, *k, *kappa, *xi, *tau, *maxIter, *seed, *trad,
+		*labelsOut, *centsOut, *graphOut); err != nil {
+		fmt.Fprintln(os.Stderr, "gkmeans:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataPath, synth string, n, k, kappa, xi, tau, maxIter int, seed int64,
+	trad bool, labelsOut, centsOut, graphOut string) error {
+
+	var data *gkmeans.Matrix
+	switch {
+	case dataPath != "":
+		var err error
+		data, err = gkmeans.LoadFvecs(dataPath, n)
+		if err != nil {
+			return fmt.Errorf("loading %s: %w", dataPath, err)
+		}
+	case synth != "":
+		info, err := dataset.ByName(synth)
+		if err != nil {
+			return err
+		}
+		data = info.Gen(n, seed)
+	default:
+		return fmt.Errorf("one of -data or -synth is required")
+	}
+	fmt.Printf("data: %d × %d\n", data.N, data.Dim)
+
+	start := time.Now()
+	res, err := gkmeans.Cluster(data, k, gkmeans.Options{
+		Kappa: kappa, Xi: xi, Tau: tau, MaxIter: maxIter, Seed: seed, Traditional: trad,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("clustered into %d clusters in %v\n", k, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("  graph: %v   init: %v   iterations: %v (%d epochs)\n",
+		res.GraphTime.Round(time.Millisecond), res.InitTime.Round(time.Millisecond),
+		res.IterTime.Round(time.Millisecond), res.Iters)
+	fmt.Printf("  average distortion: %.4f\n", res.Distortion(data))
+	fmt.Printf("  avg candidate clusters per sample: %.1f (k = %d)\n", res.AvgCandidates, k)
+
+	if labelsOut != "" {
+		if err := writeLabels(labelsOut, res.Labels); err != nil {
+			return err
+		}
+		fmt.Println("labels written to", labelsOut)
+	}
+	if centsOut != "" {
+		if err := gkmeans.SaveFvecs(centsOut, res.Centroids); err != nil {
+			return err
+		}
+		fmt.Println("centroids written to", centsOut)
+	}
+	if graphOut != "" {
+		if err := res.Graph.SaveFile(graphOut); err != nil {
+			return err
+		}
+		fmt.Println("graph written to", graphOut)
+	}
+	return nil
+}
+
+// writeLabels stores the labels as a single ivecs record.
+func writeLabels(path string, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	row := make([]int32, len(labels))
+	for i, l := range labels {
+		row[i] = int32(l)
+	}
+	if err := binary.Write(f, binary.LittleEndian, int32(len(row))); err != nil {
+		return err
+	}
+	return binary.Write(f, binary.LittleEndian, row)
+}

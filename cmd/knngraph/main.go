@@ -1,0 +1,205 @@
+// Command knngraph builds, inspects and evaluates approximate k-NN graphs
+// from the command line.
+//
+//	knngraph build -synth sift -n 20000 -kappa 50 -tau 10 -out g.knn
+//	knngraph build -data sift1m.fvecs -builder nndescent -out g.knn
+//	knngraph stats -graph g.knn
+//	knngraph recall -graph g.knn -synth sift -n 20000 -sample 200
+//	knngraph merge -graph a.knn -with b.knn -out merged.knn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gkmeans/internal/core"
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/nndescent"
+	"gkmeans/internal/vec"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "recall":
+		err = cmdRecall(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "knngraph:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: knngraph build|stats|recall|merge [flags]")
+}
+
+// loadData resolves the -data/-synth/-n flags common to build and recall.
+func loadData(dataPath, synth string, n int, seed int64) (*vec.Matrix, error) {
+	switch {
+	case dataPath != "":
+		return dataset.LoadFvecsFile(dataPath, n)
+	case synth != "":
+		info, err := dataset.ByName(synth)
+		if err != nil {
+			return nil, err
+		}
+		return info.Gen(n, seed), nil
+	default:
+		return nil, fmt.Errorf("one of -data or -synth is required")
+	}
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dataPath := fs.String("data", "", "fvecs input file")
+	synth := fs.String("synth", "", "synthetic corpus: sift, gist, glove, vlad")
+	n := fs.Int("n", 10000, "sample count / fvecs cap")
+	kappa := fs.Int("kappa", 50, "neighbours per node")
+	xi := fs.Int("xi", 50, "refinement cluster size (gkmeans builder)")
+	tau := fs.Int("tau", 10, "construction rounds (gkmeans builder)")
+	builder := fs.String("builder", "gkmeans", "gkmeans (Alg. 3) or nndescent")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	out := fs.String("out", "graph.knn", "output file")
+	fs.Parse(args)
+
+	data, err := loadData(*dataPath, *synth, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("data: %d × %d\n", data.N, data.Dim)
+	start := time.Now()
+	var g *knngraph.Graph
+	switch *builder {
+	case "gkmeans":
+		g, err = core.BuildGraph(data, core.GraphConfig{
+			Kappa: *kappa, Xi: *xi, Tau: *tau, Seed: *seed,
+		})
+	case "nndescent":
+		g, err = nndescent.Build(data, nndescent.Config{Kappa: *kappa, Seed: *seed})
+	default:
+		return fmt.Errorf("unknown builder %q", *builder)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built with %s in %v (%d edges)\n",
+		*builder, time.Since(start).Round(time.Millisecond), g.EdgeCount())
+	if err := g.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Println("graph written to", *out)
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file")
+	fs.Parse(args)
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := knngraph.LoadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	st := g.Degrees()
+	fmt.Printf("nodes: %d   kappa: %d   edges: %d\n", g.N(), g.Kappa, g.EdgeCount())
+	fmt.Printf("out-degree mean: %.2f\n", st.OutMean)
+	fmt.Printf("in-degree min/median/mean/max: %d / %d / %.2f / %d\n",
+		st.MinIn, st.MedianIn, st.MeanIn, st.MaxIn)
+	fmt.Printf("average edge distance: %.4f\n", g.AverageDistance())
+	return nil
+}
+
+func cmdRecall(args []string) error {
+	fs := flag.NewFlagSet("recall", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "graph file")
+	dataPath := fs.String("data", "", "fvecs input file the graph was built on")
+	synth := fs.String("synth", "", "synthetic corpus the graph was built on")
+	n := fs.Int("n", 10000, "sample count / fvecs cap")
+	sample := fs.Int("sample", 200, "nodes sampled for ground truth")
+	seed := fs.Int64("seed", 1, "RNG seed (must match build for -synth)")
+	fs.Parse(args)
+	if *graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := knngraph.LoadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	data, err := loadData(*dataPath, *synth, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if data.N != g.N() {
+		return fmt.Errorf("graph has %d nodes, data %d", g.N(), data.N)
+	}
+	// Ground truth on a node sample (the paper's VLAD10M protocol).
+	stride := data.N / *sample
+	if stride == 0 {
+		stride = 1
+	}
+	hits, total := 0, 0
+	for i := 0; i < data.N && total < *sample; i += stride {
+		row := data.Row(i)
+		best, bestD := -1, float32(0)
+		for j := 0; j < data.N; j++ {
+			if j == i {
+				continue
+			}
+			if d := vec.L2Sqr(row, data.Row(j)); best < 0 || d < bestD {
+				best, bestD = j, d
+			}
+		}
+		total++
+		if g.Contains(i, int32(best)) {
+			hits++
+		}
+	}
+	fmt.Printf("recall@top1 on %d sampled nodes: %.3f\n", total, float64(hits)/float64(total))
+	return nil
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	graphPath := fs.String("graph", "", "first graph file")
+	withPath := fs.String("with", "", "second graph file")
+	out := fs.String("out", "merged.knn", "output file")
+	fs.Parse(args)
+	if *graphPath == "" || *withPath == "" {
+		return fmt.Errorf("-graph and -with are required")
+	}
+	a, err := knngraph.LoadFile(*graphPath)
+	if err != nil {
+		return err
+	}
+	b, err := knngraph.LoadFile(*withPath)
+	if err != nil {
+		return err
+	}
+	if err := knngraph.Merge(a, b); err != nil {
+		return err
+	}
+	if err := a.SaveFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("merged graph (%d edges) written to %s\n", a.EdgeCount(), *out)
+	return nil
+}

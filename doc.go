@@ -1,0 +1,33 @@
+// Package gkmeans is a Go implementation of "Fast k-means based on KNN
+// Graph" (Deng & Zhao, ICDE 2018): k-means clustering whose per-iteration
+// cost is independent of the cluster count k.
+//
+// # The algorithm
+//
+// Traditional k-means spends O(n·d·k) per iteration assigning every sample
+// to its closest of k centroids. GK-means removes k from that bound: an
+// approximate k-nearest-neighbour graph is built first, and during the
+// clustering iteration each sample is compared only against the clusters in
+// which its κ nearest neighbours currently live (κ ≈ 50 ≪ k). Because near
+// neighbours overwhelmingly belong to the same cluster, quality barely
+// drops while large-k workloads speed up by orders of magnitude.
+//
+// The k-NN graph itself is built by the same machinery (the paper's
+// intertwined process): repeatedly partition the data into many tiny
+// clusters with graph-supported k-means, exhaustively compare samples
+// inside each tiny cluster, and feed closer pairs back into the graph.
+//
+// The optimisation engine underneath is boost k-means: incremental,
+// objective-driven single-sample moves that converge to lower distortion
+// than Lloyd iterations.
+//
+// # Quick start
+//
+//	data := gkmeans.FromRows(rows)          // n×d float32 samples
+//	res, err := gkmeans.Cluster(data, 1000, gkmeans.Options{})
+//	// res.Labels, res.Centroids, res.Distortion(data)
+//
+// For repeated clusterings of the same data at different k, build the graph
+// once with BuildGraph and call ClusterWithGraph. The graph also powers
+// approximate nearest-neighbour search via NewSearcher.
+package gkmeans

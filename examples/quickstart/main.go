@@ -1,0 +1,65 @@
+// Quickstart: cluster 5,000 synthetic 128-d descriptors into 200 clusters
+// with the full GK-means pipeline and inspect the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gkmeans"
+	"gkmeans/internal/dataset"
+)
+
+func main() {
+	// SIFT-like synthetic descriptors: 5,000 samples, 128 dimensions.
+	data := dataset.SIFTLike(5000, 42)
+	k := 200
+
+	res, err := gkmeans.Cluster(data, k, gkmeans.Options{
+		Kappa:   20, // graph neighbours per sample
+		Xi:      50, // refinement cluster size during graph construction
+		Tau:     8,  // graph construction rounds
+		MaxIter: 30,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clustered %d samples into %d clusters\n", data.N, k)
+	fmt.Printf("  graph construction: %v\n", res.GraphTime)
+	fmt.Printf("  2M-tree init:       %v\n", res.InitTime)
+	fmt.Printf("  optimisation:       %v (%d epochs)\n", res.IterTime, res.Iters)
+	fmt.Printf("  average distortion: %.2f\n", res.Distortion(data))
+	fmt.Printf("  candidate clusters examined per sample: %.1f of k=%d\n",
+		res.AvgCandidates, k)
+
+	// Cluster size distribution.
+	sizes := make([]int, k)
+	for _, l := range res.Labels {
+		sizes[l]++
+	}
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	fmt.Printf("  cluster sizes: min=%d avg=%d max=%d\n", min, data.N/k, max)
+
+	// The graph built for clustering is reusable for nearest-neighbour
+	// search — here: find the 5 samples most similar to sample 0.
+	s, err := gkmeans.NewSearcher(data, res.Graph, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, nb := range s.Search(data.Row(0), 5, 32) {
+		fmt.Printf("  neighbour of sample 0: id=%d dist=%.1f cluster=%d\n",
+			nb.ID, nb.Dist, res.Labels[nb.ID])
+	}
+}

@@ -1,0 +1,59 @@
+// Word-embedding clustering — the Glove1M workload of the paper's Table 1:
+// group 100-dimensional word vectors into semantic clusters.
+//
+// The example traces the distortion-versus-epoch curve (the paper's Fig. 5
+// shape) and shows how to reuse one k-NN graph across several k values,
+// which is the economical way to sweep cluster granularity.
+//
+// Run with: go run ./examples/textwords
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gkmeans"
+	"gkmeans/internal/dataset"
+)
+
+func main() {
+	data := dataset.GloVeLike(10000, 11)
+	fmt.Printf("clustering %d GloVe-like word vectors (d=%d)\n\n", data.N, data.Dim)
+
+	// Build the graph once (the expensive step)...
+	g, err := gkmeans.BuildGraph(data, gkmeans.Options{Kappa: 20, Xi: 50, Tau: 8, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...then sweep cluster granularity cheaply on the same graph.
+	fmt.Printf("%-8s %12s %14s %8s\n", "k", "distortion", "avg candidates", "epochs")
+	for _, k := range []int{100, 300, 1000} {
+		res, err := gkmeans.ClusterWithGraph(data, k, g, gkmeans.Options{MaxIter: 25, Seed: 6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %12.3f %14.1f %8d\n", k, res.Distortion(data), res.AvgCandidates, res.Iters)
+	}
+
+	// Distortion-vs-epoch trace at k=300 (the Fig. 5 view).
+	res, err := gkmeans.ClusterWithGraph(data, 300, g, gkmeans.Options{MaxIter: 15, Seed: 6, Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ndistortion by epoch (k=300):")
+	for _, h := range res.History {
+		if h.Iter <= 5 || h.Iter == len(res.History) {
+			fmt.Printf("  epoch %2d: %.3f (%d moves)\n", h.Iter, h.Distortion, h.Moves)
+		}
+	}
+
+	// Inspect one cluster: word ids grouped as "semantically" close vectors.
+	members := []int{}
+	for i, l := range res.Labels {
+		if l == res.Labels[0] && len(members) < 8 {
+			members = append(members, i)
+		}
+	}
+	fmt.Printf("\nword ids sharing a cluster with word 0: %v\n", members)
+}

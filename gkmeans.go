@@ -1,0 +1,240 @@
+package gkmeans
+
+import (
+	"fmt"
+	"time"
+
+	"gkmeans/internal/anns"
+	"gkmeans/internal/bkm"
+	"gkmeans/internal/core"
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/vec"
+)
+
+// Matrix is an n×d row-major matrix of float32 samples.
+type Matrix = vec.Matrix
+
+// Graph is an approximate k-nearest-neighbour graph: one bounded, sorted
+// neighbour list per sample.
+type Graph = knngraph.Graph
+
+// Neighbor is one entry of a neighbour list or a search result: a sample id
+// and its squared Euclidean distance.
+type Neighbor = knngraph.Neighbor
+
+// Searcher answers approximate nearest-neighbour queries over a dataset and
+// its k-NN graph. Not safe for concurrent use; create one per goroutine.
+type Searcher = anns.Searcher
+
+// NewMatrix allocates a zeroed n×d matrix.
+func NewMatrix(n, d int) *Matrix { return vec.NewMatrix(n, d) }
+
+// FromRows builds a matrix by copying equally sized rows.
+func FromRows(rows [][]float32) *Matrix { return vec.FromRows(rows) }
+
+// LoadFvecs reads up to maxN vectors from an fvecs file (the exchange
+// format of SIFT1M/GIST1M and friends); maxN <= 0 reads everything.
+func LoadFvecs(path string, maxN int) (*Matrix, error) {
+	return dataset.LoadFvecsFile(path, maxN)
+}
+
+// SaveFvecs writes a matrix to an fvecs file.
+func SaveFvecs(path string, m *Matrix) error { return dataset.SaveFvecsFile(path, m) }
+
+// Options tunes the GK-means pipeline. The zero value reproduces the
+// paper's standard configuration (§4.4): κ=50, ξ=50, τ=10.
+type Options struct {
+	// Kappa is the number of graph neighbours per sample (κ). Larger
+	// values raise clustering quality and cost. Default 50.
+	Kappa int
+	// Xi is the refinement cluster size used while building the graph (ξ).
+	// Recommended range 40–100. Default 50.
+	Xi int
+	// Tau is the number of graph construction rounds (τ). 10 suffices for
+	// clustering; up to 32 pays off when the graph is reused for ANN
+	// search. Default 10.
+	Tau int
+	// MaxIter caps the clustering optimisation epochs. Default 50; the run
+	// stops earlier at the first epoch with no accepted move.
+	MaxIter int
+	// Seed makes the whole pipeline deterministic.
+	Seed int64
+	// Trace records per-epoch distortion history in the result.
+	Trace bool
+	// Traditional switches the optimisation step from boost k-means moves
+	// to nearest-centroid moves (the paper's GK-means− ablation; lower
+	// quality, same speed).
+	Traditional bool
+	// Workers bounds parallelism during graph construction; <=0 uses
+	// GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) graphConfig() core.GraphConfig {
+	return core.GraphConfig{Kappa: o.Kappa, Xi: o.Xi, Tau: o.Tau, Seed: o.Seed, Workers: o.Workers}
+}
+
+// IterStat is one entry of a traced clustering history.
+type IterStat struct {
+	Iter       int
+	Distortion float64
+	Moves      int
+	Elapsed    time.Duration
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Labels assigns every sample a cluster id in [0,K).
+	Labels []int
+	// Centroids is the K×d centroid matrix.
+	Centroids *Matrix
+	// K is the number of clusters.
+	K int
+	// Iters is the number of optimisation epochs executed.
+	Iters int
+	// AvgCandidates is the mean number of distinct candidate clusters each
+	// sample examined per epoch — the quantity the paper shows is ≪ k.
+	AvgCandidates float64
+	// Graph is the k-NN graph used (and, for Cluster, built); reuse it
+	// with ClusterWithGraph or NewSearcher.
+	Graph *Graph
+	// GraphTime, InitTime and IterTime break down the wall clock:
+	// graph construction, 2M-tree initialisation, optimisation epochs.
+	GraphTime, InitTime, IterTime time.Duration
+	// History is the per-epoch trace (only when Options.Trace).
+	History []IterStat
+}
+
+// Distortion returns the average distortion (mean squared sample-to-
+// centroid distance, the paper's Eqn. 4) of the result on its data.
+func (r *Result) Distortion(data *Matrix) float64 {
+	return metrics.AverageDistortion(data, r.Labels, r.Centroids)
+}
+
+func fromCore(res *core.Result, g *Graph, graphTime time.Duration) *Result {
+	out := &Result{
+		Labels:        res.Labels,
+		Centroids:     res.Centroids,
+		K:             res.K,
+		Iters:         res.Iters,
+		AvgCandidates: res.AvgCandidates,
+		Graph:         g,
+		GraphTime:     graphTime,
+		InitTime:      res.InitTime,
+		IterTime:      res.IterTime,
+	}
+	for _, h := range res.History {
+		out.History = append(out.History, IterStat(h))
+	}
+	return out
+}
+
+// Cluster runs the complete GK-means pipeline on data: it builds the
+// approximate k-NN graph (Alg. 3) and then clusters into k clusters with
+// graph-supported boost k-means (Alg. 2).
+func Cluster(data *Matrix, k int, opt Options) (*Result, error) {
+	res, err := core.GKMeans(data, core.PipelineConfig{
+		K:     k,
+		Graph: opt.graphConfig(),
+		Run: core.Config{
+			MaxIter:     opt.MaxIter,
+			Seed:        opt.Seed,
+			Trace:       opt.Trace,
+			Traditional: opt.Traditional,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res.Result, res.Graph, res.GraphTime), nil
+}
+
+// BuildGraph constructs the approximate k-NN graph alone (Alg. 3). Build it
+// once and reuse it across ClusterWithGraph calls and searchers.
+func BuildGraph(data *Matrix, opt Options) (*Graph, error) {
+	return core.BuildGraph(data, opt.graphConfig())
+}
+
+// ClusterWithGraph clusters data into k clusters supported by an existing
+// graph (Alg. 2). The graph may come from BuildGraph or any other source
+// covering the same samples.
+func ClusterWithGraph(data *Matrix, k int, g *Graph, opt Options) (*Result, error) {
+	res, err := core.Cluster(data, g, core.Config{
+		K:           k,
+		MaxIter:     opt.MaxIter,
+		Seed:        opt.Seed,
+		Trace:       opt.Trace,
+		Traditional: opt.Traditional,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res, g, 0), nil
+}
+
+// BoostKMeans runs exhaustive boost k-means (no graph pruning) — the
+// paper's highest-quality reference configuration. O(n·k·d) per epoch;
+// use it as the quality yardstick at moderate k.
+func BoostKMeans(data *Matrix, k int, opt Options) (*Result, error) {
+	res, err := bkm.Cluster(data, bkm.Config{
+		K: k, MaxIter: opt.MaxIter, Seed: opt.Seed, Trace: opt.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Labels: res.Labels, Centroids: res.Centroids, K: res.K,
+		Iters: res.Iters, InitTime: res.InitTime, IterTime: res.IterTime,
+	}
+	for _, h := range res.History {
+		out.History = append(out.History, IterStat(h))
+	}
+	return out, nil
+}
+
+// NewSearcher builds an approximate nearest-neighbour searcher over data
+// and its graph. entries sets the number of search entry points (<=0
+// selects 16; raise it for data with many well-separated clusters).
+func NewSearcher(data *Matrix, g *Graph, entries int) (*Searcher, error) {
+	return anns.NewSearcher(data, g, entries)
+}
+
+// ExactNeighbors computes exact top-k neighbour ids for each query by brute
+// force — ground truth for recall measurements.
+func ExactNeighbors(data, queries *Matrix, k int) [][]int32 {
+	return anns.ExactTruth(data, queries, k)
+}
+
+// SearchBatch answers every query concurrently (workers <= 0 selects
+// GOMAXPROCS) and returns one sorted result list per query.
+func SearchBatch(s *Searcher, queries *Matrix, topK, ef, workers int) [][]Neighbor {
+	return anns.BatchSearch(s, queries, topK, ef, workers)
+}
+
+// Split partitions a matrix into a reference set and an evenly strided
+// held-out query set — the standard way to derive an in-distribution ANN
+// query set from one corpus.
+func Split(m *Matrix, nQueries int) (data, queries *Matrix) {
+	return dataset.Split(m, nQueries)
+}
+
+// Distortion computes the average distortion of an arbitrary labelling
+// (centroids are recomputed from the labels).
+func Distortion(data *Matrix, labels []int, k int) float64 {
+	return metrics.DistortionFromLabels(data, labels, k)
+}
+
+// Validate checks that a result is structurally consistent with a dataset.
+func (r *Result) Validate(data *Matrix) error {
+	if len(r.Labels) != data.N {
+		return fmt.Errorf("gkmeans: %d labels for %d samples", len(r.Labels), data.N)
+	}
+	for i, l := range r.Labels {
+		if l < 0 || l >= r.K {
+			return fmt.Errorf("gkmeans: label %d of sample %d out of range", l, i)
+		}
+	}
+	return nil
+}

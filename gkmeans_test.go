@@ -1,0 +1,212 @@
+package gkmeans
+
+import (
+	"path/filepath"
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/metrics"
+)
+
+func TestClusterEndToEnd(t *testing.T) {
+	data := dataset.SIFTLike(1000, 1)
+	res, err := Cluster(data, 40, Options{Kappa: 10, Xi: 25, Tau: 5, MaxIter: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(data); err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph == nil {
+		t.Fatal("pipeline result must carry the graph")
+	}
+	if res.GraphTime <= 0 || res.IterTime <= 0 {
+		t.Fatal("timings not recorded")
+	}
+	if res.AvgCandidates <= 0 || res.AvgCandidates > 10 {
+		t.Fatalf("avg candidates %.2f outside (0, kappa]", res.AvgCandidates)
+	}
+	if res.Distortion(data) <= 0 {
+		t.Fatal("distortion should be positive on noisy data")
+	}
+}
+
+func TestClusterWithGraphReuse(t *testing.T) {
+	data := dataset.GloVeLike(500, 3)
+	g, err := BuildGraph(data, Options{Kappa: 8, Xi: 20, Tau: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same graph, two different k values.
+	for _, k := range []int{10, 25} {
+		res, err := ClusterWithGraph(data, k, g, Options{MaxIter: 15, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(data); err != nil {
+			t.Fatal(err)
+		}
+		if res.K != k {
+			t.Fatalf("K=%d, want %d", res.K, k)
+		}
+	}
+}
+
+func TestBoostKMeansQualityYardstick(t *testing.T) {
+	data := dataset.SIFTLike(800, 6)
+	k := 20
+	gk, err := Cluster(data, k, Options{Kappa: 10, Xi: 25, Tau: 5, MaxIter: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, err := BoostKMeans(data, k, Options{MaxIter: 20, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eG, eB := gk.Distortion(data), bk.Distortion(data)
+	if eG > eB*1.10 {
+		t.Fatalf("GK-means %.2f more than 10%% above BKM %.2f", eG, eB)
+	}
+}
+
+func TestTraditionalOption(t *testing.T) {
+	data := dataset.Uniform(400, 8, 8)
+	res, err := Cluster(data, 16, Options{Kappa: 8, Xi: 20, Tau: 3, MaxIter: 10, Seed: 9, Traditional: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceOption(t *testing.T) {
+	data := dataset.Uniform(300, 6, 10)
+	res, err := Cluster(data, 12, Options{Kappa: 6, Xi: 20, Tau: 3, MaxIter: 8, Seed: 11, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("trace requested but history empty")
+	}
+	if res.History[0].Iter != 1 {
+		t.Fatal("history numbering wrong")
+	}
+}
+
+func TestSearcherOverClusterGraph(t *testing.T) {
+	data := dataset.SIFTLike(600, 12)
+	res, err := Cluster(data, 20, Options{Kappa: 10, Xi: 25, Tau: 6, MaxIter: 10, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSearcher(data, res.Graph, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := s.Search(data.Row(7), 5, 32)
+	if len(hits) != 5 || hits[0].ID != 7 || hits[0].Dist != 0 {
+		t.Fatalf("self query failed: %v", hits)
+	}
+	truth := ExactNeighbors(data, data.SubsetRows([]int{3, 50, 99}), 1)
+	if len(truth) != 3 || len(truth[0]) != 1 {
+		t.Fatalf("ExactNeighbors shape wrong: %v", truth)
+	}
+}
+
+func TestFvecsRoundTripFacade(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.fvecs")
+	m := dataset.GloVeLike(30, 14)
+	if err := SaveFvecs(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFvecs(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestDistortionHelper(t *testing.T) {
+	data := FromRows([][]float32{{0, 0}, {0, 2}, {10, 0}, {10, 2}})
+	labels := []int{0, 0, 1, 1}
+	if d := Distortion(data, labels, 2); d != 1 {
+		t.Fatalf("distortion %v, want 1", d)
+	}
+}
+
+func TestSearchBatchFacade(t *testing.T) {
+	all := dataset.SIFTLike(520, 17)
+	data, queries := Split(all, 20)
+	if data.N != 500 || queries.N != 20 {
+		t.Fatalf("split %d/%d", data.N, queries.N)
+	}
+	g, err := BuildGraph(data, Options{Kappa: 10, Xi: 25, Tau: 5, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSearcher(data, g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := SearchBatch(s, queries, 3, 32, 2)
+	if len(batch) != 20 {
+		t.Fatalf("batch results %d", len(batch))
+	}
+	for qi, res := range batch {
+		if len(res) != 3 {
+			t.Fatalf("query %d returned %d results", qi, len(res))
+		}
+	}
+}
+
+func TestPipelineRecoversLatentStructure(t *testing.T) {
+	// End-to-end quality check with an external measure: clustering mixture
+	// data at k = number of latent components should score high NMI.
+	data, truth := dataset.GMM(dataset.GMMConfig{
+		N: 2000, Dim: 32, Components: 20, Spread: 6, Noise: 1.5, Seed: 19,
+	})
+	res, err := Cluster(data, 20, Options{Kappa: 10, Xi: 30, Tau: 5, MaxIter: 25, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nmi, err := metrics.NMI(res.Labels, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi < 0.85 {
+		t.Fatalf("NMI %.3f too low — pipeline failed to recover latent clusters", nmi)
+	}
+}
+
+func TestClusterErrorsSurface(t *testing.T) {
+	data := dataset.Uniform(20, 4, 15)
+	if _, err := Cluster(data, 0, Options{Tau: 1}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Cluster(data, 21, Options{Tau: 1}); err == nil {
+		t.Fatal("k>n should error")
+	}
+	if _, err := BoostKMeans(data, 0, Options{}); err == nil {
+		t.Fatal("BoostKMeans k=0 should error")
+	}
+}
+
+func TestValidateCatchesCorruptResult(t *testing.T) {
+	data := dataset.Uniform(10, 2, 16)
+	res := &Result{Labels: make([]int, 10), K: 2}
+	if err := res.Validate(data); err != nil {
+		t.Fatal(err)
+	}
+	res.Labels[0] = 9
+	if err := res.Validate(data); err == nil {
+		t.Fatal("bad label should fail validation")
+	}
+	res2 := &Result{Labels: make([]int, 3), K: 1}
+	if err := res2.Validate(data); err == nil {
+		t.Fatal("length mismatch should fail validation")
+	}
+}

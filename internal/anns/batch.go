@@ -1,0 +1,34 @@
+package anns
+
+import (
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/parallel"
+	"gkmeans/internal/vec"
+)
+
+// CloneForConcurrent returns a searcher that shares this searcher's
+// read-only state (data, adjacency, entry points) but owns its own per-query
+// scratch, making the pair safe to use from two goroutines.
+func (s *Searcher) CloneForConcurrent() *Searcher {
+	return &Searcher{
+		data:    s.data,
+		g:       s.g,
+		entry:   s.entry,
+		adj:     s.adj,
+		visited: make([]int32, len(s.visited)),
+	}
+}
+
+// BatchSearch answers every query concurrently and returns one result list
+// per query. workers <= 0 selects GOMAXPROCS. The expensive symmetrised
+// adjacency is built once and shared across workers.
+func BatchSearch(s *Searcher, queries *vec.Matrix, topK, ef, workers int) [][]knngraph.Neighbor {
+	out := make([][]knngraph.Neighbor, queries.N)
+	parallel.For(queries.N, workers, func(lo, hi int) {
+		w := s.CloneForConcurrent()
+		for qi := lo; qi < hi; qi++ {
+			out[qi] = w.Search(queries.Row(qi), topK, ef)
+		}
+	})
+	return out
+}

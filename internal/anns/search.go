@@ -1,0 +1,268 @@
+// Package anns implements greedy best-first approximate nearest-neighbour
+// search over a k-NN graph, backing the paper's §4.3 observation that the
+// graph produced by Alg. 3 serves ANN search well (sub-3 ms queries at 0.9+
+// recall on 100M SIFT in the authors' C++ setup).
+//
+// The search keeps a bounded pool of the closest candidates found so far,
+// repeatedly expands the closest unexpanded one through its graph
+// neighbours, and stops when the pool's best unexpanded candidate can no
+// longer improve the top results — the standard graph-ANN routine.
+package anns
+
+import (
+	"fmt"
+	"sort"
+
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/vec"
+)
+
+// Searcher performs repeated queries against one dataset + graph pair. It
+// is not safe for concurrent use; create one Searcher per goroutine (they
+// share the underlying data and graph, which are read-only here).
+type Searcher struct {
+	data  *vec.Matrix
+	g     *knngraph.Graph
+	entry []int32 // fixed, evenly spread entry points
+
+	// adj is the symmetrised adjacency: each node's k-NN list plus the
+	// nodes that list it. A raw k-NN graph is directed and splits into
+	// hard-to-escape basins; reverse edges restore the connectivity greedy
+	// search needs.
+	adj [][]int32
+
+	// visited is a per-query stamp array, reused across queries to avoid
+	// reallocating n booleans per search.
+	visited []int32
+	stamp   int32
+}
+
+// candidate is a pool entry during search.
+type candidate struct {
+	id       int32
+	dist     float32
+	expanded bool
+}
+
+// NewSearcher builds a searcher with nEntry evenly spaced entry points
+// (<=0 selects 16). A k-NN graph over strongly clustered data can be
+// disconnected even after symmetrisation, and greedy search cannot cross
+// between components — so the searcher additionally locates every connected
+// component of the graph and guarantees at least one entry point inside
+// each, making recall independent of component coverage.
+func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, error) {
+	if g.N() != data.N {
+		return nil, fmt.Errorf("anns: graph has %d nodes for %d samples", g.N(), data.N)
+	}
+	if data.N == 0 {
+		return nil, fmt.Errorf("anns: empty dataset")
+	}
+	if nEntry <= 0 {
+		nEntry = 16
+	}
+	if nEntry > data.N {
+		nEntry = data.N
+	}
+	s := &Searcher{data: data, g: g, visited: make([]int32, data.N)}
+	s.adj = make([][]int32, data.N)
+	for i, list := range g.Lists {
+		for _, nb := range list {
+			s.adj[i] = append(s.adj[i], nb.ID)
+		}
+	}
+	for i, list := range g.Lists {
+		for _, nb := range list {
+			if !g.Contains(int(nb.ID), int32(i)) {
+				s.adj[nb.ID] = append(s.adj[nb.ID], int32(i))
+			}
+		}
+	}
+	step := data.N / nEntry
+	if step == 0 {
+		step = 1
+	}
+	covered := make(map[int32]bool, nEntry)
+	for i := 0; i < nEntry; i++ {
+		id := int32((i * step) % data.N)
+		if !covered[id] {
+			covered[id] = true
+			s.entry = append(s.entry, id)
+		}
+	}
+	// One entry per connected component not already reachable.
+	comp := s.components()
+	reach := make(map[int32]bool)
+	for _, e := range s.entry {
+		reach[comp[e]] = true
+	}
+	for i := 0; i < data.N; i++ {
+		if !reach[comp[i]] {
+			reach[comp[i]] = true
+			s.entry = append(s.entry, int32(i))
+		}
+	}
+	return s, nil
+}
+
+// components labels the connected components of the symmetrised graph with
+// an iterative DFS (adj holds both edge directions, so directed reach
+// equals undirected components).
+func (s *Searcher) components() []int32 {
+	n := len(s.adj)
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int32
+	next := int32(0)
+	for i := 0; i < n; i++ {
+		if comp[i] >= 0 {
+			continue
+		}
+		stack = append(stack[:0], int32(i))
+		comp[i] = next
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range s.adj[v] {
+				if comp[w] < 0 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// Search returns the approximately closest topK samples to q, sorted by
+// ascending squared distance. ef bounds the candidate pool (larger ef =
+// higher recall, more distance computations); ef < topK is raised to topK.
+func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
+	if topK <= 0 {
+		return nil
+	}
+	if ef < topK {
+		ef = topK
+	}
+	s.stamp++
+	stamp := s.stamp
+
+	pool := make([]candidate, 0, ef+1)
+	insert := func(id int32, dist float32) {
+		if len(pool) == ef && dist >= pool[len(pool)-1].dist {
+			return
+		}
+		pos := sort.Search(len(pool), func(i int) bool { return pool[i].dist >= dist })
+		if len(pool) < ef {
+			pool = append(pool, candidate{})
+		}
+		copy(pool[pos+1:], pool[pos:len(pool)-1])
+		pool[pos] = candidate{id: id, dist: dist}
+	}
+
+	for _, e := range s.entry {
+		if s.visited[e] == stamp {
+			continue
+		}
+		s.visited[e] = stamp
+		insert(e, vec.L2Sqr(q, s.data.Row(int(e))))
+	}
+
+	for {
+		// Closest unexpanded candidate.
+		idx := -1
+		for i := range pool {
+			if !pool[i].expanded {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			break
+		}
+		pool[idx].expanded = true
+		node := pool[idx].id
+		for _, id := range s.adj[node] {
+			if s.visited[id] == stamp {
+				continue
+			}
+			s.visited[id] = stamp
+			insert(id, vec.L2Sqr(q, s.data.Row(int(id))))
+		}
+	}
+
+	if topK > len(pool) {
+		topK = len(pool)
+	}
+	out := make([]knngraph.Neighbor, topK)
+	for i := 0; i < topK; i++ {
+		out[i] = knngraph.Neighbor{ID: pool[i].id, Dist: pool[i].dist}
+	}
+	return out
+}
+
+// RecallAt evaluates the searcher on a query set against exact ground truth
+// (one exact top-k list per query) and returns the average recall@k: the
+// fraction of each true top-k found among the returned top-k.
+func RecallAt(s *Searcher, queries *vec.Matrix, truth [][]int32, k, ef int) float64 {
+	if queries.N == 0 {
+		return 0
+	}
+	var sum float64
+	for qi := 0; qi < queries.N; qi++ {
+		res := s.Search(queries.Row(qi), k, ef)
+		got := make(map[int32]bool, len(res))
+		for _, nb := range res {
+			got[nb.ID] = true
+		}
+		t := truth[qi]
+		if len(t) > k {
+			t = t[:k]
+		}
+		if len(t) == 0 {
+			continue
+		}
+		hit := 0
+		for _, id := range t {
+			if got[id] {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(len(t))
+	}
+	return sum / float64(queries.N)
+}
+
+// ExactTruth computes exact top-k ids for each query by brute force —
+// ground truth for recall evaluation.
+func ExactTruth(data, queries *vec.Matrix, k int) [][]int32 {
+	truth := make([][]int32, queries.N)
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		type pair struct {
+			id int32
+			d  float32
+		}
+		best := make([]pair, 0, k+1)
+		for i := 0; i < data.N; i++ {
+			d := vec.L2Sqr(q, data.Row(i))
+			if len(best) == k && d >= best[len(best)-1].d {
+				continue
+			}
+			pos := sort.Search(len(best), func(j int) bool { return best[j].d >= d })
+			if len(best) < k {
+				best = append(best, pair{})
+			}
+			copy(best[pos+1:], best[pos:len(best)-1])
+			best[pos] = pair{int32(i), d}
+		}
+		ids := make([]int32, len(best))
+		for i, p := range best {
+			ids[i] = p.id
+		}
+		truth[qi] = ids
+	}
+	return truth
+}

@@ -1,0 +1,144 @@
+package anns
+
+import (
+	"testing"
+
+	"gkmeans/internal/core"
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/vec"
+)
+
+// split separates one corpus into a reference set and a held-out query set
+// drawn from the same distribution (how SIFT1M's query set is produced).
+func split(m *vec.Matrix, nQueries int) (data, queries *vec.Matrix) {
+	dataIdx := make([]int, 0, m.N-nQueries)
+	queryIdx := make([]int, 0, nQueries)
+	for i := 0; i < m.N; i++ {
+		if i%(m.N/nQueries) == 0 && len(queryIdx) < nQueries {
+			queryIdx = append(queryIdx, i)
+		} else {
+			dataIdx = append(dataIdx, i)
+		}
+	}
+	return m.SubsetRows(dataIdx), m.SubsetRows(queryIdx)
+}
+
+func TestSearchOnExactGraphFindsTrueNeighbors(t *testing.T) {
+	all := dataset.SIFTLike(650, 1)
+	data, queries := split(all, 50)
+	g := knngraph.BruteForce(data, 10, 0)
+	s, err := NewSearcher(data, g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ExactTruth(data, queries, 1)
+	if r := RecallAt(s, queries, truth, 1, 32); r < 0.9 {
+		t.Fatalf("recall@1 on exact graph %.3f, want >= 0.9", r)
+	}
+}
+
+func TestSearchOnConstructedGraph(t *testing.T) {
+	// §4.3: the Alg. 3 graph supports ANN search with good recall.
+	all := dataset.SIFTLike(840, 2)
+	data, queries := split(all, 40)
+	g, err := core.BuildGraph(data, core.GraphConfig{Kappa: 10, Xi: 25, Tau: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSearcher(data, g, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ExactTruth(data, queries, 10)
+	if r := RecallAt(s, queries, truth, 10, 64); r < 0.8 {
+		t.Fatalf("recall@10 %.3f, want >= 0.8", r)
+	}
+}
+
+func TestSearchResultsSortedAndUnique(t *testing.T) {
+	data := dataset.GloVeLike(300, 4)
+	g := knngraph.BruteForce(data, 8, 0)
+	s, _ := NewSearcher(data, g, 4)
+	res := s.Search(data.Row(5), 10, 32)
+	if len(res) != 10 {
+		t.Fatalf("got %d results", len(res))
+	}
+	seen := map[int32]bool{}
+	for i, nb := range res {
+		if seen[nb.ID] {
+			t.Fatalf("duplicate id %d", nb.ID)
+		}
+		seen[nb.ID] = true
+		if i > 0 && res[i-1].Dist > nb.Dist {
+			t.Fatal("results not sorted")
+		}
+	}
+	// Query is a data point: its own id must be the top hit at distance 0.
+	if res[0].ID != 5 || res[0].Dist != 0 {
+		t.Fatalf("self query top hit %v", res[0])
+	}
+}
+
+func TestSearchEfBelowTopKRaised(t *testing.T) {
+	data := dataset.Uniform(100, 4, 5)
+	g := knngraph.BruteForce(data, 5, 0)
+	s, _ := NewSearcher(data, g, 4)
+	res := s.Search(data.Row(0), 10, 1) // ef < topK
+	if len(res) != 10 {
+		t.Fatalf("ef raise failed: %d results", len(res))
+	}
+}
+
+func TestSearchTopKZero(t *testing.T) {
+	data := dataset.Uniform(20, 4, 6)
+	g := knngraph.BruteForce(data, 3, 0)
+	s, _ := NewSearcher(data, g, 2)
+	if res := s.Search(data.Row(0), 0, 8); res != nil {
+		t.Fatalf("topK=0 should return nil, got %v", res)
+	}
+}
+
+func TestSearcherReusableAcrossQueries(t *testing.T) {
+	data := dataset.Uniform(200, 6, 7)
+	g := knngraph.BruteForce(data, 6, 0)
+	s, _ := NewSearcher(data, g, 4)
+	a1 := s.Search(data.Row(3), 5, 16)
+	_ = s.Search(data.Row(9), 5, 16)
+	a2 := s.Search(data.Row(3), 5, 16)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatal("repeated identical query returned different results")
+		}
+	}
+}
+
+func TestNewSearcherErrors(t *testing.T) {
+	data := dataset.Uniform(10, 3, 8)
+	g := knngraph.BruteForce(data, 3, 0)
+	other := dataset.Uniform(5, 3, 9)
+	if _, err := NewSearcher(other, g, 4); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+	if _, err := NewSearcher(&vec.Matrix{Dim: 3}, knngraph.New(0, 3), 4); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestExactTruth(t *testing.T) {
+	data := vec.FromRows([][]float32{{0, 0}, {1, 0}, {5, 0}, {6, 0}})
+	queries := vec.FromRows([][]float32{{0.1, 0}})
+	truth := ExactTruth(data, queries, 2)
+	if truth[0][0] != 0 || truth[0][1] != 1 {
+		t.Fatalf("truth %v", truth[0])
+	}
+}
+
+func TestRecallAtEmptyQueries(t *testing.T) {
+	data := dataset.Uniform(10, 2, 10)
+	g := knngraph.BruteForce(data, 3, 0)
+	s, _ := NewSearcher(data, g, 2)
+	if r := RecallAt(s, &vec.Matrix{Dim: 2}, nil, 1, 8); r != 0 {
+		t.Fatalf("empty query recall %v", r)
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gkmeans/internal/core"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/metrics"
+)
+
+// AblationConfig sizes the parameter study of paper §4.4: how κ (neighbour
+// count), ξ (refinement cluster size) and τ (construction rounds) trade
+// construction cost against graph recall and final clustering distortion.
+type AblationConfig struct {
+	N     int // <=0 selects 4000
+	Iters int // clustering epochs; <=0 selects 15
+	Seed  int64
+}
+
+func (c *AblationConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 4000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 15
+	}
+}
+
+// Ablation sweeps one parameter at a time around the paper's defaults
+// (κ=50, ξ=50, τ=10) on SIFT-like data at k=n/100, reporting graph build
+// time, graph recall, clustering distortion, and candidate-set size. It
+// substantiates the paper's recommendations: ξ in [40,100], quality stable
+// for κ ≥ 40, τ=10 sufficient for clustering.
+func Ablation(cfg AblationConfig) (*Table, error) {
+	cfg.defaults()
+	data, err := Gen("sift", cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := data.N / 100
+	if k < 2 {
+		return nil, fmt.Errorf("bench: ablation needs n >= 200")
+	}
+	exact := knngraph.BruteForce(data, 1, 0)
+
+	t := &Table{
+		Title: fmt.Sprintf("§4.4 ablation — parameter sweeps (SIFT-like, n=%d, k=%d; defaults κ=50 ξ=50 τ=10)",
+			data.N, k),
+		Header: []string{"sweep", "value", "build time", "recall@1", "distortion", "avg candidates"},
+	}
+
+	measure := func(sweep, value string, gc core.GraphConfig) error {
+		start := time.Now()
+		g, err := core.BuildGraph(data, gc)
+		if err != nil {
+			return err
+		}
+		buildTime := time.Since(start)
+		res, err := core.Cluster(data, g, core.Config{K: k, MaxIter: cfg.Iters, Seed: cfg.Seed + 3})
+		if err != nil {
+			return err
+		}
+		dist := metrics.AverageDistortion(data, res.Labels, res.Centroids)
+		t.AddRow(sweep, value, dur(buildTime), f3(g.Recall(exact)), f(dist),
+			fmt.Sprintf("%.1f", res.AvgCandidates))
+		return nil
+	}
+
+	base := core.GraphConfig{Kappa: 50, Xi: 50, Tau: 10, Seed: cfg.Seed}
+	for _, kappa := range []int{5, 10, 20, 40, 50} {
+		gc := base
+		gc.Kappa = kappa
+		if err := measure("kappa", d(kappa), gc); err != nil {
+			return nil, err
+		}
+	}
+	for _, xi := range []int{20, 40, 50, 100} {
+		gc := base
+		gc.Xi = xi
+		if err := measure("xi", d(xi), gc); err != nil {
+			return nil, err
+		}
+	}
+	for _, tau := range []int{2, 5, 10, 20} {
+		gc := base
+		gc.Tau = tau
+		if err := measure("tau", d(tau), gc); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

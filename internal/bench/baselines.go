@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// BaselinesConfig sizes the all-methods comparison: every clustering
+// algorithm in this repository under one configuration. It substantiates
+// the paper's §1/§2 positioning claims — e.g. Elkan's O(n·k) bound matrix
+// (reported as the extra-memory column) and bisecting's quality loss.
+type BaselinesConfig struct {
+	N     int // <=0 selects 5000
+	K     int // <=0 selects 50
+	Iters int // <=0 selects 20
+	Seed  int64
+}
+
+func (c *BaselinesConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 5000
+	}
+	if c.K <= 0 {
+		c.K = 50
+	}
+	if c.Iters <= 0 {
+		c.Iters = 20
+	}
+}
+
+// Baselines runs every method on SIFT-like data and reports time,
+// distortion and the dominant algorithm-specific auxiliary memory.
+func Baselines(cfg BaselinesConfig) (*Table, error) {
+	cfg.defaults()
+	data, err := Gen("sift", cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("All baselines — SIFT-like n=%d, k=%d, %d iters",
+			data.N, cfg.K, cfg.Iters),
+		Header: []string{"method", "init", "iter", "total", "distortion", "aux memory"},
+	}
+	n, k, kappa := cfg.N, cfg.K, 20
+	mem := map[string]string{
+		MKMeans:    "O(k·d) centroids",
+		MElkan:     fmt.Sprintf("O(n·k) bounds = %d floats", n*k),
+		MHamerly:   fmt.Sprintf("O(n) bounds = %d floats", 2*n),
+		MBKM:       "O(k·d) composites",
+		MMiniBatch: "O(k·d) centroids",
+		MClosure:   "O(trees·n) cells",
+		MGKMeans:   fmt.Sprintf("O(n·κ) graph = %d entries", n*kappa),
+		MGKMeansT:  fmt.Sprintf("O(n·κ) graph = %d entries", n*kappa),
+		MKGraphGK:  fmt.Sprintf("O(n·κ) graph = %d entries", n*kappa),
+		MBisecting: "O(n) split state",
+		MAKM:       "O(k) KD tree per iter",
+	}
+	for _, m := range []string{MKMeans, MElkan, MHamerly, MBisecting, MAKM, MMiniBatch,
+		MClosure, MBKM, MKGraphGK, MGKMeansT, MGKMeans} {
+		res, err := Run(m, data, RunConfig{K: cfg.K, Iters: cfg.Iters, Seed: cfg.Seed, Kappa: kappa})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, dur(res.InitTime), dur(res.IterTime),
+			dur(res.InitTime+res.IterTime), f(res.Distortion), mem[m])
+	}
+	return t, nil
+}

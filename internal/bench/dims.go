@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/kmeans"
+	"gkmeans/internal/metrics"
+)
+
+// DimsConfig sizes the dimensionality study behind the paper's §2.1
+// argument: KD-tree acceleration (AKM) holds up in few tens of dimensions
+// and degrades at descriptor dimensionality, while graph-based pruning
+// (GK-means) does not care about the dimension.
+type DimsConfig struct {
+	N     int // <=0 selects 3000
+	K     int // <=0 selects 50
+	Iters int // <=0 selects 15
+	Seed  int64
+	Dims  []int // nil selects {8, 32, 128, 512}
+}
+
+func (c *DimsConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 3000
+	}
+	if c.K <= 0 {
+		c.K = 50
+	}
+	if c.Iters <= 0 {
+		c.Iters = 15
+	}
+	if c.Dims == nil {
+		c.Dims = []int{8, 32, 128, 512}
+	}
+}
+
+// Dims compares exact Lloyd, budget-limited AKM and GK-means across data
+// dimensionality on mixture data, reporting each approximate method's
+// distortion overhead relative to Lloyd. AKM's overhead grows with
+// dimension (the §2.1 failure); GK-means stays flat.
+func Dims(cfg DimsConfig) (*Table, error) {
+	cfg.defaults()
+	t := &Table{
+		Title: fmt.Sprintf("§2.1 — distortion overhead vs dimension (n=%d, k=%d, AKM budget 16)",
+			cfg.N, cfg.K),
+		Header: []string{"dim", "Lloyd E", "AKM E", "AKM overhead", "GK-means E", "GK overhead"},
+	}
+	for _, dim := range cfg.Dims {
+		data, _ := dataset.GMM(dataset.GMMConfig{
+			N: cfg.N, Dim: dim, Components: cfg.N / 100,
+			Spread: 1, Noise: 1, Seed: cfg.Seed,
+		})
+		ll, err := kmeans.Lloyd(data, kmeans.Config{K: cfg.K, MaxIter: cfg.Iters, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		eL := metrics.AverageDistortion(data, ll.Labels, ll.Centroids)
+
+		akm, err := kmeans.AKM(data, kmeans.AKMConfig{
+			Config:    kmeans.Config{K: cfg.K, MaxIter: cfg.Iters, Seed: cfg.Seed},
+			MaxChecks: 16,
+		})
+		if err != nil {
+			return nil, err
+		}
+		eA := metrics.AverageDistortion(data, akm.Labels, akm.Centroids)
+
+		gk, err := Run(MGKMeans, data, RunConfig{
+			K: cfg.K, Iters: cfg.Iters, Seed: cfg.Seed, Kappa: 16, Tau: 6,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(d(dim), f(eL), f(eA),
+			fmt.Sprintf("%+.1f%%", 100*(eA-eL)/eL),
+			f(gk.Distortion),
+			fmt.Sprintf("%+.1f%%", 100*(gk.Distortion-eL)/eL))
+	}
+	return t, nil
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"gkmeans/internal/kmeans"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/twomeans"
+)
+
+// Fig1Config sizes the Fig. 1 experiment: the probability that a sample's
+// rank-κ true nearest neighbour lives in the sample's cluster, measured for
+// traditional k-means and the 2M tree with cluster size fixed to 50.
+type Fig1Config struct {
+	N           int // samples; <=0 selects 6000
+	ClusterSize int // paper fixes 50
+	MaxRank     int // deepest neighbour rank measured; <=0 selects 150
+	Seed        int64
+}
+
+func (c *Fig1Config) defaults() {
+	if c.N <= 0 {
+		c.N = 6000
+	}
+	if c.ClusterSize <= 0 {
+		c.ClusterSize = 50
+	}
+	if c.MaxRank <= 0 {
+		c.MaxRank = 150
+	}
+}
+
+// Fig1 reproduces paper Fig. 1(a,b) on SIFT-like data. Each row is a
+// neighbour rank with the same-cluster co-occurrence probability under both
+// clusterings, plus the random-collision floor the paper quotes
+// (clusterSize/n).
+func Fig1(cfg Fig1Config) (*Table, error) {
+	cfg.defaults()
+	data, err := Gen("sift", cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := data.N / cfg.ClusterSize
+	if k < 2 {
+		return nil, fmt.Errorf("bench: fig1 needs n >= 2×cluster size")
+	}
+
+	exact := knngraph.BruteForce(data, cfg.MaxRank, 0)
+
+	km, err := kmeans.Lloyd(data, kmeans.Config{K: k, MaxIter: 30, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	tm, err := twomeans.Cluster(data, twomeans.Config{K: k, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	probKM := coOccurrence(exact, km.Labels, cfg.MaxRank)
+	probTM := coOccurrence(exact, tm, cfg.MaxRank)
+
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 1 — P(rank-κ NN in same cluster), n=%d, cluster size=%d (random floor %.5f)",
+			data.N, cfg.ClusterSize, float64(cfg.ClusterSize)/float64(data.N)),
+		Header: []string{"rank", "P k-means", "P 2M tree"},
+	}
+	for _, rank := range []int{1, 2, 5, 10, 20, 30, 50, 75, 100, 125, 150} {
+		if rank > cfg.MaxRank {
+			break
+		}
+		t.AddRow(d(rank), f3(probKM[rank-1]), f3(probTM[rank-1]))
+	}
+	return t, nil
+}
+
+// coOccurrence returns, per neighbour rank r (0-based), the fraction of
+// samples whose rank-r true neighbour shares the sample's cluster.
+func coOccurrence(exact *knngraph.Graph, labels []int, maxRank int) []float64 {
+	counts := make([]int, maxRank)
+	totals := make([]int, maxRank)
+	for i, list := range exact.Lists {
+		for r := 0; r < maxRank && r < len(list); r++ {
+			totals[r]++
+			if labels[list[r].ID] == labels[i] {
+				counts[r]++
+			}
+		}
+	}
+	out := make([]float64, maxRank)
+	for r := range out {
+		if totals[r] > 0 {
+			out[r] = float64(counts[r]) / float64(totals[r])
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"fmt"
+
+	"gkmeans/internal/core"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/metrics"
+)
+
+// Fig2Config sizes the Fig. 2 experiment: graph recall@top1 and clustering
+// distortion as functions of the construction round τ.
+type Fig2Config struct {
+	N     int // <=0 selects 6000
+	Tau   int // rounds measured; <=0 selects 15 (paper plots 30)
+	Xi    int // <=0 selects 50
+	Kappa int // <=0 selects 20
+	Seed  int64
+}
+
+func (c *Fig2Config) defaults() {
+	if c.N <= 0 {
+		c.N = 6000
+	}
+	if c.Tau <= 0 {
+		c.Tau = 15
+	}
+	if c.Xi <= 0 {
+		c.Xi = 50
+	}
+	if c.Kappa <= 0 {
+		c.Kappa = 20
+	}
+}
+
+// Fig2 reproduces paper Fig. 2 on SIFT-like data: the intertwined evolution
+// of graph quality and clustering quality. Each row is one construction
+// round with the graph's recall and the round's clustering distortion.
+func Fig2(cfg Fig2Config) (*Table, error) {
+	cfg.defaults()
+	data, err := Gen("sift", cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	exact := knngraph.BruteForce(data, 1, 0) // top-1 ground truth
+	k0 := data.N / cfg.Xi
+	if k0 < 1 {
+		k0 = 1
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 2 — recall & distortion vs τ (n=%d, ξ=%d, κ=%d, k0=%d)",
+			data.N, cfg.Xi, cfg.Kappa, k0),
+		Header: []string{"tau", "recall@1", "distortion"},
+	}
+	_, err = core.BuildGraph(data, core.GraphConfig{
+		Kappa: cfg.Kappa, Xi: cfg.Xi, Tau: cfg.Tau, Seed: cfg.Seed,
+		OnRound: func(round int, g *knngraph.Graph, labels []int) {
+			recall := g.Recall(exact)
+			dist := metrics.DistortionFromLabels(data, labels, k0)
+			t.AddRow(d(round), f3(recall), f(dist))
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"fmt"
+
+	"gkmeans/internal/core"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/nndescent"
+)
+
+// Fig4Config sizes the configuration test of Fig. 4: clustering distortion
+// as a function of supplied graph recall, for the three configurations
+// KGraph+GK-means, GK-means, and GK-means− (paper §5.2; SIFT1M, k=10,000 —
+// the same n:k ratio of 100 is kept here).
+type Fig4Config struct {
+	N     int // <=0 selects 8000
+	Kappa int // <=0 selects 20
+	Seed  int64
+	Iters int // clustering epochs; <=0 selects 25
+}
+
+func (c *Fig4Config) defaults() {
+	if c.N <= 0 {
+		c.N = 8000
+	}
+	if c.Kappa <= 0 {
+		c.Kappa = 20
+	}
+	if c.Iters <= 0 {
+		c.Iters = 25
+	}
+}
+
+// Fig4 sweeps graph quality (via construction effort) for each
+// configuration and reports (recall, distortion) pairs — the axes of the
+// paper's Fig. 4 scatter.
+func Fig4(cfg Fig4Config) (*Table, error) {
+	cfg.defaults()
+	data, err := Gen("sift", cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := data.N / 100
+	if k < 2 {
+		return nil, fmt.Errorf("bench: fig4 needs n >= 200")
+	}
+	exact := knngraph.BruteForce(data, 1, 0)
+
+	t := &Table{
+		Title: fmt.Sprintf("Fig. 4 — distortion vs graph recall (n=%d, k=%d)",
+			data.N, k),
+		Header: []string{"config", "graph effort", "recall@1", "distortion"},
+	}
+
+	cluster := func(g *knngraph.Graph, traditional bool) (float64, error) {
+		res, err := core.Cluster(data, g, core.Config{
+			K: k, MaxIter: cfg.Iters, Seed: cfg.Seed + 7, Traditional: traditional,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return metrics.AverageDistortion(data, res.Labels, res.Centroids), nil
+	}
+
+	// Alg. 3 graphs of increasing τ drive both GK-means and GK-means−.
+	for _, tau := range []int{1, 2, 4, 8, 12} {
+		g, err := core.BuildGraph(data, core.GraphConfig{
+			Kappa: cfg.Kappa, Xi: 50, Tau: tau, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		recall := g.Recall(exact)
+		for _, run := range []struct {
+			name string
+			trad bool
+		}{{"GK-means", false}, {"GK-means-", true}} {
+			dist, err := cluster(g, run.trad)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(run.name, fmt.Sprintf("tau=%d", tau), f3(recall), f(dist))
+		}
+	}
+
+	// NN-Descent graphs of increasing round budget drive KGraph+GK-means.
+	for _, rounds := range []int{1, 2, 4, 8} {
+		g, err := nndescent.Build(data, nndescent.Config{
+			Kappa: cfg.Kappa, Seed: cfg.Seed, MaxRounds: rounds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		recall := g.Recall(exact)
+		dist, err := cluster(g, false)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("KGraph+GK-means", fmt.Sprintf("rounds=%d", rounds), f3(recall), f(dist))
+	}
+	return t, nil
+}

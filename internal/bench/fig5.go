@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// Fig5Config sizes the quality experiment of Fig. 5: distortion as a
+// function of iteration (a,c,e) and of wall-clock time (b,d,f) on the
+// SIFT-, GloVe- and GIST-like corpora at k = n/100 (the paper uses
+// k=10,000 on 1M points).
+type Fig5Config struct {
+	N     int // samples per corpus; <=0 selects 8000 (GIST defaults to half: 960-d)
+	Iters int // iterations traced; <=0 selects 30
+	Seed  int64
+}
+
+func (c *Fig5Config) defaults() {
+	if c.N <= 0 {
+		c.N = 8000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 30
+	}
+}
+
+// fig5Methods is the comparison set of Fig. 5(a,c,e).
+func fig5Methods() []string {
+	return []string{MMiniBatch, MClosure, MKMeans, MBKM, MKGraphGK, MGKMeans}
+}
+
+// Fig5 runs every method with tracing on one corpus and emits two tables:
+// distortion-vs-iteration and distortion-vs-time. datasetName is "sift",
+// "glove" or "gist".
+func Fig5(datasetName string, cfg Fig5Config) ([]*Table, error) {
+	cfg.defaults()
+	n := cfg.N
+	if datasetName == "gist" {
+		n /= 2 // 960-d: keep the default runtime comparable
+	}
+	data, err := Gen(datasetName, n, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := data.N / 100
+	if k < 2 {
+		return nil, fmt.Errorf("bench: fig5 needs n >= 200")
+	}
+
+	iterT := &Table{
+		Title: fmt.Sprintf("Fig. 5 — distortion vs iteration, %s (n=%d, k=%d)",
+			datasetName, data.N, k),
+		Header: []string{"iter"},
+	}
+	timeT := &Table{
+		Title: fmt.Sprintf("Fig. 5 — distortion vs time, %s (n=%d, k=%d)",
+			datasetName, data.N, k),
+		Header: []string{"method", "time", "final distortion"},
+	}
+
+	type trace struct {
+		name string
+		res  *RunResult
+	}
+	var traces []trace
+	for _, m := range fig5Methods() {
+		res, err := Run(m, data, RunConfig{K: k, Iters: cfg.Iters, Seed: cfg.Seed, Trace: true})
+		if err != nil {
+			return nil, err
+		}
+		traces = append(traces, trace{m, res})
+		iterT.Header = append(iterT.Header, m)
+	}
+
+	// Distortion-vs-iteration: one row per sampled iteration, one column
+	// per method (methods that converged earlier repeat their final value,
+	// matching how the paper's curves flatten).
+	for _, it := range samplePoints(cfg.Iters) {
+		row := []string{d(it)}
+		for _, tr := range traces {
+			h := tr.res.History
+			idx := it - 1
+			if idx >= len(h) {
+				idx = len(h) - 1
+			}
+			if idx < 0 {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, f(h[idx].Distortion))
+		}
+		iterT.AddRow(row...)
+	}
+
+	// Distortion-vs-time: the paper plots only the methods with a
+	// competitive trade-off (closure, KGraph+GK, GK); report all, sorted by
+	// the presentation order, with total time and final distortion.
+	for _, tr := range traces {
+		timeT.AddRow(tr.name, dur(tr.res.InitTime+tr.res.IterTime), f(tr.res.Distortion))
+	}
+	return []*Table{iterT, timeT}, nil
+}
+
+// samplePoints picks the iteration numbers reported in the table.
+func samplePoints(max int) []int {
+	pts := []int{1, 2, 3, 5, 8, 12, 20, 30, 45, 60, 80, 100, 130, 160}
+	var out []int
+	for _, p := range pts {
+		if p <= max {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}

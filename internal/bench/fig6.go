@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// Fig6Config sizes the scalability experiment of Fig. 6 (time) and Fig. 7
+// (distortion) on VLAD-like data. The paper varies n from 10K to 10M at
+// k=1024 (a), and k from 1024 to 8192 at n=1M (b); the reduced defaults
+// keep the same geometric sweeps two octaves smaller.
+type Fig6Config struct {
+	Sizes []int // sweep (a); nil selects {1000, 2000, 4000, 8000, 16000}
+	KForN int   // k of sweep (a); <=0 selects 64
+	NForK int   // n of sweep (b); <=0 selects 8000
+	Ks    []int // sweep (b); nil selects {64, 128, 256, 512}
+	Iters int   // fixed iteration budget (paper fixes 30); <=0 selects 20
+	Seed  int64
+}
+
+func (c *Fig6Config) defaults() {
+	if c.Sizes == nil {
+		c.Sizes = []int{1000, 2000, 4000, 8000, 16000}
+	}
+	if c.KForN <= 0 {
+		c.KForN = 64
+	}
+	if c.NForK <= 0 {
+		c.NForK = 8000
+	}
+	if c.Ks == nil {
+		c.Ks = []int{64, 128, 256, 512}
+	}
+	if c.Iters <= 0 {
+		c.Iters = 20
+	}
+}
+
+// Fig6Size reproduces Fig. 6(a) and Fig. 7(a): total clustering time and
+// distortion while the input size grows at fixed k.
+func Fig6Size(cfg Fig6Config) ([]*Table, error) {
+	cfg.defaults()
+	timeT := &Table{
+		Title:  fmt.Sprintf("Fig. 6(a)/7(a) — time & distortion vs n (VLAD-like, k=%d, %d iters)", cfg.KForN, cfg.Iters),
+		Header: []string{"n", "method", "time", "distortion"},
+	}
+	for _, n := range cfg.Sizes {
+		data, err := Gen("vlad", n, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range Methods() {
+			res, err := Run(m, data, RunConfig{K: cfg.KForN, Iters: cfg.Iters, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			timeT.AddRow(d(n), m, dur(res.InitTime+res.IterTime), f(res.Distortion))
+		}
+	}
+	return []*Table{timeT}, nil
+}
+
+// Fig6K reproduces Fig. 6(b) and Fig. 7(b): total clustering time and
+// distortion while the cluster count grows at fixed n. The paper's key
+// observation — k-means/BKM/Mini-Batch grow linearly with k while closure
+// k-means and GK-means stay nearly flat — is directly visible in the time
+// column.
+func Fig6K(cfg Fig6Config) ([]*Table, error) {
+	cfg.defaults()
+	data, err := Gen("vlad", cfg.NForK, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	timeT := &Table{
+		Title:  fmt.Sprintf("Fig. 6(b)/7(b) — time & distortion vs k (VLAD-like, n=%d, %d iters)", cfg.NForK, cfg.Iters),
+		Header: []string{"k", "method", "time", "distortion"},
+	}
+	for _, k := range cfg.Ks {
+		for _, m := range Methods() {
+			res, err := Run(m, data, RunConfig{K: k, Iters: cfg.Iters, Seed: cfg.Seed})
+			if err != nil {
+				return nil, err
+			}
+			timeT.AddRow(d(k), m, dur(res.InitTime+res.IterTime), f(res.Distortion))
+		}
+	}
+	return []*Table{timeT}, nil
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"gkmeans/internal/anns"
+	"gkmeans/internal/core"
+	"gkmeans/internal/dataset"
+)
+
+// Table1 renders the dataset overview of the paper's Table 1 together with
+// the synthetic substitutes this reproduction uses.
+func Table1() *Table {
+	t := &Table{
+		Title:  "Table 1 — datasets (paper corpora and synthetic substitutes)",
+		Header: []string{"name", "paper corpus", "dim", "data type", "substitute"},
+	}
+	for _, in := range dataset.Registry() {
+		t.AddRow(in.Name, in.PaperRef, d(in.Dim), in.Kind, "Gaussian mixture, matched dim/range")
+	}
+	return t
+}
+
+// Table2Config sizes the huge-k experiment of Table 2: partitioning the
+// VLAD-like corpus into n/10 clusters (the paper partitions 10M vectors
+// into 1M clusters) with the only two methods workable at that ratio, plus
+// the KGraph-supplied configuration.
+type Table2Config struct {
+	N     int // <=0 selects 10000 (k = n/10)
+	Iters int // <=0 selects 10
+	Seed  int64
+	Kappa int // <=0 selects 20
+	Tau   int // <=0 selects 8
+}
+
+func (c *Table2Config) defaults() {
+	if c.N <= 0 {
+		c.N = 10000
+	}
+	if c.Iters <= 0 {
+		c.Iters = 10
+	}
+	if c.Kappa <= 0 {
+		c.Kappa = 20
+	}
+	if c.Tau <= 0 {
+		c.Tau = 8
+	}
+}
+
+// Table2 reproduces paper Table 2: init/iteration/total wall clock, final
+// distortion E, and graph recall for KGraph+GK-means, GK-means and closure
+// k-means at k = n/10.
+func Table2(cfg Table2Config) (*Table, error) {
+	cfg.defaults()
+	data, err := Gen("vlad", cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	k := data.N / 10
+	if k < 2 {
+		return nil, fmt.Errorf("bench: table2 needs n >= 20")
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2 — huge-k partition (VLAD-like, n=%d, k=%d)", data.N, k),
+		Header: []string{"method", "init", "iter", "total", "E", "graph recall"},
+	}
+	run := RunConfig{K: k, Iters: cfg.Iters, Seed: cfg.Seed, Kappa: cfg.Kappa, Tau: cfg.Tau}
+	for _, m := range []string{MKGraphGK, MGKMeans, MClosure} {
+		res, err := Run(m, data, run)
+		if err != nil {
+			return nil, err
+		}
+		recall := "N.A."
+		if res.Recall > 0 || m != MClosure {
+			recall = f3(res.Recall)
+		}
+		t.AddRow(m, dur(res.InitTime), dur(res.IterTime),
+			dur(res.InitTime+res.IterTime), f(res.Distortion), recall)
+	}
+	return t, nil
+}
+
+// ANNSConfig sizes the §4.3 approximate-nearest-neighbour experiment.
+type ANNSConfig struct {
+	N       int // reference vectors; <=0 selects 8000
+	Queries int // held-out queries; <=0 selects 200
+	Tau     int // graph construction rounds; <=0 selects 12
+	Seed    int64
+}
+
+func (c *ANNSConfig) defaults() {
+	if c.N <= 0 {
+		c.N = 8000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 200
+	}
+	if c.Tau <= 0 {
+		c.Tau = 12
+	}
+}
+
+// ANNS evaluates graph-based search on SIFT-like data against brute force:
+// recall@1 and per-query latency across pool sizes.
+func ANNS(cfg ANNSConfig) (*Table, error) {
+	cfg.defaults()
+	all, err := Gen("sift", cfg.N+cfg.Queries, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	dataIdx := make([]int, 0, cfg.N)
+	queryIdx := make([]int, 0, cfg.Queries)
+	stride := all.N / cfg.Queries
+	for i := 0; i < all.N; i++ {
+		if stride > 0 && i%stride == 0 && len(queryIdx) < cfg.Queries {
+			queryIdx = append(queryIdx, i)
+		} else {
+			dataIdx = append(dataIdx, i)
+		}
+	}
+	data := all.SubsetRows(dataIdx)
+	queries := all.SubsetRows(queryIdx)
+
+	g, err := core.BuildGraph(data, core.GraphConfig{Kappa: 20, Xi: 50, Tau: cfg.Tau, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	s, err := anns.NewSearcher(data, g, 32)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	truth := anns.ExactTruth(data, queries, 1)
+	brutePer := time.Since(start) / time.Duration(queries.N)
+
+	t := &Table{
+		Title: fmt.Sprintf("§4.3 — ANN search on the Alg. 3 graph (n=%d, %d queries, brute force %.3f ms/query)",
+			data.N, queries.N, float64(brutePer.Microseconds())/1000),
+		Header: []string{"ef", "recall@1", "ms/query", "speed-up vs brute"},
+	}
+	for _, ef := range []int{8, 16, 32, 64, 128} {
+		start := time.Now()
+		hit := 0
+		for qi := 0; qi < queries.N; qi++ {
+			res := s.Search(queries.Row(qi), 1, ef)
+			if len(res) > 0 && len(truth[qi]) > 0 && res[0].ID == truth[qi][0] {
+				hit++
+			}
+		}
+		per := time.Since(start) / time.Duration(queries.N)
+		t.AddRow(d(ef), f3(float64(hit)/float64(queries.N)),
+			fmt.Sprintf("%.3f", float64(per.Microseconds())/1000),
+			fmt.Sprintf("%.1fx", float64(brutePer)/float64(per)))
+	}
+	return t, nil
+}

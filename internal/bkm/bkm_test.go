@@ -1,0 +1,320 @@
+package bkm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/kmeans"
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/vec"
+)
+
+func randomLabels(n, k int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	labels := make([]int, n)
+	perm := rng.Perm(n)
+	for idx, i := range perm {
+		labels[i] = idx % k
+	}
+	return labels
+}
+
+func TestNewOptimizerCompositesMatchDefinition(t *testing.T) {
+	data := dataset.GloVeLike(80, 1)
+	k := 5
+	labels := randomLabels(data.N, k, 2)
+	o, err := NewOptimizer(data, labels, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D_r must equal the sum of members.
+	for r := 0; r < k; r++ {
+		want := make([]float64, data.Dim)
+		count := 0
+		for i, l := range labels {
+			if l != r {
+				continue
+			}
+			count++
+			for j, v := range data.Row(i) {
+				want[j] += float64(v)
+			}
+		}
+		if o.Count(r) != count {
+			t.Fatalf("cluster %d count %d want %d", r, o.Count(r), count)
+		}
+		got := o.Composite(r)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-6 {
+				t.Fatalf("cluster %d composite[%d] = %v want %v", r, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestNewOptimizerErrors(t *testing.T) {
+	data := dataset.Uniform(10, 3, 1)
+	if _, err := NewOptimizer(data, make([]int, 5), 2); err == nil {
+		t.Fatal("label length mismatch should error")
+	}
+	if _, err := NewOptimizer(data, make([]int, 10), 0); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	bad := make([]int, 10)
+	bad[3] = 7
+	if _, err := NewOptimizer(data, bad, 2); err == nil {
+		t.Fatal("out-of-range label should error")
+	}
+}
+
+func TestObjectiveMatchesMetrics(t *testing.T) {
+	data := dataset.SIFTLike(120, 3)
+	k := 6
+	labels := randomLabels(data.N, k, 4)
+	o, _ := NewOptimizer(data, labels, k)
+	want := metrics.Objective(data, labels, k)
+	if got := o.Objective(); math.Abs(got-want) > 1e-6*math.Abs(want) {
+		t.Fatalf("objective %v want %v", got, want)
+	}
+	wantE := metrics.DistortionFromLabels(data, labels, k)
+	if got := o.Distortion(); math.Abs(got-wantE) > 1e-6*math.Max(1, wantE) {
+		t.Fatalf("distortion %v want %v", got, wantE)
+	}
+}
+
+// Property (the heart of BKM): DeltaI predicts exactly the objective change
+// that Move then realises, for random data, labellings and moves.
+func TestDeltaIMatchesRealizedChangeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		d := 1 + rng.Intn(16)
+		k := 2 + rng.Intn(5)
+		data := dataset.Uniform(n, d, seed)
+		labels := randomLabels(n, k, seed+1)
+		o, err := NewOptimizer(data, labels, k)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 20; trial++ {
+			i := rng.Intn(n)
+			v := rng.Intn(k)
+			before := o.Objective()
+			delta := o.DeltaI(i, v)
+			if delta == negInf {
+				continue // move would empty source; no prediction to check
+			}
+			o.Move(i, v)
+			after := o.Objective()
+			if math.Abs((after-before)-delta) > 1e-6*math.Max(1, math.Abs(after)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaISelfAndEmptyGuard(t *testing.T) {
+	data := dataset.Uniform(10, 4, 1)
+	labels := []int{0, 0, 0, 0, 0, 0, 0, 0, 0, 1} // cluster 1 is a singleton
+	o, _ := NewOptimizer(data, labels, 2)
+	if o.DeltaI(0, 0) != 0 {
+		t.Fatal("DeltaI to own cluster should be 0")
+	}
+	if o.DeltaI(9, 0) != negInf {
+		t.Fatal("move emptying a cluster must be rejected")
+	}
+	if v, delta := o.BestMove(9, nil); v != 1 || delta != 0 {
+		t.Fatalf("BestMove from singleton must stay put, got v=%d delta=%v", v, delta)
+	}
+}
+
+func TestBestMoveAgainstExhaustiveDelta(t *testing.T) {
+	data := dataset.GloVeLike(60, 5)
+	k := 6
+	o, _ := NewOptimizer(data, randomLabels(data.N, k, 6), k)
+	for i := 0; i < data.N; i += 7 {
+		bestV, bestD := o.BestMove(i, nil)
+		// Recompute by brute force over DeltaI.
+		wantV, wantD := o.Labels[i], 0.0
+		for v := 0; v < k; v++ {
+			if d := o.DeltaI(i, v); v != o.Labels[i] && d > wantD {
+				wantV, wantD = v, d
+			}
+		}
+		if bestV != wantV || math.Abs(bestD-wantD) > 1e-9*math.Max(1, math.Abs(wantD)) {
+			t.Fatalf("sample %d: BestMove (%d,%v) vs exhaustive (%d,%v)", i, bestV, bestD, wantV, wantD)
+		}
+	}
+}
+
+func TestBestMoveRestrictedCandidates(t *testing.T) {
+	data := dataset.Uniform(30, 3, 7)
+	k := 5
+	o, _ := NewOptimizer(data, randomLabels(data.N, k, 8), k)
+	u := o.Labels[0]
+	cands := []int{u, (u + 1) % k}
+	v, _ := o.BestMove(0, cands)
+	if v != u && v != (u+1)%k {
+		t.Fatalf("BestMove left candidate set: %d", v)
+	}
+}
+
+func TestEpochMonotoneObjective(t *testing.T) {
+	data := dataset.SIFTLike(300, 9)
+	k := 10
+	o, _ := NewOptimizer(data, randomLabels(data.N, k, 10), k)
+	prev := o.Objective()
+	for e := 0; e < 10; e++ {
+		moves := o.Epoch(nil, nil)
+		cur := o.Objective()
+		if cur < prev-1e-6*math.Abs(prev) {
+			t.Fatalf("objective decreased in epoch %d: %v -> %v", e, prev, cur)
+		}
+		prev = cur
+		if moves == 0 {
+			break
+		}
+	}
+}
+
+func TestEpochCountsNoMovesAtConvergence(t *testing.T) {
+	data := dataset.Uniform(50, 4, 11)
+	k := 4
+	o, _ := NewOptimizer(data, randomLabels(data.N, k, 12), k)
+	for e := 0; e < 50; e++ {
+		if o.Epoch(nil, nil) == 0 {
+			// A second pass at the fixed point must also make no moves.
+			if o.Epoch(nil, nil) != 0 {
+				t.Fatal("epoch after convergence made moves")
+			}
+			return
+		}
+	}
+	t.Fatal("did not converge in 50 epochs")
+}
+
+func TestClusterBeatsLloydDistortion(t *testing.T) {
+	// The paper's premise (§3.1): BKM converges to lower distortion than
+	// traditional k-means on the same task.
+	data := dataset.SIFTLike(1000, 13)
+	k := 20
+	bres, err := Cluster(data, Config{K: k, MaxIter: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lres, err := kmeans.Lloyd(data, kmeans.Config{K: k, MaxIter: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB := metrics.AverageDistortion(data, bres.Labels, bres.Centroids)
+	eL := metrics.AverageDistortion(data, lres.Labels, lres.Centroids)
+	if eB > eL*1.02 {
+		t.Fatalf("BKM distortion %.2f worse than Lloyd %.2f", eB, eL)
+	}
+}
+
+func TestClusterValidatesResult(t *testing.T) {
+	data := dataset.GloVeLike(100, 14)
+	res, err := Cluster(data, Config{K: 7, MaxIter: 30, Seed: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(data.N); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("trace requested but empty")
+	}
+	sizes := metrics.ClusterSizes(res.Labels, 7)
+	for r, s := range sizes {
+		if s == 0 {
+			t.Fatalf("cluster %d empty (BKM forbids emptying moves)", r)
+		}
+	}
+}
+
+func TestClusterWithInitLabels(t *testing.T) {
+	data := dataset.Uniform(40, 3, 15)
+	init := randomLabels(40, 4, 16)
+	initCopy := append([]int(nil), init...)
+	res, err := Cluster(data, Config{K: 4, MaxIter: 10, Seed: 3, InitLabels: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range init {
+		if init[i] != initCopy[i] {
+			t.Fatal("InitLabels were mutated")
+		}
+	}
+	if err := res.Validate(data.N); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	data := dataset.Uniform(10, 2, 1)
+	if _, err := Cluster(data, Config{K: 0}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Cluster(data, Config{K: 11}); err == nil {
+		t.Fatal("k>n should error")
+	}
+	if _, err := Cluster(data, Config{K: 2, InitLabels: []int{0}}); err == nil {
+		t.Fatal("short init labels should error")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	data := dataset.SIFTLike(200, 17)
+	a, _ := Cluster(data, Config{K: 8, MaxIter: 15, Seed: 5})
+	b, _ := Cluster(data, Config{K: 8, MaxIter: 15, Seed: 5})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestMoveIncrementalSqMatchesRefresh(t *testing.T) {
+	// After many moves the incrementally maintained ‖D_r‖² must agree with
+	// an exact recomputation.
+	data := dataset.GloVeLike(150, 18)
+	k := 6
+	o, _ := NewOptimizer(data, randomLabels(data.N, k, 19), k)
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 500; trial++ {
+		i := rng.Intn(data.N)
+		v := rng.Intn(k)
+		if o.Count(o.Labels[i]) > 1 {
+			o.Move(i, v)
+		}
+	}
+	before := append([]float64(nil), o.compSq...)
+	o.RefreshCompSq()
+	for r := 0; r < k; r++ {
+		if math.Abs(before[r]-o.compSq[r]) > 1e-6*math.Max(1, o.compSq[r]) {
+			t.Fatalf("cluster %d drifted: %v vs %v", r, before[r], o.compSq[r])
+		}
+	}
+}
+
+func TestCentroidsMatchMetrics(t *testing.T) {
+	data := dataset.Uniform(60, 5, 21)
+	k := 4
+	labels := randomLabels(data.N, k, 22)
+	o, _ := NewOptimizer(data, labels, k)
+	want := metrics.Centroids(data, labels, k)
+	got := o.Centroids()
+	for r := 0; r < k; r++ {
+		if vec.L2Sqr(got.Row(r), want.Row(r)) > 1e-9 {
+			t.Fatalf("centroid %d mismatch", r)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package closure
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gkmeans/internal/kmeans"
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/vec"
+)
+
+// Config controls closure k-means.
+type Config struct {
+	K        int
+	Trees    int // RP-tree ensemble size; <=0 selects 4
+	LeafSize int // RP-tree leaf size; <=0 selects 50
+	MaxIter  int // <=0 selects 50
+	Seed     int64
+	Trace    bool
+}
+
+// Cluster runs closure k-means. Initialisation picks k random seed samples
+// and assigns every point to the nearest seed *found in its neighbourhood*
+// (falling back to a random-probe scan when a neighbourhood contains no
+// seed), so even the first assignment avoids the O(n·k) pass. Iterations
+// then alternate closure-restricted assignment with centroid updates.
+func Cluster(data *vec.Matrix, cfg Config) (*kmeans.Result, error) {
+	n := data.N
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("closure: invalid k=%d for n=%d", cfg.K, n)
+	}
+	trees := cfg.Trees
+	if trees <= 0 {
+		trees = 4
+	}
+	leaf := cfg.LeafSize
+	if leaf <= 0 {
+		leaf = 50
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	start := time.Now()
+	ens := BuildEnsemble(data, trees, leaf, cfg.Seed+1)
+
+	// Seed selection and seed-restricted initial assignment.
+	seedOf := make(map[int32]int, cfg.K) // sample index -> cluster id
+	perm := rng.Perm(n)
+	seedIdx := make([]int, cfg.K)
+	for r := 0; r < cfg.K; r++ {
+		seedOf[int32(perm[r])] = r
+		seedIdx[r] = perm[r]
+	}
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		if r, ok := seedOf[int32(i)]; ok {
+			labels[i] = r
+			continue
+		}
+		best, bestD := -1, float32(0)
+		row := data.Row(i)
+		ens.Neighborhood(i, func(j int32) {
+			r, ok := seedOf[j]
+			if !ok {
+				return
+			}
+			d := vec.L2Sqr(row, data.Row(int(j)))
+			if best < 0 || d < bestD {
+				best, bestD = r, d
+			}
+		})
+		if best < 0 {
+			// No seed in the neighbourhood: probe a few random seeds.
+			for p := 0; p < 16; p++ {
+				r := rng.Intn(cfg.K)
+				d := vec.L2Sqr(row, data.Row(seedIdx[r]))
+				if best < 0 || d < bestD {
+					best, bestD = r, d
+				}
+			}
+		}
+		labels[i] = best
+	}
+	initTime := time.Since(start)
+
+	centroids := metrics.Centroids(data, labels, cfg.K)
+	res := &kmeans.Result{Labels: labels, Centroids: centroids, K: cfg.K, InitTime: initTime}
+	iterStart := time.Now()
+	candBuf := make([]int, 0, 256)
+	seen := make([]int, cfg.K) // epoch stamp per cluster for O(1) dedup
+	for i := range seen {
+		seen[i] = -1
+	}
+	stamp := 0
+	for iter := 0; iter < maxIter; iter++ {
+		moves := 0
+		for i := 0; i < n; i++ {
+			// Candidate clusters: the clusters of the neighbourhood, i.e.
+			// the closures sample i belongs to, plus its current cluster.
+			stamp++
+			candBuf = candBuf[:0]
+			cur := labels[i]
+			seen[cur] = stamp
+			candBuf = append(candBuf, cur)
+			ens.Neighborhood(i, func(j int32) {
+				c := labels[j]
+				if seen[c] != stamp {
+					seen[c] = stamp
+					candBuf = append(candBuf, c)
+				}
+			})
+			row := data.Row(i)
+			best, bestD := cur, vec.L2Sqr(row, centroids.Row(cur))
+			for _, c := range candBuf[1:] {
+				if d := vec.L2Sqr(row, centroids.Row(c)); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if best != cur {
+				labels[i] = best
+				moves++
+			}
+		}
+		rebuildCentroids(data, labels, centroids, rng)
+		res.Iters = iter + 1
+		if cfg.Trace {
+			res.History = append(res.History, kmeans.IterStat{
+				Iter:       iter + 1,
+				Distortion: metrics.AverageDistortion(data, labels, centroids),
+				Moves:      moves,
+				Elapsed:    initTime + time.Since(iterStart),
+			})
+		}
+		if moves == 0 {
+			break
+		}
+	}
+	res.IterTime = time.Since(iterStart)
+	if err := res.Validate(n); err != nil {
+		return nil, fmt.Errorf("closure: %w", err)
+	}
+	return res, nil
+}
+
+// rebuildCentroids recomputes centroids in place; empty clusters are
+// reseeded on random samples from oversized clusters.
+func rebuildCentroids(data *vec.Matrix, labels []int, centroids *vec.Matrix, rng *rand.Rand) {
+	k, d := centroids.N, centroids.Dim
+	sums := make([]float64, k*d)
+	counts := make([]int, k)
+	for i, l := range labels {
+		counts[l]++
+		row := data.Row(i)
+		base := l * d
+		for j, v := range row {
+			sums[base+j] += float64(v)
+		}
+	}
+	for r := 0; r < k; r++ {
+		if counts[r] == 0 {
+			// Reseed on a random sample from a cluster that can spare one.
+			for probe := 0; probe < 64; probe++ {
+				i := rng.Intn(data.N)
+				if counts[labels[i]] > 1 {
+					counts[labels[i]]--
+					labels[i] = r
+					counts[r] = 1
+					copy(centroids.Row(r), data.Row(i))
+					break
+				}
+			}
+			continue
+		}
+		inv := 1 / float64(counts[r])
+		row := centroids.Row(r)
+		base := r * d
+		for j := range row {
+			row[j] = float32(sums[base+j] * inv)
+		}
+	}
+}

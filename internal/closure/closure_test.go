@@ -1,0 +1,181 @@
+package closure
+
+import (
+	"math/rand"
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/kmeans"
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/vec"
+)
+
+func TestBuildPartitionCoversAllPoints(t *testing.T) {
+	data := dataset.SIFTLike(300, 1)
+	p := BuildPartition(data, 20, rand.New(rand.NewSource(1)))
+	seen := make([]bool, data.N)
+	total := 0
+	for c, cell := range p.Cells {
+		if len(cell) == 0 {
+			t.Fatalf("cell %d empty", c)
+		}
+		if len(cell) > 20 {
+			t.Fatalf("cell %d has %d members, leaf size 20", c, len(cell))
+		}
+		for _, i := range cell {
+			if seen[i] {
+				t.Fatalf("point %d in two cells", i)
+			}
+			seen[i] = true
+			total++
+			if p.CellOf[i] != int32(c) {
+				t.Fatalf("CellOf[%d]=%d but found in cell %d", i, p.CellOf[i], c)
+			}
+		}
+	}
+	if total != data.N {
+		t.Fatalf("partition covers %d of %d points", total, data.N)
+	}
+}
+
+func TestBuildPartitionDuplicateData(t *testing.T) {
+	// All-identical points: the depth cap must terminate recursion.
+	rows := make([][]float32, 100)
+	for i := range rows {
+		rows[i] = []float32{1, 2, 3, 4}
+	}
+	m := vec.FromRows(rows)
+	p := BuildPartition(m, 10, rand.New(rand.NewSource(2)))
+	total := 0
+	for _, cell := range p.Cells {
+		total += len(cell)
+	}
+	if total != 100 {
+		t.Fatalf("covered %d of 100 duplicate points", total)
+	}
+}
+
+func TestEnsembleNeighborhoodContainsSelf(t *testing.T) {
+	data := dataset.GloVeLike(200, 3)
+	e := BuildEnsemble(data, 3, 15, 4)
+	if len(e.Parts) != 3 {
+		t.Fatalf("ensemble size %d", len(e.Parts))
+	}
+	found := false
+	e.Neighborhood(7, func(j int32) {
+		if j == 7 {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("neighbourhood of a point must contain the point")
+	}
+}
+
+func TestEnsembleNeighborhoodIsLocal(t *testing.T) {
+	// On well-separated blobs, leaf-mates should overwhelmingly come from
+	// the same latent component.
+	data, truth := dataset.GMM(dataset.GMMConfig{
+		N: 600, Dim: 16, Components: 4, Spread: 40, Noise: 1, Seed: 5,
+	})
+	e := BuildEnsemble(data, 3, 25, 6)
+	same, total := 0, 0
+	for i := 0; i < data.N; i += 10 {
+		e.Neighborhood(i, func(j int32) {
+			if int(j) == i {
+				return
+			}
+			total++
+			if truth[j] == truth[i] {
+				same++
+			}
+		})
+	}
+	if total == 0 || float64(same)/float64(total) < 0.9 {
+		t.Fatalf("neighbourhood purity %d/%d too low", same, total)
+	}
+}
+
+func TestClusterRecoversSeparatedBlobs(t *testing.T) {
+	data, truth := dataset.GMM(dataset.GMMConfig{
+		N: 500, Dim: 8, Components: 5, Spread: 40, Noise: 1, Seed: 7,
+	})
+	res, err := Cluster(data, Config{K: 5, MaxIter: 30, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(data.N); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	agree, total := 0, 0
+	for trial := 0; trial < 20000; trial++ {
+		i, j := rng.Intn(data.N), rng.Intn(data.N)
+		if i == j || truth[i] != truth[j] {
+			continue
+		}
+		total++
+		if res.Labels[i] == res.Labels[j] {
+			agree++
+		}
+	}
+	if float64(agree)/float64(total) < 0.95 {
+		t.Fatalf("pair agreement %d/%d too low", agree, total)
+	}
+}
+
+func TestClusterQualityBetweenMiniBatchAndLloyd(t *testing.T) {
+	// The paper places closure k-means between Mini-Batch (worst) and
+	// BKM/Lloyd (best) in distortion (Fig. 5, Fig. 7). Check the relative
+	// ordering against Mini-Batch on structured data.
+	data := dataset.SIFTLike(1200, 10)
+	k := 24
+	cl, err := Cluster(data, Config{K: k, MaxIter: 25, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := kmeans.MiniBatch(data, kmeans.MiniBatchConfig{
+		Config:    kmeans.Config{K: k, MaxIter: 25, Seed: 11},
+		BatchSize: 128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eC := metrics.AverageDistortion(data, cl.Labels, cl.Centroids)
+	eM := metrics.AverageDistortion(data, mb.Labels, mb.Centroids)
+	if eC > eM*1.05 {
+		t.Fatalf("closure distortion %.2f clearly worse than mini-batch %.2f", eC, eM)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	data := dataset.Uniform(10, 2, 1)
+	if _, err := Cluster(data, Config{K: 0}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Cluster(data, Config{K: 11}); err == nil {
+		t.Fatal("k>n should error")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	data := dataset.GloVeLike(300, 12)
+	a, _ := Cluster(data, Config{K: 10, MaxIter: 10, Seed: 13})
+	b, _ := Cluster(data, Config{K: 10, MaxIter: 10, Seed: 13})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestClusterTrace(t *testing.T) {
+	data := dataset.Uniform(200, 6, 14)
+	res, err := Cluster(data, Config{K: 8, MaxIter: 12, Seed: 15, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) != res.Iters {
+		t.Fatalf("history %d entries for %d iters", len(res.History), res.Iters)
+	}
+}

@@ -1,0 +1,109 @@
+// Package closure implements the "fast approximate k-means via cluster
+// closures" baseline (Wang et al., CVPR 2012 — paper reference [27]). Each
+// cluster's closure is the union of its members' neighbourhoods, where a
+// point's neighbourhood is the set of points that share a leaf with it in an
+// ensemble of random-projection partition trees. During the k-means
+// iteration a point is only compared against the clusters whose closure it
+// belongs to — the "active points on cluster boundaries" idea the paper
+// discusses in §2.1.
+package closure
+
+import (
+	"math/rand"
+	"sort"
+
+	"gkmeans/internal/vec"
+)
+
+// Partition assigns every sample to a leaf cell of one random-projection
+// tree: Cells[c] lists the member indices of cell c and CellOf[i] is the
+// cell of sample i.
+type Partition struct {
+	Cells  [][]int32
+	CellOf []int32
+}
+
+// BuildPartition recursively splits the dataset on random projection
+// directions at the median until every cell has at most leafSize members.
+// Random projections adapt to high-dimensional data where coordinate-axis
+// splits (KD trees) fail — the curse-of-dimensionality point made in §2.1.
+func BuildPartition(data *vec.Matrix, leafSize int, rng *rand.Rand) *Partition {
+	if leafSize < 1 {
+		leafSize = 1
+	}
+	all := make([]int32, data.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	p := &Partition{CellOf: make([]int32, data.N)}
+	var split func(members []int32, depth int)
+	split = func(members []int32, depth int) {
+		// Depth cap guards against pathological duplicate-heavy inputs.
+		if len(members) <= leafSize || depth > 40 {
+			cell := int32(len(p.Cells))
+			p.Cells = append(p.Cells, members)
+			for _, i := range members {
+				p.CellOf[i] = cell
+			}
+			return
+		}
+		dir := make([]float32, data.Dim)
+		for j := range dir {
+			dir[j] = float32(rng.NormFloat64())
+		}
+		proj := make([]float32, len(members))
+		for idx, i := range members {
+			proj[idx] = vec.Dot(data.Row(int(i)), dir)
+		}
+		order := make([]int, len(members))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			if proj[order[a]] != proj[order[b]] {
+				return proj[order[a]] < proj[order[b]]
+			}
+			return members[order[a]] < members[order[b]]
+		})
+		half := len(members) / 2
+		left := make([]int32, 0, half)
+		right := make([]int32, 0, len(members)-half)
+		for idx, o := range order {
+			if idx < half {
+				left = append(left, members[o])
+			} else {
+				right = append(right, members[o])
+			}
+		}
+		split(left, depth+1)
+		split(right, depth+1)
+	}
+	split(all, 0)
+	return p
+}
+
+// Ensemble is a set of independent random partitions; a point's
+// neighbourhood is the union of its cells across all partitions.
+type Ensemble struct {
+	Parts []*Partition
+}
+
+// BuildEnsemble builds m independent partitions with the given leaf size.
+func BuildEnsemble(data *vec.Matrix, m, leafSize int, seed int64) *Ensemble {
+	e := &Ensemble{Parts: make([]*Partition, m)}
+	for t := 0; t < m; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)*7919))
+		e.Parts[t] = BuildPartition(data, leafSize, rng)
+	}
+	return e
+}
+
+// Neighborhood calls fn for every point sharing a cell with sample i in any
+// partition (including i itself, possibly multiple times across trees).
+func (e *Ensemble) Neighborhood(i int, fn func(j int32)) {
+	for _, p := range e.Parts {
+		for _, j := range p.Cells[p.CellOf[i]] {
+			fn(j)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/parallel"
+	"gkmeans/internal/vec"
+)
+
+// GraphConfig controls the intertwined k-NN graph construction (Alg. 3).
+// The paper's defaults (§4.4): Tau=10, Xi=50, Kappa=50; Tau up to 32 when
+// the graph is built for ANN search rather than clustering.
+type GraphConfig struct {
+	Kappa   int // neighbours per node (κ); <=0 selects 50
+	Xi      int // target cluster size for the refinement clusters (ξ); <=0 selects 50
+	Tau     int // construction rounds (τ); <=0 selects 10
+	Seed    int64
+	Workers int // parallel workers for in-cluster refinement; <=0 selects GOMAXPROCS
+
+	// OnRound, when non-nil, observes each round: the round number t
+	// (1-based), the graph after refinement, and the clustering used for
+	// the round. Fig. 2 of the paper is generated from this hook.
+	OnRound func(t int, g *knngraph.Graph, labels []int)
+}
+
+// BuildGraph constructs an approximate k-NN graph by the paper's
+// self-evolving process (Alg. 3): starting from a random graph, each round
+// (1) runs one GK-means pass that partitions the data into clusters of
+// roughly ξ members using the current graph, then (2) exhaustively compares
+// samples *within* each cluster and feeds closer pairs back into the graph.
+// Cluster structure and graph quality improve alternately (Fig. 3).
+func BuildGraph(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, error) {
+	n := data.N
+	if n < 2 {
+		return nil, fmt.Errorf("core: BuildGraph needs at least 2 samples, got %d", n)
+	}
+	kappa := cfg.Kappa
+	if kappa <= 0 {
+		kappa = 50
+	}
+	if kappa >= n {
+		kappa = n - 1
+	}
+	xi := cfg.Xi
+	if xi <= 0 {
+		xi = 50
+	}
+	tau := cfg.Tau
+	if tau <= 0 {
+		tau = 10
+	}
+	k0 := n / xi // Alg. 3 line 5
+	if k0 < 1 {
+		k0 = 1
+	}
+
+	// Alg. 3 line 4: random initial graph.
+	g := knngraph.Random(data, kappa, cfg.Seed)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for t := 0; t < tau; t++ {
+		// Line 7: one GK-means pass (the inner iteration count is fixed to
+		// 1, §4.5). The seed varies per round so the 2M tree produces a
+		// fresh partition each time; diversity across rounds is what lets
+		// the union of in-cluster comparisons cover true neighbourhoods.
+		res, err := Cluster(data, g, Config{K: k0, MaxIter: 1, Seed: rng.Int63()})
+		if err != nil {
+			return nil, fmt.Errorf("core: BuildGraph round %d: %w", t+1, err)
+		}
+		refine(data, g, res.Labels, k0, cfg.Workers)
+		if cfg.OnRound != nil {
+			cfg.OnRound(t+1, g, res.Labels)
+		}
+	}
+	return g, nil
+}
+
+// refine performs Alg. 3 lines 8–14: exhaustive pairwise comparison within
+// each cluster, updating both endpoints' k-NN lists. Each sample belongs to
+// exactly one cluster, so refinement parallelises safely across clusters.
+func refine(data *vec.Matrix, g *knngraph.Graph, labels []int, k int, workers int) {
+	clusters := make([][]int32, k)
+	for i, l := range labels {
+		clusters[l] = append(clusters[l], int32(i))
+	}
+	parallel.For(k, workers, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			members := clusters[c]
+			for a := 0; a < len(members); a++ {
+				ia := members[a]
+				rowA := data.Row(int(ia))
+				for b := a + 1; b < len(members); b++ {
+					ib := members[b]
+					// The "visited" check (Alg. 3 line 10): never score an
+					// edge twice. If either endpoint already stores it,
+					// reuse that distance; only compute when the edge is
+					// entirely new.
+					d, inA := g.Lookup(int(ia), ib)
+					var inB bool
+					if !inA {
+						d, inB = g.Lookup(int(ib), ia)
+					} else {
+						inB = g.Contains(int(ib), ia)
+					}
+					if inA && inB {
+						continue
+					}
+					if !inA && !inB {
+						d = vec.L2Sqr(rowA, data.Row(int(ib)))
+					}
+					if !inA {
+						g.Insert(int(ia), ib, d)
+					}
+					if !inB {
+						g.Insert(int(ib), ia, d)
+					}
+				}
+			}
+		}
+	})
+}

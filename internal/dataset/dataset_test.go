@@ -1,0 +1,262 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"gkmeans/internal/vec"
+)
+
+func TestGMMShapeAndDeterminism(t *testing.T) {
+	cfg := GMMConfig{N: 200, Dim: 16, Components: 5, Spread: 3, Noise: 1, Seed: 7}
+	a, la := GMM(cfg)
+	b, lb := GMM(cfg)
+	if a.N != 200 || a.Dim != 16 {
+		t.Fatalf("shape %d×%d", a.N, a.Dim)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed must generate identical data")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("same seed must generate identical labels")
+		}
+	}
+	c, _ := GMM(GMMConfig{N: 200, Dim: 16, Components: 5, Spread: 3, Noise: 1, Seed: 8})
+	if a.Equal(c) {
+		t.Fatal("different seeds should generate different data")
+	}
+}
+
+func TestGMMLatentLabelsInRange(t *testing.T) {
+	_, labels := GMM(GMMConfig{N: 100, Dim: 4, Components: 3, Spread: 1, Noise: 1, Seed: 1})
+	for _, l := range labels {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGMMPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for N=0")
+		}
+	}()
+	GMM(GMMConfig{N: 0, Dim: 4, Components: 2})
+}
+
+func TestGMMClusterStructure(t *testing.T) {
+	// Samples from the same latent component must on average be much closer
+	// than samples from different components — the property GK-means relies
+	// on (paper Fig. 1).
+	m, labels := GMM(GMMConfig{N: 400, Dim: 32, Components: 4, Spread: 10, Noise: 1, Seed: 3})
+	var same, diff float64
+	var nSame, nDiff int
+	for i := 0; i < 200; i++ {
+		for j := i + 1; j < 200; j++ {
+			d := float64(vec.L2Sqr(m.Row(i), m.Row(j)))
+			if labels[i] == labels[j] {
+				same += d
+				nSame++
+			} else {
+				diff += d
+				nDiff++
+			}
+		}
+	}
+	if nSame == 0 || nDiff == 0 {
+		t.Skip("degenerate sampling")
+	}
+	if same/float64(nSame) >= diff/float64(nDiff)/4 {
+		t.Fatalf("within-cluster distance %.1f not ≪ between-cluster %.1f",
+			same/float64(nSame), diff/float64(nDiff))
+	}
+}
+
+func TestSIFTLikeProperties(t *testing.T) {
+	m := SIFTLike(300, 1)
+	if m.Dim != 128 {
+		t.Fatalf("dim %d", m.Dim)
+	}
+	for _, v := range m.Data {
+		if v < 0 || v > 160 {
+			t.Fatalf("SIFT-like value %v out of [0,160]", v)
+		}
+		if v != float32(int64(v)) {
+			t.Fatalf("SIFT-like value %v not quantised", v)
+		}
+	}
+}
+
+func TestGISTLikeProperties(t *testing.T) {
+	m := GISTLike(50, 1)
+	if m.Dim != 960 {
+		t.Fatalf("dim %d", m.Dim)
+	}
+	for _, v := range m.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("GIST-like value %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestGloVeLikeProperties(t *testing.T) {
+	m := GloVeLike(300, 1)
+	if m.Dim != 100 {
+		t.Fatalf("dim %d", m.Dim)
+	}
+	var mean float64
+	for _, v := range m.Data {
+		mean += float64(v)
+	}
+	mean /= float64(len(m.Data))
+	if math.Abs(mean) > 0.5 {
+		t.Fatalf("GloVe-like data not roughly zero mean: %v", mean)
+	}
+}
+
+func TestVLADLikeUnitNorm(t *testing.T) {
+	m := VLADLike(100, 1)
+	if m.Dim != 512 {
+		t.Fatalf("dim %d", m.Dim)
+	}
+	for i := 0; i < m.N; i++ {
+		if n := float64(vec.SqNorm(m.Row(i))); math.Abs(n-1) > 1e-4 {
+			t.Fatalf("row %d has squared norm %v", i, n)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	m := Uniform(100, 8, 5)
+	if m.N != 100 || m.Dim != 8 {
+		t.Fatalf("shape %d×%d", m.N, m.Dim)
+	}
+	for _, v := range m.Data {
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform value %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRegistryMatchesTable1(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 4 {
+		t.Fatalf("registry has %d entries, Table 1 has 4", len(reg))
+	}
+	wantDims := map[string]int{"sift": 128, "vlad": 512, "glove": 100, "gist": 960}
+	for _, in := range reg {
+		if wantDims[in.Name] != in.Dim {
+			t.Fatalf("%s has dim %d, want %d", in.Name, in.Dim, wantDims[in.Name])
+		}
+		m := in.Gen(20, 1)
+		if m.N != 20 || m.Dim != in.Dim {
+			t.Fatalf("%s generator produced %d×%d", in.Name, m.N, m.Dim)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	in, err := ByName("glove")
+	if err != nil || in.Dim != 100 {
+		t.Fatalf("ByName(glove) = %+v, %v", in, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestFvecsRoundTrip(t *testing.T) {
+	m := SIFTLike(37, 9)
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("fvecs round trip mismatch")
+	}
+}
+
+func TestFvecsMaxN(t *testing.T) {
+	m := Uniform(10, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFvecs(&buf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 3 {
+		t.Fatalf("maxN=3 read %d vectors", got.N)
+	}
+}
+
+func TestFvecsRejectsBadDimension(t *testing.T) {
+	// A header of 0 is invalid.
+	if _, err := ReadFvecs(bytes.NewReader([]byte{0, 0, 0, 0}), 0); err == nil {
+		t.Fatal("expected error for zero dimension")
+	}
+	// Mixed dimensions are invalid.
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, Uniform(1, 2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFvecs(&buf, Uniform(1, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFvecs(&buf, 0); err == nil {
+		t.Fatal("expected error for inconsistent dimensions")
+	}
+}
+
+func TestFvecsTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFvecs(&buf, Uniform(1, 4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadFvecs(bytes.NewReader(raw[:len(raw)-2]), 0); err == nil {
+		t.Fatal("expected error for truncated vector")
+	}
+}
+
+func TestIvecsRoundTrip(t *testing.T) {
+	rows := [][]int32{{1, 2, 3}, {4, 5, 6}}
+	var buf bytes.Buffer
+	if err := WriteIvecs(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIvecs(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][2] != 6 {
+		t.Fatalf("ivecs round trip got %v", got)
+	}
+}
+
+func TestFvecsFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.fvecs")
+	m := GloVeLike(25, 2)
+	if err := SaveFvecsFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFvecsFile(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadFvecsFile(filepath.Join(t.TempDir(), "missing.fvecs"), 0); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

@@ -1,0 +1,132 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"gkmeans/internal/vec"
+)
+
+// fvecs/ivecs are the de-facto exchange formats of the corpora in Table 1
+// (SIFT1M, GIST1M, ...): each vector is stored as a little-endian int32
+// dimension header followed by that many float32 (fvecs) or int32 (ivecs)
+// values.
+
+// ReadFvecs decodes an fvecs stream. maxN > 0 limits the number of vectors
+// read; maxN <= 0 reads the whole stream.
+func ReadFvecs(r io.Reader, maxN int) (*vec.Matrix, error) {
+	br := bufio.NewReader(r)
+	var rows [][]float32
+	dim := -1
+	for maxN <= 0 || len(rows) < maxN {
+		var d int32
+		err := binary.Read(br, binary.LittleEndian, &d)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading fvecs header: %w", err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("dataset: fvecs vector %d has dimension %d", len(rows), d)
+		}
+		if dim == -1 {
+			dim = int(d)
+		} else if int(d) != dim {
+			return nil, fmt.Errorf("dataset: fvecs vector %d has dimension %d, want %d", len(rows), d, dim)
+		}
+		row := make([]float32, d)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("dataset: reading fvecs vector %d: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	return vec.FromRows(rows), nil
+}
+
+// WriteFvecs encodes m as an fvecs stream.
+func WriteFvecs(w io.Writer, m *vec.Matrix) error {
+	bw := bufio.NewWriter(w)
+	hdr := make([]byte, 4)
+	binary.LittleEndian.PutUint32(hdr, uint32(m.Dim))
+	buf := make([]byte, 4*m.Dim)
+	for i := 0; i < m.N; i++ {
+		if _, err := bw.Write(hdr); err != nil {
+			return err
+		}
+		row := m.Row(i)
+		for j, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*j:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadIvecs decodes an ivecs stream (e.g. nearest-neighbour ground truth).
+func ReadIvecs(r io.Reader, maxN int) ([][]int32, error) {
+	br := bufio.NewReader(r)
+	var rows [][]int32
+	for maxN <= 0 || len(rows) < maxN {
+		var d int32
+		err := binary.Read(br, binary.LittleEndian, &d)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading ivecs header: %w", err)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("dataset: ivecs vector %d has dimension %d", len(rows), d)
+		}
+		row := make([]int32, d)
+		if err := binary.Read(br, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("dataset: reading ivecs vector %d: %w", len(rows), err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteIvecs encodes integer lists as an ivecs stream.
+func WriteIvecs(w io.Writer, rows [][]int32) error {
+	bw := bufio.NewWriter(w)
+	for _, row := range rows {
+		if err := binary.Write(bw, binary.LittleEndian, int32(len(row))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, row); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFvecsFile reads up to maxN vectors from an fvecs file on disk.
+func LoadFvecsFile(path string, maxN int) (*vec.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFvecs(f, maxN)
+}
+
+// SaveFvecsFile writes m to an fvecs file on disk.
+func SaveFvecsFile(path string, m *vec.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteFvecs(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

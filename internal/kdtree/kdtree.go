@@ -1,0 +1,218 @@
+// Package kdtree implements a KD tree with best-bin-first (priority) search
+// over float32 points. It backs the AKM baseline (approximate k-means,
+// Philbin et al. — paper reference [22]): a KD tree over the centroids
+// answers each sample's nearest-centroid query approximately.
+//
+// The paper's §2.1 dismisses KD-tree acceleration for k-means because the
+// tree degrades in high dimensions ("only feasible when the dimension of
+// data is in few tens"); the AKM baseline and its tests demonstrate exactly
+// that behaviour, which is why GK-means prunes with a neighbour graph
+// instead of a spatial index.
+package kdtree
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"gkmeans/internal/vec"
+)
+
+// Tree is an immutable KD tree over the rows of a matrix.
+type Tree struct {
+	data   *vec.Matrix
+	nodes  []node
+	points []int32 // leaf permutation of row ids
+	root   int32
+}
+
+// node is one tree node: internal nodes split on (dim, threshold); leaves
+// hold a contiguous range of point ids.
+type node struct {
+	dim         int32   // split dimension; -1 marks a leaf
+	threshold   float32 // split value
+	left, right int32   // child node indices
+	start, end  int32   // leaf: range into points
+}
+
+// pointsField: leaves index into this permutation of row ids.
+type buildState struct {
+	tree   *Tree
+	points []int32
+	leaf   int
+}
+
+// Build constructs a KD tree over all rows of data. leafSize bounds leaf
+// occupancy (<=0 selects 8). Split dimension is the one with the largest
+// spread inside each node (the classic heuristic).
+func Build(data *vec.Matrix, leafSize int) (*Tree, error) {
+	if data.N == 0 {
+		return nil, fmt.Errorf("kdtree: empty dataset")
+	}
+	if leafSize <= 0 {
+		leafSize = 8
+	}
+	t := &Tree{data: data, points: make([]int32, data.N)}
+	st := &buildState{tree: t, points: t.points, leaf: leafSize}
+	for i := range st.points {
+		st.points[i] = int32(i)
+	}
+	t.root = st.build(0, data.N, 0)
+	return t, nil
+}
+
+func (st *buildState) build(lo, hi, depth int) int32 {
+	t := st.tree
+	if hi-lo <= st.leaf || depth > 48 {
+		t.nodes = append(t.nodes, node{dim: -1, start: int32(lo), end: int32(hi)})
+		return int32(len(t.nodes) - 1)
+	}
+	dim, thr, ok := st.chooseSplit(lo, hi)
+	if !ok { // all points identical: make a leaf
+		t.nodes = append(t.nodes, node{dim: -1, start: int32(lo), end: int32(hi)})
+		return int32(len(t.nodes) - 1)
+	}
+	mid := st.partition(lo, hi, dim, thr)
+	if mid == lo || mid == hi { // degenerate split: fall back to median cut
+		mid = (lo + hi) / 2
+		st.sortRange(lo, hi, dim)
+		thr = t.data.At(int(st.points[mid]), dim)
+	}
+	idx := int32(len(t.nodes))
+	t.nodes = append(t.nodes, node{dim: int32(dim), threshold: thr})
+	left := st.build(lo, mid, depth+1)
+	right := st.build(mid, hi, depth+1)
+	t.nodes[idx].left = left
+	t.nodes[idx].right = right
+	return idx
+}
+
+// chooseSplit picks the dimension with the widest spread and its midpoint.
+func (st *buildState) chooseSplit(lo, hi int) (int, float32, bool) {
+	data := st.tree.data
+	bestDim, bestSpread := -1, float32(0)
+	var bestMid float32
+	// Sampling keeps construction cheap for wide nodes.
+	stride := 1
+	if hi-lo > 256 {
+		stride = (hi - lo) / 256
+	}
+	for d := 0; d < data.Dim; d++ {
+		min := data.At(int(st.points[lo]), d)
+		max := min
+		for i := lo; i < hi; i += stride {
+			v := data.At(int(st.points[i]), d)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if spread := max - min; spread > bestSpread {
+			bestSpread = spread
+			bestDim = d
+			bestMid = (min + max) / 2
+		}
+	}
+	if bestDim < 0 {
+		return 0, 0, false
+	}
+	return bestDim, bestMid, true
+}
+
+// partition moves points with coord < thr to the front; returns the split.
+func (st *buildState) partition(lo, hi, dim int, thr float32) int {
+	data := st.tree.data
+	i := lo
+	for j := lo; j < hi; j++ {
+		if data.At(int(st.points[j]), dim) < thr {
+			st.points[i], st.points[j] = st.points[j], st.points[i]
+			i++
+		}
+	}
+	return i
+}
+
+func (st *buildState) sortRange(lo, hi, dim int) {
+	data := st.tree.data
+	sub := st.points[lo:hi]
+	sort.Slice(sub, func(a, b int) bool {
+		va := data.At(int(sub[a]), dim)
+		vb := data.At(int(sub[b]), dim)
+		if va != vb {
+			return va < vb
+		}
+		return sub[a] < sub[b]
+	})
+}
+
+// Result is one nearest-neighbour candidate.
+type Result struct {
+	ID   int32
+	Dist float32
+}
+
+// branch is a deferred subtree in best-bin-first order.
+type branch struct {
+	node    int32
+	minDist float32 // lower bound on distance to the subtree's half-space
+}
+
+type branchHeap []branch
+
+func (h branchHeap) Len() int            { return len(h) }
+func (h branchHeap) Less(i, j int) bool  { return h[i].minDist < h[j].minDist }
+func (h branchHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *branchHeap) Push(x interface{}) { *h = append(*h, x.(branch)) }
+func (h *branchHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	b := old[n-1]
+	*h = old[:n-1]
+	return b
+}
+
+// Search returns the approximately nearest row to q using best-bin-first
+// descent with a budget of maxChecks leaf-point comparisons (<=0 means
+// exact: every reachable leaf is checked). Larger budgets raise accuracy.
+func (t *Tree) Search(q []float32, maxChecks int) Result {
+	best := Result{ID: -1}
+	checks := 0
+	var pending branchHeap
+	descend := func(ni int32, bound float32) {
+		for {
+			nd := &t.nodes[ni]
+			if nd.dim < 0 {
+				for _, id := range t.points[nd.start:nd.end] {
+					d := vec.L2Sqr(q, t.data.Row(int(id)))
+					checks++
+					if best.ID < 0 || d < best.Dist {
+						best = Result{ID: id, Dist: d}
+					}
+				}
+				return
+			}
+			diff := q[nd.dim] - nd.threshold
+			near, far := nd.left, nd.right
+			if diff >= 0 {
+				near, far = far, near
+			}
+			farBound := bound + diff*diff
+			heap.Push(&pending, branch{node: far, minDist: farBound})
+			ni = near
+		}
+	}
+	descend(t.root, 0)
+	for len(pending) > 0 {
+		if maxChecks > 0 && checks >= maxChecks {
+			break
+		}
+		b := heap.Pop(&pending).(branch)
+		if best.ID >= 0 && b.minDist >= best.Dist {
+			continue
+		}
+		descend(b.node, b.minDist)
+	}
+	return best
+}

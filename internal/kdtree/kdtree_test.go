@@ -1,0 +1,158 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/vec"
+)
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(&vec.Matrix{Dim: 3}, 8); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestExactSearchMatchesBruteForce(t *testing.T) {
+	data := dataset.Uniform(500, 8, 1)
+	tree, err := Build(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := dataset.Uniform(50, 8, 2)
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		got := tree.Search(q, 0) // unlimited checks = exact
+		want, wantD := vec.NearestRow(data, q)
+		if got.ID != int32(want) && got.Dist != wantD {
+			t.Fatalf("query %d: got (%d,%v) want (%d,%v)", qi, got.ID, got.Dist, want, wantD)
+		}
+	}
+}
+
+func TestSelfQueriesExact(t *testing.T) {
+	data := dataset.SIFTLike(300, 3)
+	tree, err := Build(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < data.N; i += 17 {
+		got := tree.Search(data.Row(i), 0)
+		if got.Dist != 0 {
+			t.Fatalf("self query %d returned dist %v", i, got.Dist)
+		}
+	}
+}
+
+func TestBudgetedSearchAccuracyDegradesGracefully(t *testing.T) {
+	data := dataset.Uniform(2000, 8, 4)
+	tree, _ := Build(data, 8)
+	queries := dataset.Uniform(100, 8, 5)
+	correct := func(budget int) int {
+		hits := 0
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			got := tree.Search(q, budget)
+			want, _ := vec.NearestRow(data, q)
+			if got.ID == int32(want) {
+				hits++
+			}
+		}
+		return hits
+	}
+	low, high := correct(16), correct(512)
+	if high < low {
+		t.Fatalf("more budget gave fewer hits: %d vs %d", low, high)
+	}
+	if high < 95 { // 8-d: generous budget should be near exact
+		t.Fatalf("high-budget accuracy %d/100 too low in 8 dimensions", high)
+	}
+}
+
+func TestCurseOfDimensionality(t *testing.T) {
+	// The paper's §2.1 point: the KD tree prunes well in few tens of
+	// dimensions and collapses at descriptor dimensionality. With the same
+	// small check budget, accuracy in 128-d must be clearly below 8-d.
+	budget := 64
+	accuracy := func(dim int) float64 {
+		cfg := dataset.GMMConfig{N: 2000, Dim: dim, Components: 10, Spread: 1, Noise: 1, Seed: 6}
+		data, _ := dataset.GMM(cfg)
+		qcfg := cfg
+		qcfg.N, qcfg.Seed = 100, 7
+		queries, _ := dataset.GMM(qcfg)
+		tree, err := Build(data, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for qi := 0; qi < queries.N; qi++ {
+			q := queries.Row(qi)
+			got := tree.Search(q, budget)
+			want, _ := vec.NearestRow(data, q)
+			if got.ID == int32(want) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(queries.N)
+	}
+	lowD, highD := accuracy(8), accuracy(128)
+	if highD >= lowD {
+		t.Fatalf("expected degradation with dimension: 8-d %.2f vs 128-d %.2f", lowD, highD)
+	}
+}
+
+func TestDuplicateHeavyData(t *testing.T) {
+	rows := make([][]float32, 200)
+	for i := range rows {
+		rows[i] = []float32{1, 2, 3}
+	}
+	data := vec.FromRows(rows)
+	tree, err := Build(data, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tree.Search([]float32{1, 2, 3}, 0)
+	if got.Dist != 0 {
+		t.Fatalf("duplicate data search dist %v", got.Dist)
+	}
+}
+
+// Property: exact search (unlimited budget) always equals brute force.
+func TestExactSearchQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		dim := 1 + rng.Intn(10)
+		data := dataset.Uniform(n, dim, seed)
+		tree, err := Build(data, 1+rng.Intn(16))
+		if err != nil {
+			return false
+		}
+		q := dataset.Uniform(1, dim, seed+1).Row(0)
+		got := tree.Search(q, 0)
+		_, wantD := vec.NearestRow(data, q)
+		return got.Dist == wantD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafPermutationCoversAllPoints(t *testing.T) {
+	data := dataset.Uniform(333, 5, 8)
+	tree, _ := Build(data, 4)
+	seen := make([]bool, data.N)
+	for _, id := range tree.points {
+		if seen[id] {
+			t.Fatalf("point %d appears twice", id)
+		}
+		seen[id] = true
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d missing from leaves", i)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package kmeans
+
+import (
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/metrics"
+)
+
+func TestAKMRecoversSeparatedClusters(t *testing.T) {
+	data, truth := separated(400, 8, 4, 20)
+	res, err := AKM(data, AKMConfig{
+		Config: Config{K: 4, MaxIter: 30, Seed: 21, PlusPlus: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(data.N); err != nil {
+		t.Fatal(err)
+	}
+	if agreement := pairAgreement(res.Labels, truth); agreement < 0.95 {
+		t.Fatalf("pair agreement %.3f", agreement)
+	}
+}
+
+func TestAKMApproachesLloydWithBudget(t *testing.T) {
+	// In low dimension a generous budget should land at Lloyd-level
+	// distortion; a starved budget should be no better.
+	data := dataset.Uniform(1500, 8, 22)
+	k := 40
+	ll, err := Lloyd(data, Config{K: k, MaxIter: 20, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich, err := AKM(data, AKMConfig{
+		Config: Config{K: k, MaxIter: 20, Seed: 23}, MaxChecks: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eL := metrics.AverageDistortion(data, ll.Labels, ll.Centroids)
+	eRich := metrics.AverageDistortion(data, rich.Labels, rich.Centroids)
+	if eRich > eL*1.05 {
+		t.Fatalf("rich-budget AKM %.4f too far above Lloyd %.4f", eRich, eL)
+	}
+}
+
+func TestAKMHighDimensionDegradation(t *testing.T) {
+	// The §2.1 claim that motivates GK-means: with a fixed small budget,
+	// KD-tree assignment loses accuracy in descriptor dimensionality. AKM
+	// must remain a valid clustering but with measurably higher distortion
+	// than exact Lloyd on 128-d data.
+	data := dataset.SIFTLike(1500, 24)
+	k := 50
+	ll, _ := Lloyd(data, Config{K: k, MaxIter: 15, Seed: 25})
+	akm, err := AKM(data, AKMConfig{
+		Config: Config{K: k, MaxIter: 15, Seed: 25}, MaxChecks: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eL := metrics.AverageDistortion(data, ll.Labels, ll.Centroids)
+	eA := metrics.AverageDistortion(data, akm.Labels, akm.Centroids)
+	if eA < eL*0.999 {
+		t.Fatalf("starved AKM %.1f should not beat exact Lloyd %.1f", eA, eL)
+	}
+}
+
+func TestAKMErrorsAndTrace(t *testing.T) {
+	data := dataset.Uniform(30, 4, 26)
+	if _, err := AKM(data, AKMConfig{Config: Config{K: 0}}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	res, err := AKM(data, AKMConfig{Config: Config{K: 5, MaxIter: 6, Seed: 27, Trace: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.History) == 0 || len(res.History) != res.Iters {
+		t.Fatalf("history %d for %d iters", len(res.History), res.Iters)
+	}
+}
+
+func TestAKMDeterministic(t *testing.T) {
+	data := dataset.GloVeLike(300, 28)
+	a, _ := AKM(data, AKMConfig{Config: Config{K: 10, MaxIter: 8, Seed: 29}})
+	b, _ := AKM(data, AKMConfig{Config: Config{K: 10, MaxIter: 8, Seed: 29}})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package kmeans
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/vec"
+)
+
+// Bisecting implements top-down hierarchical k-means (paper §2.1, refs
+// [1,40,41]): repeatedly split the cluster with the largest summed squared
+// error into two with a short 2-means run, until k clusters exist. Its cost
+// is O(t·log(k)·n·d) — the log(k) factor the paper quotes — but it usually
+// converges to worse distortion than flat k-means because each split is
+// locally greedy (it "breaks the Lloyd condition").
+//
+// It differs from the 2M tree (internal/twomeans) in two ways: clusters are
+// chosen by distortion rather than size, and splits are not adjusted to
+// equal size.
+func Bisecting(data *vec.Matrix, cfg Config) (*Result, error) {
+	if err := cfg.check(data.N); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+
+	all := make([]int, data.N)
+	for i := range all {
+		all[i] = i
+	}
+	h := &sseHeap{{members: all, sse: clusterSSE(data, all)}}
+	heap.Init(h)
+	for h.Len() < cfg.K {
+		top := heap.Pop(h).(*sseCluster)
+		if len(top.members) < 2 {
+			heap.Push(h, top)
+			return nil, fmt.Errorf("kmeans: bisecting cannot split singleton (k=%d, n=%d)", cfg.K, data.N)
+		}
+		left, right := twoMeansSplit(data, top.members, cfg.maxIter(), rng)
+		if len(left) == 0 || len(right) == 0 {
+			// Degenerate split (identical points): force an arbitrary cut
+			// so progress is guaranteed.
+			mid := len(top.members) / 2
+			left, right = top.members[:mid], top.members[mid:]
+		}
+		heap.Push(h, &sseCluster{members: left, sse: clusterSSE(data, left)})
+		heap.Push(h, &sseCluster{members: right, sse: clusterSSE(data, right)})
+	}
+
+	labels := make([]int, data.N)
+	for id, c := range *h {
+		for _, i := range c.members {
+			labels[i] = id
+		}
+	}
+	res := &Result{
+		Labels:    labels,
+		Centroids: metrics.Centroids(data, labels, cfg.K),
+		K:         cfg.K,
+		Iters:     cfg.K - 1, // one split per new cluster
+		InitTime:  0,
+		IterTime:  time.Since(start),
+	}
+	return res, nil
+}
+
+// sseCluster is a heap entry ordered by summed squared error, so the
+// "worst" cluster is split first.
+type sseCluster struct {
+	members []int
+	sse     float64
+}
+
+type sseHeap []*sseCluster
+
+func (h sseHeap) Len() int            { return len(h) }
+func (h sseHeap) Less(i, j int) bool  { return h[i].sse > h[j].sse }
+func (h sseHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sseHeap) Push(x interface{}) { *h = append(*h, x.(*sseCluster)) }
+func (h *sseHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// clusterSSE returns the summed squared distance of members to their mean.
+func clusterSSE(data *vec.Matrix, members []int) float64 {
+	c := data.Mean(members)
+	var sse float64
+	for _, i := range members {
+		sse += float64(vec.L2Sqr(data.Row(i), c))
+	}
+	return sse
+}
+
+// twoMeansSplit runs plain 2-means (Lloyd at k=2) on the members and
+// returns the two sides.
+func twoMeansSplit(data *vec.Matrix, members []int, maxIter int, rng *rand.Rand) (left, right []int) {
+	// Seed with two distinct random members.
+	a := members[rng.Intn(len(members))]
+	b := a
+	for tries := 0; tries < 32 && b == a; tries++ {
+		b = members[rng.Intn(len(members))]
+	}
+	ca := append([]float32(nil), data.Row(a)...)
+	cb := append([]float32(nil), data.Row(b)...)
+	side := make([]bool, len(members))
+	if maxIter > 16 {
+		maxIter = 16 // splits need few iterations; the budget is per split
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for idx, i := range members {
+			row := data.Row(i)
+			s := vec.L2Sqr(row, cb) < vec.L2Sqr(row, ca)
+			if s != side[idx] {
+				side[idx] = s
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute the two centres.
+		sumA := make([]float64, data.Dim)
+		sumB := make([]float64, data.Dim)
+		nA, nB := 0, 0
+		for idx, i := range members {
+			row := data.Row(i)
+			if side[idx] {
+				nB++
+				for j, v := range row {
+					sumB[j] += float64(v)
+				}
+			} else {
+				nA++
+				for j, v := range row {
+					sumA[j] += float64(v)
+				}
+			}
+		}
+		if nA == 0 || nB == 0 {
+			break
+		}
+		for j := 0; j < data.Dim; j++ {
+			ca[j] = float32(sumA[j] / float64(nA))
+			cb[j] = float32(sumB[j] / float64(nB))
+		}
+	}
+	for idx, i := range members {
+		if side[idx] {
+			right = append(right, i)
+		} else {
+			left = append(left, i)
+		}
+	}
+	return left, right
+}

@@ -1,0 +1,107 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/vec"
+)
+
+func TestBisectingProducesKClusters(t *testing.T) {
+	data := dataset.SIFTLike(400, 1)
+	for _, k := range []int{2, 5, 13, 32} {
+		res, err := Bisecting(data, Config{K: k, MaxIter: 10, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(data.N); err != nil {
+			t.Fatal(err)
+		}
+		sizes := metrics.ClusterSizes(res.Labels, k)
+		if metrics.NonEmpty(sizes) != k {
+			t.Fatalf("k=%d: %d non-empty clusters", k, metrics.NonEmpty(sizes))
+		}
+	}
+}
+
+func TestBisectingRecoversSeparatedBlobs(t *testing.T) {
+	data, truth := dataset.GMM(dataset.GMMConfig{
+		N: 400, Dim: 8, Components: 4, Spread: 40, Noise: 1, Seed: 3,
+	})
+	res, err := Bisecting(data, Config{K: 4, MaxIter: 10, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement := pairAgreement(res.Labels, truth); agreement < 0.95 {
+		t.Fatalf("pair agreement %.3f", agreement)
+	}
+}
+
+func TestBisectingWorseOrEqualToLloyd(t *testing.T) {
+	// The paper's point (§2.1): hierarchical splitting trades quality for
+	// the log(k) factor. On structured data its distortion should not beat
+	// Lloyd's by any meaningful margin.
+	data := dataset.SIFTLike(1000, 5)
+	k := 20
+	bi, err := Bisecting(data, Config{K: k, MaxIter: 10, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := Lloyd(data, Config{K: k, MaxIter: 30, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB := metrics.AverageDistortion(data, bi.Labels, bi.Centroids)
+	eL := metrics.AverageDistortion(data, ll.Labels, ll.Centroids)
+	if eB < eL*0.9 {
+		t.Fatalf("bisecting %.2f suspiciously better than Lloyd %.2f", eB, eL)
+	}
+}
+
+func TestBisectingDuplicateHeavyData(t *testing.T) {
+	// Identical points force the degenerate-split path.
+	rows := make([][]float32, 64)
+	for i := range rows {
+		rows[i] = []float32{1, 2}
+	}
+	data := vec.FromRows(rows)
+	res, err := Bisecting(data, Config{K: 8, MaxIter: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := metrics.ClusterSizes(res.Labels, 8)
+	if metrics.NonEmpty(sizes) != 8 {
+		t.Fatalf("degenerate data: %d non-empty clusters", metrics.NonEmpty(sizes))
+	}
+}
+
+func TestBisectingErrors(t *testing.T) {
+	data := dataset.Uniform(10, 2, 8)
+	if _, err := Bisecting(data, Config{K: 0}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Bisecting(data, Config{K: 11}); err == nil {
+		t.Fatal("k>n should error")
+	}
+}
+
+// Property: any valid (n,k) yields a complete partition.
+func TestBisectingPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		k := 1 + rng.Intn(n)
+		data := dataset.Uniform(n, 1+rng.Intn(6), seed)
+		res, err := Bisecting(data, Config{K: k, MaxIter: 6, Seed: seed})
+		if err != nil {
+			return false
+		}
+		return metrics.NonEmpty(metrics.ClusterSizes(res.Labels, k)) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/parallel"
+	"gkmeans/internal/vec"
+)
+
+// Elkan implements Elkan's triangle-inequality accelerated k-means [29].
+// It produces exactly Lloyd's assignments while skipping most distance
+// computations, at the cost of an n×k lower-bound matrix — the quadratic-
+// in-k memory footprint the paper cites as the reason this family does not
+// scale to very large k (§1). It is included both as a baseline and as the
+// ablation point for that claim.
+//
+// Bounds are kept on true (square-rooted) Euclidean distances, where the
+// triangle inequality holds. Empty clusters keep their previous centroid
+// (zero shift), which preserves bound validity.
+func Elkan(data *vec.Matrix, cfg Config) (*Result, error) {
+	if err := cfg.check(data.N); err != nil {
+		return nil, err
+	}
+	n, k := data.N, cfg.K
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	var centroids *vec.Matrix
+	if cfg.PlusPlus {
+		centroids = PlusPlusSeed(data, k, rng)
+	} else {
+		centroids = RandomSeed(data, k, rng)
+	}
+	initTime := time.Since(start)
+	iterStart := time.Now()
+
+	dist := func(i, c int) float32 {
+		return float32(math.Sqrt(float64(vec.L2Sqr(data.Row(i), centroids.Row(c)))))
+	}
+
+	labels := make([]int, n)
+	ub := make([]float32, n)    // upper bound on d(x_i, centroid(labels[i]))
+	lb := make([]float32, n*k)  // lower bounds on d(x_i, c) for every c
+	tight := make([]bool, n)    // whether ub[i] is exact
+	cc := make([]float32, k*k)  // centre-to-centre distances
+	sc := make([]float32, k)    // s(c) = ½·min_{c'≠c} cc[c][c']
+	shift := make([]float32, k) // centre movement of the last update
+	sums := make([]float64, k*data.Dim)
+	counts := make([]int, k)
+
+	// Initial assignment: full search, bounds become exact.
+	parallel.For(n, cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best, bestD := 0, dist(i, 0)
+			lb[i*k] = bestD
+			for c := 1; c < k; c++ {
+				d := dist(i, c)
+				lb[i*k+c] = d
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			labels[i] = best
+			ub[i] = bestD
+			tight[i] = true
+		}
+	})
+
+	res := &Result{Labels: labels, Centroids: centroids, K: k, InitTime: initTime}
+	for iter := 0; iter < cfg.maxIter(); iter++ {
+		// Step 1: centre-to-centre distances and s(c).
+		for a := 0; a < k; a++ {
+			sc[a] = float32(math.Inf(1))
+			for b := a + 1; b < k; b++ {
+				d := float32(math.Sqrt(float64(vec.L2Sqr(centroids.Row(a), centroids.Row(b)))))
+				cc[a*k+b] = d
+				cc[b*k+a] = d
+			}
+			for b := 0; b < k; b++ {
+				if b != a && cc[a*k+b] < sc[a] {
+					sc[a] = cc[a*k+b]
+				}
+			}
+			sc[a] /= 2
+		}
+
+		moveCount := make([]int, n)
+		parallel.For(n, cfg.Workers, func(lo, hi int) {
+			moves := 0
+			for i := lo; i < hi; i++ {
+				a := labels[i]
+				if ub[i] <= sc[a] {
+					continue // no centre can be closer than the assigned one
+				}
+				for c := 0; c < k; c++ {
+					if c == a {
+						continue
+					}
+					if ub[i] <= lb[i*k+c] || ub[i] <= cc[a*k+c]/2 {
+						continue
+					}
+					if !tight[i] {
+						ub[i] = dist(i, a)
+						lb[i*k+a] = ub[i]
+						tight[i] = true
+						if ub[i] <= lb[i*k+c] || ub[i] <= cc[a*k+c]/2 {
+							continue
+						}
+					}
+					d := dist(i, c)
+					lb[i*k+c] = d
+					if d < ub[i] {
+						a = c
+						ub[i] = d
+					}
+				}
+				if a != labels[i] {
+					labels[i] = a
+					moves++
+				}
+			}
+			moveCount[lo] = moves
+		})
+		moves := 0
+		for _, m := range moveCount {
+			moves += m
+		}
+
+		// Step 2: recompute centroids, record shifts.
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i, l := range labels {
+			counts[l]++
+			row := data.Row(i)
+			base := l * data.Dim
+			for j, v := range row {
+				sums[base+j] += float64(v)
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				shift[c] = 0
+				continue
+			}
+			old := make([]float32, data.Dim)
+			copy(old, centroids.Row(c))
+			inv := 1 / float64(counts[c])
+			row := centroids.Row(c)
+			base := c * data.Dim
+			for j := range row {
+				row[j] = float32(sums[base+j] * inv)
+			}
+			shift[c] = float32(math.Sqrt(float64(vec.L2Sqr(old, row))))
+		}
+
+		// Step 3: repair bounds for the centre movement.
+		parallel.For(n, cfg.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				base := i * k
+				for c := 0; c < k; c++ {
+					lb[base+c] -= shift[c]
+					if lb[base+c] < 0 {
+						lb[base+c] = 0
+					}
+				}
+				ub[i] += shift[labels[i]]
+				tight[i] = false
+			}
+		})
+
+		res.Iters = iter + 1
+		if cfg.Trace {
+			res.History = append(res.History, IterStat{
+				Iter:       iter + 1,
+				Distortion: metrics.AverageDistortion(data, labels, centroids),
+				Moves:      moves,
+				Elapsed:    initTime + time.Since(iterStart),
+			})
+		}
+		if moves == 0 && iter > 0 {
+			break
+		}
+	}
+	res.IterTime = time.Since(iterStart)
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"gkmeans/internal/metrics"
+	"gkmeans/internal/parallel"
+	"gkmeans/internal/vec"
+)
+
+// Hamerly implements Hamerly's k-means: like Elkan it prunes distance
+// computations with the triangle inequality, but keeps only one lower bound
+// per sample (the distance to the second-closest centre), so memory is O(n)
+// instead of Elkan's O(n·k). It trades tighter pruning for that footprint —
+// the usual middle ground between Lloyd and Elkan.
+func Hamerly(data *vec.Matrix, cfg Config) (*Result, error) {
+	if err := cfg.check(data.N); err != nil {
+		return nil, err
+	}
+	n, k := data.N, cfg.K
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	var centroids *vec.Matrix
+	if cfg.PlusPlus {
+		centroids = PlusPlusSeed(data, k, rng)
+	} else {
+		centroids = RandomSeed(data, k, rng)
+	}
+	initTime := time.Since(start)
+	iterStart := time.Now()
+
+	dist := func(i, c int) float32 {
+		return float32(math.Sqrt(float64(vec.L2Sqr(data.Row(i), centroids.Row(c)))))
+	}
+
+	labels := make([]int, n)
+	ub := make([]float32, n) // upper bound on distance to assigned centre
+	lb := make([]float32, n) // lower bound on distance to any other centre
+	sc := make([]float32, k) // ½·min distance to another centre
+	shift := make([]float32, k)
+	sums := make([]float64, k*data.Dim)
+	counts := make([]int, k)
+
+	// Initial assignment: full search tracking best and second best.
+	parallel.For(n, cfg.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			best, bestD, secondD := 0, dist(i, 0), float32(math.Inf(1))
+			for c := 1; c < k; c++ {
+				d := dist(i, c)
+				if d < bestD {
+					best, secondD, bestD = c, bestD, d
+				} else if d < secondD {
+					secondD = d
+				}
+			}
+			labels[i] = best
+			ub[i] = bestD
+			lb[i] = secondD
+		}
+	})
+
+	res := &Result{Labels: labels, Centroids: centroids, K: k, InitTime: initTime}
+	for iter := 0; iter < cfg.maxIter(); iter++ {
+		for a := 0; a < k; a++ {
+			m := float32(math.Inf(1))
+			for b := 0; b < k; b++ {
+				if b == a {
+					continue
+				}
+				d := float32(math.Sqrt(float64(vec.L2Sqr(centroids.Row(a), centroids.Row(b)))))
+				if d < m {
+					m = d
+				}
+			}
+			sc[a] = m / 2
+		}
+
+		moveCount := make([]int, n)
+		parallel.For(n, cfg.Workers, func(lo, hi int) {
+			moves := 0
+			for i := lo; i < hi; i++ {
+				bound := lb[i]
+				if sc[labels[i]] > bound {
+					bound = sc[labels[i]]
+				}
+				if ub[i] <= bound {
+					continue
+				}
+				// Tighten the upper bound; maybe the point still cannot move.
+				ub[i] = dist(i, labels[i])
+				if ub[i] <= bound {
+					continue
+				}
+				// Full search for best and second best.
+				best, bestD, secondD := 0, dist(i, 0), float32(math.Inf(1))
+				for c := 1; c < k; c++ {
+					d := dist(i, c)
+					if d < bestD {
+						best, secondD, bestD = c, bestD, d
+					} else if d < secondD {
+						secondD = d
+					}
+				}
+				if best != labels[i] {
+					labels[i] = best
+					moves++
+				}
+				ub[i] = bestD
+				lb[i] = secondD
+			}
+			moveCount[lo] = moves
+		})
+		moves := 0
+		for _, m := range moveCount {
+			moves += m
+		}
+
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i, l := range labels {
+			counts[l]++
+			row := data.Row(i)
+			base := l * data.Dim
+			for j, v := range row {
+				sums[base+j] += float64(v)
+			}
+		}
+		var maxShift, secondShift float32
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				shift[c] = 0
+				continue
+			}
+			old := make([]float32, data.Dim)
+			copy(old, centroids.Row(c))
+			inv := 1 / float64(counts[c])
+			row := centroids.Row(c)
+			base := c * data.Dim
+			for j := range row {
+				row[j] = float32(sums[base+j] * inv)
+			}
+			shift[c] = float32(math.Sqrt(float64(vec.L2Sqr(old, row))))
+			if shift[c] > maxShift {
+				maxShift, secondShift = shift[c], maxShift
+			} else if shift[c] > secondShift {
+				secondShift = shift[c]
+			}
+		}
+
+		parallel.For(n, cfg.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ub[i] += shift[labels[i]]
+				// The farthest any *other* centre may have approached: the
+				// largest shift, or the second largest when the assigned
+				// centre is the one that moved most.
+				dec := maxShift
+				if shift[labels[i]] == maxShift {
+					dec = secondShift
+				}
+				lb[i] -= dec
+				if lb[i] < 0 {
+					lb[i] = 0
+				}
+			}
+		})
+
+		res.Iters = iter + 1
+		if cfg.Trace {
+			res.History = append(res.History, IterStat{
+				Iter:       iter + 1,
+				Distortion: metrics.AverageDistortion(data, labels, centroids),
+				Moves:      moves,
+				Elapsed:    initTime + time.Since(iterStart),
+			})
+		}
+		if moves == 0 && iter > 0 {
+			break
+		}
+	}
+	res.IterTime = time.Since(iterStart)
+	return res, nil
+}

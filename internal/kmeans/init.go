@@ -1,0 +1,65 @@
+package kmeans
+
+import (
+	"math/rand"
+
+	"gkmeans/internal/vec"
+)
+
+// RandomSeed picks k distinct rows of data as initial centroids.
+func RandomSeed(data *vec.Matrix, k int, rng *rand.Rand) *vec.Matrix {
+	perm := rng.Perm(data.N)
+	c := vec.NewMatrix(k, data.Dim)
+	for r := 0; r < k; r++ {
+		copy(c.Row(r), data.Row(perm[r]))
+	}
+	return c
+}
+
+// PlusPlusSeed implements k-means++ [14]: the first centre is uniform, each
+// subsequent centre is sampled with probability proportional to the squared
+// distance to the nearest centre chosen so far. O(n·k·d) in this direct
+// form — the paper notes the k scanning rounds as the cost of careful
+// seeding, which is why GK-means initialises with a 2M tree instead.
+func PlusPlusSeed(data *vec.Matrix, k int, rng *rand.Rand) *vec.Matrix {
+	n := data.N
+	c := vec.NewMatrix(k, data.Dim)
+	copy(c.Row(0), data.Row(rng.Intn(n)))
+	// d2[i] tracks the squared distance of sample i to its closest chosen
+	// centre; updated incrementally as centres are added.
+	d2 := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		d2[i] = float64(vec.L2Sqr(data.Row(i), c.Row(0)))
+		total += d2[i]
+	}
+	for r := 1; r < k; r++ {
+		var pick int
+		if total <= 0 {
+			// All remaining mass is zero (duplicate-heavy data): fall back
+			// to a uniform pick so we still return k centres.
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i := 0; i < n; i++ {
+				acc += d2[i]
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(c.Row(r), data.Row(pick))
+		newC := c.Row(r)
+		total = 0
+		for i := 0; i < n; i++ {
+			if d := float64(vec.L2Sqr(data.Row(i), newC)); d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+	}
+	return c
+}

@@ -1,0 +1,76 @@
+// Package kmeans implements the exact-assignment baselines of the paper's
+// evaluation: Lloyd's k-means [5], k-means++ seeding [14], Mini-Batch
+// k-means [20], and the triangle-inequality accelerated Elkan [29] and
+// Hamerly variants. All of them produce identical Result structures so the
+// experiment harness can sweep methods uniformly.
+package kmeans
+
+import (
+	"fmt"
+	"time"
+
+	"gkmeans/internal/vec"
+)
+
+// IterStat records the state of one clustering iteration for the
+// distortion-versus-iteration and distortion-versus-time curves of Fig. 5.
+type IterStat struct {
+	Iter       int
+	Distortion float64       // average distortion (Eqn. 4) after the iteration
+	Moves      int           // samples that changed cluster in the iteration
+	Elapsed    time.Duration // wall clock since clustering started
+}
+
+// Result is the output of any clustering run in this repository.
+type Result struct {
+	Labels    []int       // cluster id per sample
+	Centroids *vec.Matrix // k × d centroid matrix
+	K         int
+	Iters     int        // iterations actually executed
+	History   []IterStat // per-iteration trace (nil when tracing disabled)
+	InitTime  time.Duration
+	IterTime  time.Duration
+}
+
+// Validate checks structural sanity of a result against its input.
+func (r *Result) Validate(n int) error {
+	if len(r.Labels) != n {
+		return fmt.Errorf("kmeans: %d labels for %d samples", len(r.Labels), n)
+	}
+	if r.Centroids == nil || r.Centroids.N != r.K {
+		return fmt.Errorf("kmeans: centroid matrix shape mismatch")
+	}
+	for i, l := range r.Labels {
+		if l < 0 || l >= r.K {
+			return fmt.Errorf("kmeans: label %d of sample %d out of range [0,%d)", l, i, r.K)
+		}
+	}
+	return nil
+}
+
+// Config carries the options shared by the exact baselines.
+type Config struct {
+	K        int
+	MaxIter  int   // maximum number of iterations; <=0 selects 100
+	Seed     int64 // RNG seed for seeding/sampling
+	Workers  int   // parallel workers; <=0 selects GOMAXPROCS
+	Trace    bool  // record History (costs one distortion pass per iteration)
+	PlusPlus bool  // k-means++ seeding instead of random distinct rows
+}
+
+func (c *Config) maxIter() int {
+	if c.MaxIter <= 0 {
+		return 100
+	}
+	return c.MaxIter
+}
+
+func (c *Config) check(n int) error {
+	if c.K <= 0 {
+		return fmt.Errorf("kmeans: k must be positive, got %d", c.K)
+	}
+	if c.K > n {
+		return fmt.Errorf("kmeans: k=%d exceeds n=%d", c.K, n)
+	}
+	return nil
+}

@@ -1,0 +1,326 @@
+// Package knngraph implements the approximate k-nearest-neighbour graph that
+// drives GK-means (paper §4): a bounded, sorted neighbour list per node, a
+// brute-force exact builder used for ground truth, random initialisation
+// (Alg. 3 line 4), and binary (de)serialisation.
+package knngraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"gkmeans/internal/parallel"
+	"gkmeans/internal/vec"
+)
+
+// Neighbor is one entry of a k-NN list.
+type Neighbor struct {
+	ID   int32   // index of the neighbouring sample
+	Dist float32 // squared Euclidean distance
+}
+
+// Graph is an approximate k-NN graph over n samples. Lists[i] holds up to
+// Kappa neighbours of sample i sorted by ascending distance, never including
+// i itself, with unique IDs.
+type Graph struct {
+	Lists [][]Neighbor
+	Kappa int
+}
+
+// New allocates a graph with n empty lists of capacity kappa.
+func New(n, kappa int) *Graph {
+	if n < 0 || kappa <= 0 {
+		panic(fmt.Sprintf("knngraph: invalid graph shape n=%d kappa=%d", n, kappa))
+	}
+	g := &Graph{Lists: make([][]Neighbor, n), Kappa: kappa}
+	for i := range g.Lists {
+		g.Lists[i] = make([]Neighbor, 0, kappa)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Lists) }
+
+// Insert offers neighbour (id, dist) to node i's bounded list. It returns
+// true when the list changed. The list stays sorted by ascending distance,
+// capped at Kappa entries; an id already present is ignored (the "visited"
+// check of Alg. 3 — an edge is never scored twice), as are self-edges.
+func (g *Graph) Insert(i int, id int32, dist float32) bool {
+	if int32(i) == id {
+		return false
+	}
+	list := g.Lists[i]
+	if len(list) == g.Kappa && dist >= list[len(list)-1].Dist {
+		return false
+	}
+	// Find insertion point and reject duplicates along the way. Lists are
+	// at most a few dozen entries, so linear scan beats binary search plus a
+	// separate duplicate pass.
+	pos := len(list)
+	for j, nb := range list {
+		if nb.ID == id {
+			return false
+		}
+		if dist < nb.Dist && pos == len(list) {
+			pos = j
+		}
+	}
+	// Entries after pos may still contain id; check before shifting.
+	for j := pos; j < len(list); j++ {
+		if list[j].ID == id {
+			return false
+		}
+	}
+	if len(list) < g.Kappa {
+		list = append(list, Neighbor{})
+	}
+	copy(list[pos+1:], list[pos:len(list)-1])
+	list[pos] = Neighbor{ID: id, Dist: dist}
+	g.Lists[i] = list
+	return true
+}
+
+// Contains reports whether id is in node i's list.
+func (g *Graph) Contains(i int, id int32) bool {
+	for _, nb := range g.Lists[i] {
+		if nb.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the stored distance to id in node i's list, if present.
+// Graph refinement uses it to avoid re-scoring an edge one endpoint already
+// holds.
+func (g *Graph) Lookup(i int, id int32) (float32, bool) {
+	for _, nb := range g.Lists[i] {
+		if nb.ID == id {
+			return nb.Dist, true
+		}
+	}
+	return 0, false
+}
+
+// Recall returns the fraction of nodes whose true nearest neighbour (the
+// first entry of the exact graph) appears anywhere in this graph's list —
+// the "average recall (top-1)" of the paper's evaluation protocol (§5.1).
+// Nodes with an empty exact list are skipped.
+func (g *Graph) Recall(exact *Graph) float64 {
+	return g.RecallSampled(exact, nil)
+}
+
+// RecallSampled is Recall restricted to the given node subset; a nil subset
+// means all nodes. The paper uses a 100-node sample for VLAD10M (§5.1).
+func (g *Graph) RecallSampled(exact *Graph, nodes []int) float64 {
+	if exact.N() != g.N() {
+		panic(fmt.Sprintf("knngraph: recall against graph of different size %d vs %d", exact.N(), g.N()))
+	}
+	if nodes == nil {
+		nodes = make([]int, g.N())
+		for i := range nodes {
+			nodes[i] = i
+		}
+	}
+	hits, total := 0, 0
+	for _, i := range nodes {
+		if len(exact.Lists[i]) == 0 {
+			continue
+		}
+		total++
+		if g.Contains(i, exact.Lists[i][0].ID) {
+			hits++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// RecallAtK returns the average fraction of each node's true top-k
+// neighbours that appear in this graph's list.
+func (g *Graph) RecallAtK(exact *Graph, k int) float64 {
+	var sum float64
+	total := 0
+	for i := range g.Lists {
+		truth := exact.Lists[i]
+		if len(truth) > k {
+			truth = truth[:k]
+		}
+		if len(truth) == 0 {
+			continue
+		}
+		total++
+		hit := 0
+		for _, nb := range truth {
+			if g.Contains(i, nb.ID) {
+				hit++
+			}
+		}
+		sum += float64(hit) / float64(len(truth))
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sum) / float64(total)
+}
+
+// Random fills a graph with kappa random distinct neighbours per node and
+// their true distances — the initial graph of Alg. 3 (line 4).
+func Random(data *vec.Matrix, kappa int, seed int64) *Graph {
+	n := data.N
+	if kappa >= n {
+		kappa = n - 1
+	}
+	if kappa <= 0 {
+		panic("knngraph: Random needs at least 2 samples")
+	}
+	g := New(n, kappa)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		for len(g.Lists[i]) < kappa {
+			j := int32(rng.Intn(n))
+			if int(j) == i {
+				continue
+			}
+			g.Insert(i, j, vec.L2Sqr(data.Row(i), data.Row(int(j))))
+		}
+	}
+	return g
+}
+
+// BruteForce builds the exact k-NN graph by exhaustive pairwise comparison,
+// parallelised across nodes. It is O(d·n²): only used for ground truth on
+// small inputs (the paper reports >20 h for exact SIFT1M ground truth).
+func BruteForce(data *vec.Matrix, kappa int, workers int) *Graph {
+	n := data.N
+	if kappa >= n {
+		kappa = n - 1
+	}
+	g := New(n, kappa)
+	parallel.For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := data.Row(i)
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				g.Insert(i, int32(j), vec.L2Sqr(row, data.Row(j)))
+			}
+		}
+	})
+	return g
+}
+
+// Validate checks the structural invariants of the graph (sorted lists,
+// unique ids, no self-loops, ids in range, lists within Kappa). Tests and
+// the property suite call it after every mutation-heavy operation.
+func (g *Graph) Validate() error {
+	n := g.N()
+	for i, list := range g.Lists {
+		if len(list) > g.Kappa {
+			return fmt.Errorf("node %d has %d neighbours, cap %d", i, len(list), g.Kappa)
+		}
+		seen := make(map[int32]bool, len(list))
+		for j, nb := range list {
+			if int(nb.ID) < 0 || int(nb.ID) >= n {
+				return fmt.Errorf("node %d neighbour %d id %d out of range", i, j, nb.ID)
+			}
+			if int(nb.ID) == i {
+				return fmt.Errorf("node %d has a self-loop", i)
+			}
+			if seen[nb.ID] {
+				return fmt.Errorf("node %d has duplicate neighbour %d", i, nb.ID)
+			}
+			seen[nb.ID] = true
+			if j > 0 && list[j-1].Dist > nb.Dist {
+				return fmt.Errorf("node %d list not sorted at %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+const graphMagic = uint32(0x474b4e4e) // "GKNN"
+
+// Write serialises the graph in a compact little-endian binary format.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range []uint32{graphMagic, uint32(g.N()), uint32(g.Kappa)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, list := range g.Lists {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(list))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, list); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserialises a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var hdr [3]uint32
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("knngraph: reading header: %w", err)
+	}
+	if hdr[0] != graphMagic {
+		return nil, fmt.Errorf("knngraph: bad magic %#x", hdr[0])
+	}
+	n, kappa := int(hdr[1]), int(hdr[2])
+	if kappa <= 0 || n < 0 {
+		return nil, fmt.Errorf("knngraph: invalid header n=%d kappa=%d", n, kappa)
+	}
+	g := New(n, kappa)
+	for i := 0; i < n; i++ {
+		var l uint32
+		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
+			return nil, fmt.Errorf("knngraph: reading list %d: %w", i, err)
+		}
+		if int(l) > kappa {
+			return nil, fmt.Errorf("knngraph: list %d has %d entries, cap %d", i, l, kappa)
+		}
+		list := make([]Neighbor, l)
+		if err := binary.Read(br, binary.LittleEndian, list); err != nil {
+			return nil, fmt.Errorf("knngraph: reading list %d: %w", i, err)
+		}
+		g.Lists[i] = list
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("knngraph: corrupt graph: %w", err)
+	}
+	return g, nil
+}
+
+// SaveFile writes the graph to a file on disk.
+func (g *Graph) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from a file written by SaveFile.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,118 @@
+package knngraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph-level operations used by the experiment harness and by downstream
+// consumers that combine or post-process graphs (e.g. merging graphs built
+// with different seeds, or shrinking κ after construction).
+
+// Merge folds src into dst: every edge of src is offered to dst's bounded
+// lists. Both graphs must cover the same node set. Merging graphs built
+// from independent seeds is a cheap way to raise recall without more
+// construction rounds.
+func Merge(dst, src *Graph) error {
+	if dst.N() != src.N() {
+		return fmt.Errorf("knngraph: merge size mismatch %d vs %d", dst.N(), src.N())
+	}
+	for i, list := range src.Lists {
+		for _, nb := range list {
+			dst.Insert(i, nb.ID, nb.Dist)
+		}
+	}
+	return nil
+}
+
+// Truncate returns a copy of the graph with each list cut to at most kappa
+// entries (the closest ones, since lists are sorted).
+func (g *Graph) Truncate(kappa int) *Graph {
+	if kappa <= 0 {
+		panic(fmt.Sprintf("knngraph: Truncate to kappa=%d", kappa))
+	}
+	out := New(g.N(), kappa)
+	for i, list := range g.Lists {
+		n := len(list)
+		if n > kappa {
+			n = kappa
+		}
+		out.Lists[i] = append(out.Lists[i], list[:n]...)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	out := New(g.N(), g.Kappa)
+	for i, list := range g.Lists {
+		out.Lists[i] = append(out.Lists[i], list...)
+	}
+	return out
+}
+
+// DegreeStats summarises the in-degree distribution of the graph — the
+// skew that determines how well greedy search traverses it (heavily hubby
+// graphs route everything through few nodes).
+type DegreeStats struct {
+	MinIn, MaxIn int
+	MeanIn       float64
+	MedianIn     int
+	// OutMean is the mean list length (equals κ when every list is full).
+	OutMean float64
+}
+
+// Degrees computes in/out degree statistics.
+func (g *Graph) Degrees() DegreeStats {
+	n := g.N()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	in := make([]int, n)
+	totalOut := 0
+	for _, list := range g.Lists {
+		totalOut += len(list)
+		for _, nb := range list {
+			in[nb.ID]++
+		}
+	}
+	sorted := append([]int(nil), in...)
+	sort.Ints(sorted)
+	var sum int
+	for _, d := range in {
+		sum += d
+	}
+	return DegreeStats{
+		MinIn:    sorted[0],
+		MaxIn:    sorted[n-1],
+		MeanIn:   float64(sum) / float64(n),
+		MedianIn: sorted[n/2],
+		OutMean:  float64(totalOut) / float64(n),
+	}
+}
+
+// EdgeCount returns the total number of directed edges stored.
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, list := range g.Lists {
+		total += len(list)
+	}
+	return total
+}
+
+// AverageDistance returns the mean stored edge distance — a scale-dependent
+// proxy for graph quality (closer edges = better lists) used by tests.
+func (g *Graph) AverageDistance() float64 {
+	var sum float64
+	count := 0
+	for _, list := range g.Lists {
+		for _, nb := range list {
+			sum += float64(nb.Dist)
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

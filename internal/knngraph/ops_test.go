@@ -1,0 +1,131 @@
+package knngraph
+
+import (
+	"testing"
+
+	"gkmeans/internal/dataset"
+)
+
+func TestMergeRaisesRecall(t *testing.T) {
+	data := dataset.SIFTLike(300, 1)
+	exact := BruteForce(data, 8, 0)
+	a := Random(data, 8, 1)
+	b := Random(data, 8, 2)
+	rA := a.Recall(exact)
+	if err := Merge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Recall(exact) < rA {
+		t.Fatalf("merge lowered recall: %v -> %v", rA, a.Recall(exact))
+	}
+}
+
+func TestMergeSizeMismatch(t *testing.T) {
+	a := New(3, 2)
+	b := New(4, 2)
+	if err := Merge(a, b); err == nil {
+		t.Fatal("size mismatch should error")
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	data := dataset.Uniform(100, 4, 3)
+	g := BruteForce(data, 5, 0)
+	before := g.EdgeCount()
+	if err := Merge(g, g.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != before {
+		t.Fatal("merging a graph into itself changed it")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	data := dataset.Uniform(50, 4, 4)
+	g := BruteForce(data, 10, 0)
+	cut := g.Truncate(3)
+	if err := cut.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cut.Kappa != 3 {
+		t.Fatalf("kappa %d", cut.Kappa)
+	}
+	for i, list := range cut.Lists {
+		if len(list) != 3 {
+			t.Fatalf("node %d has %d entries", i, len(list))
+		}
+		// Must keep the closest entries.
+		for j := range list {
+			if list[j] != g.Lists[i][j] {
+				t.Fatalf("node %d entry %d changed", i, j)
+			}
+		}
+	}
+	// Truncating shorter lists keeps them intact.
+	same := g.Truncate(100)
+	if same.EdgeCount() != g.EdgeCount() {
+		t.Fatal("truncate above list length should not drop edges")
+	}
+}
+
+func TestTruncatePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).Truncate(0)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	data := dataset.Uniform(30, 4, 5)
+	g := BruteForce(data, 4, 0)
+	c := g.Clone()
+	c.Insert(0, int32(29), 0.000001)
+	if g.Lists[0][0] == c.Lists[0][0] && g.Lists[0][0].Dist == 0.000001 {
+		t.Fatal("clone shares storage")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegreesAndEdgeCount(t *testing.T) {
+	data := dataset.Uniform(200, 6, 6)
+	g := BruteForce(data, 5, 0)
+	stats := g.Degrees()
+	if stats.OutMean != 5 {
+		t.Fatalf("out mean %v, want 5 (full lists)", stats.OutMean)
+	}
+	if stats.MeanIn != 5 { // total in-degree equals total out-degree
+		t.Fatalf("mean in %v", stats.MeanIn)
+	}
+	if stats.MinIn > stats.MedianIn || stats.MedianIn > stats.MaxIn {
+		t.Fatalf("degree ordering wrong: %+v", stats)
+	}
+	if g.EdgeCount() != 200*5 {
+		t.Fatalf("edges %d", g.EdgeCount())
+	}
+}
+
+func TestDegreesEmptyGraph(t *testing.T) {
+	if stats := New(0, 3).Degrees(); stats.MeanIn != 0 {
+		t.Fatalf("empty graph stats %+v", stats)
+	}
+}
+
+func TestAverageDistanceReflectsQuality(t *testing.T) {
+	data := dataset.SIFTLike(300, 7)
+	exact := BruteForce(data, 6, 0)
+	random := Random(data, 6, 8)
+	if exact.AverageDistance() >= random.AverageDistance() {
+		t.Fatalf("exact graph avg distance %v should be below random %v",
+			exact.AverageDistance(), random.AverageDistance())
+	}
+	if New(3, 2).AverageDistance() != 0 {
+		t.Fatal("empty lists should average 0")
+	}
+}

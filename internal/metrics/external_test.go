@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNMIPerfectAgreement(t *testing.T) {
+	pred := []int{0, 0, 1, 1, 2, 2}
+	truth := []int{5, 5, 3, 3, 9, 9} // same partition, different labels
+	nmi, err := NMI(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nmi-1) > 1e-9 {
+		t.Fatalf("NMI %v, want 1", nmi)
+	}
+}
+
+func TestNMISingleClusterIsZero(t *testing.T) {
+	nmi, err := NMI([]int{0, 0, 0}, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi != 0 {
+		t.Fatalf("degenerate NMI %v", nmi)
+	}
+}
+
+func TestNMIRandomIsLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	pred := make([]int, n)
+	truth := make([]int, n)
+	for i := range pred {
+		pred[i] = rng.Intn(10)
+		truth[i] = rng.Intn(10)
+	}
+	nmi, err := NMI(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nmi > 0.05 {
+		t.Fatalf("random NMI %v should be near 0", nmi)
+	}
+}
+
+func TestARIPerfectAndRandom(t *testing.T) {
+	pred := []int{0, 0, 1, 1}
+	if ari, _ := ARI(pred, []int{1, 1, 0, 0}); math.Abs(ari-1) > 1e-9 {
+		t.Fatalf("ARI %v, want 1", ari)
+	}
+	rng := rand.New(rand.NewSource(2))
+	n := 3000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(8)
+		b[i] = rng.Intn(8)
+	}
+	ari, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ari) > 0.03 {
+		t.Fatalf("random ARI %v should be near 0", ari)
+	}
+}
+
+func TestARITinyInput(t *testing.T) {
+	if ari, _ := ARI([]int{0}, []int{0}); ari != 0 {
+		t.Fatalf("n=1 ARI %v", ari)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	// Cluster 0: {a,a,b} -> 2/3 pure; cluster 1: {b,b} -> pure.
+	pred := []int{0, 0, 0, 1, 1}
+	truth := []int{0, 0, 1, 1, 1}
+	p, err := Purity(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.8) > 1e-9 {
+		t.Fatalf("purity %v, want 0.8", p)
+	}
+}
+
+func TestExternalMeasuresLengthMismatch(t *testing.T) {
+	if _, err := NMI([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("NMI length mismatch should error")
+	}
+	if _, err := ARI([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("ARI length mismatch should error")
+	}
+	if _, err := Purity([]int{0}, []int{0, 1}); err == nil {
+		t.Fatal("Purity length mismatch should error")
+	}
+}
+
+// Properties: all three measures are symmetric-safe, bounded, and invariant
+// to consistent relabelling.
+func TestExternalMeasuresQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		kp, kt := 1+rng.Intn(6), 1+rng.Intn(6)
+		pred := make([]int, n)
+		truth := make([]int, n)
+		for i := range pred {
+			pred[i] = rng.Intn(kp)
+			truth[i] = rng.Intn(kt)
+		}
+		nmi, err1 := NMI(pred, truth)
+		ari, err2 := ARI(pred, truth)
+		pur, err3 := Purity(pred, truth)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		if nmi < -1e-9 || nmi > 1+1e-9 || pur <= 0 || pur > 1+1e-9 || ari > 1+1e-9 {
+			return false
+		}
+		// Relabelling invariance: shift every predicted label by 10.
+		shifted := make([]int, n)
+		for i := range pred {
+			shifted[i] = pred[i] + 10
+		}
+		nmi2, _ := NMI(shifted, truth)
+		ari2, _ := ARI(shifted, truth)
+		return math.Abs(nmi-nmi2) < 1e-9 && math.Abs(ari-ari2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNMIEmptyInput(t *testing.T) {
+	if nmi, err := NMI(nil, nil); err != nil || nmi != 0 {
+		t.Fatalf("empty NMI = %v, %v", nmi, err)
+	}
+	if p, err := Purity(nil, nil); err != nil || p != 0 {
+		t.Fatalf("empty purity = %v, %v", p, err)
+	}
+}

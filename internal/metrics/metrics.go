@@ -1,0 +1,148 @@
+// Package metrics implements the paper's evaluation protocol (§5.1): the
+// average distortion of a clustering (Eqn. 4, equal to the mean squared
+// error / WCSSD-per-sample), the boost k-means objective I (Eqn. 2), and
+// helpers that convert between the two.
+package metrics
+
+import (
+	"fmt"
+
+	"gkmeans/internal/parallel"
+	"gkmeans/internal/vec"
+)
+
+// Centroids computes the k cluster centroids implied by labels. Empty
+// clusters get a zero centroid.
+func Centroids(data *vec.Matrix, labels []int, k int) *vec.Matrix {
+	if len(labels) != data.N {
+		panic(fmt.Sprintf("metrics: %d labels for %d samples", len(labels), data.N))
+	}
+	sums := make([]float64, k*data.Dim)
+	counts := make([]int, k)
+	for i, l := range labels {
+		if l < 0 || l >= k {
+			panic(fmt.Sprintf("metrics: label %d out of range [0,%d)", l, k))
+		}
+		counts[l]++
+		row := data.Row(i)
+		base := l * data.Dim
+		for j, v := range row {
+			sums[base+j] += float64(v)
+		}
+	}
+	c := vec.NewMatrix(k, data.Dim)
+	for r := 0; r < k; r++ {
+		if counts[r] == 0 {
+			continue
+		}
+		inv := 1 / float64(counts[r])
+		row := c.Row(r)
+		base := r * data.Dim
+		for j := range row {
+			row[j] = float32(sums[base+j] * inv)
+		}
+	}
+	return c
+}
+
+// AverageDistortion is Eqn. 4: the mean squared distance between each sample
+// and its assigned centroid. Lower is better.
+func AverageDistortion(data *vec.Matrix, labels []int, centroids *vec.Matrix) float64 {
+	if len(labels) != data.N {
+		panic(fmt.Sprintf("metrics: %d labels for %d samples", len(labels), data.N))
+	}
+	if data.N == 0 {
+		return 0
+	}
+	workers := 0
+	if data.N < 4096 {
+		workers = 1
+	}
+	partial := make([]float64, data.N) // summed per chunk below
+	parallel.For(data.N, workers, func(lo, hi int) {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += float64(vec.L2Sqr(data.Row(i), centroids.Row(labels[i])))
+		}
+		partial[lo] = s
+	})
+	var total float64
+	for _, p := range partial {
+		total += p
+	}
+	return total / float64(data.N)
+}
+
+// DistortionFromLabels recomputes centroids from labels and returns the
+// average distortion — the one-call evaluation used across experiments.
+func DistortionFromLabels(data *vec.Matrix, labels []int, k int) float64 {
+	return AverageDistortion(data, labels, Centroids(data, labels, k))
+}
+
+// Objective is Eqn. 2: I = Σ_r D_r·D_r / n_r, where D_r is the composite
+// (sum) vector of cluster r. Empty clusters contribute zero. BKM maximises
+// this quantity.
+func Objective(data *vec.Matrix, labels []int, k int) float64 {
+	sums := make([]float64, k*data.Dim)
+	counts := make([]int, k)
+	for i, l := range labels {
+		counts[l]++
+		row := data.Row(i)
+		base := l * data.Dim
+		for j, v := range row {
+			sums[base+j] += float64(v)
+		}
+	}
+	var obj float64
+	for r := 0; r < k; r++ {
+		if counts[r] == 0 {
+			continue
+		}
+		var dd float64
+		base := r * data.Dim
+		for j := 0; j < data.Dim; j++ {
+			dd += sums[base+j] * sums[base+j]
+		}
+		obj += dd / float64(counts[r])
+	}
+	return obj
+}
+
+// SumSqNorms returns Σ‖x_i‖², the constant linking Eqn. 2 to Eqn. 4:
+// n·E = Σ‖x_i‖² − I. BKM uses it to track distortion for free.
+func SumSqNorms(data *vec.Matrix) float64 {
+	var s float64
+	for i := 0; i < data.N; i++ {
+		s += float64(vec.SqNorm(data.Row(i)))
+	}
+	return s
+}
+
+// DistortionFromObjective converts the BKM objective into average
+// distortion using the identity E = (Σ‖x‖² − I)/n.
+func DistortionFromObjective(sumSqNorms, objective float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return (sumSqNorms - objective) / float64(n)
+}
+
+// ClusterSizes tallies the size of each cluster.
+func ClusterSizes(labels []int, k int) []int {
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	return sizes
+}
+
+// NonEmpty counts clusters with at least one member.
+func NonEmpty(sizes []int) int {
+	n := 0
+	for _, s := range sizes {
+		if s > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/vec"
+)
+
+func TestCentroidsSimple(t *testing.T) {
+	data := vec.FromRows([][]float32{{0, 0}, {2, 2}, {10, 10}})
+	c := Centroids(data, []int{0, 0, 1}, 2)
+	if c.At(0, 0) != 1 || c.At(0, 1) != 1 {
+		t.Fatalf("centroid 0 = %v", c.Row(0))
+	}
+	if c.At(1, 0) != 10 {
+		t.Fatalf("centroid 1 = %v", c.Row(1))
+	}
+}
+
+func TestCentroidsEmptyClusterIsZero(t *testing.T) {
+	data := vec.FromRows([][]float32{{1, 1}})
+	c := Centroids(data, []int{0}, 3)
+	if c.At(2, 0) != 0 || c.At(1, 1) != 0 {
+		t.Fatal("empty clusters should have zero centroids")
+	}
+}
+
+func TestCentroidsPanicsOnBadLabel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Centroids(vec.FromRows([][]float32{{1}}), []int{5}, 2)
+}
+
+func TestAverageDistortionKnownValue(t *testing.T) {
+	// Two clusters at (0,0) and (4,0); each sample 1 away from its centroid.
+	data := vec.FromRows([][]float32{{-1, 0}, {1, 0}, {3, 0}, {5, 0}})
+	labels := []int{0, 0, 1, 1}
+	c := Centroids(data, labels, 2)
+	got := AverageDistortion(data, labels, c)
+	if math.Abs(got-1) > 1e-9 {
+		t.Fatalf("distortion %v, want 1", got)
+	}
+	if got2 := DistortionFromLabels(data, labels, 2); math.Abs(got2-1) > 1e-9 {
+		t.Fatalf("DistortionFromLabels %v", got2)
+	}
+}
+
+func TestAverageDistortionLabelMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AverageDistortion(vec.NewMatrix(2, 2), []int{0}, vec.NewMatrix(1, 2))
+}
+
+// Property: E = (Σ‖x‖² − I)/n for arbitrary labelings (the identity BKM
+// relies on for cheap distortion tracking).
+func TestObjectiveDistortionIdentity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		d := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(6)
+		data := dataset.Uniform(n, d, seed)
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(k)
+		}
+		e1 := DistortionFromLabels(data, labels, k)
+		e2 := DistortionFromObjective(SumSqNorms(data), Objective(data, labels, k), n)
+		return math.Abs(e1-e2) <= 1e-6*math.Max(1, math.Abs(e1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: moving any sample to its nearest centroid never increases
+// distortion measured against fixed centroids.
+func TestDistortionMonotoneUnderNearestAssignment(t *testing.T) {
+	data := dataset.GloVeLike(120, 3)
+	rng := rand.New(rand.NewSource(4))
+	k := 6
+	labels := make([]int, data.N)
+	for i := range labels {
+		labels[i] = rng.Intn(k)
+	}
+	c := Centroids(data, labels, k)
+	before := AverageDistortion(data, labels, c)
+	for i := range labels {
+		best, _ := vec.NearestRow(c, data.Row(i))
+		labels[i] = best
+	}
+	after := AverageDistortion(data, labels, c)
+	if after > before+1e-9 {
+		t.Fatalf("nearest assignment increased distortion %v -> %v", before, after)
+	}
+}
+
+func TestClusterSizesAndNonEmpty(t *testing.T) {
+	sizes := ClusterSizes([]int{0, 1, 1, 3}, 4)
+	want := []int{1, 2, 0, 1}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes %v", sizes)
+		}
+	}
+	if NonEmpty(sizes) != 3 {
+		t.Fatalf("NonEmpty = %d", NonEmpty(sizes))
+	}
+}
+
+func TestSumSqNorms(t *testing.T) {
+	data := vec.FromRows([][]float32{{3, 4}, {1, 0}})
+	if got := SumSqNorms(data); math.Abs(got-26) > 1e-9 {
+		t.Fatalf("SumSqNorms %v", got)
+	}
+}
+
+func TestDistortionFromObjectiveZeroN(t *testing.T) {
+	if DistortionFromObjective(5, 3, 0) != 0 {
+		t.Fatal("n=0 should give 0")
+	}
+}
+
+func TestAverageDistortionEmpty(t *testing.T) {
+	if AverageDistortion(&vec.Matrix{Dim: 3}, nil, vec.NewMatrix(1, 3)) != 0 {
+		t.Fatal("empty data should give 0")
+	}
+}
+
+func TestAverageDistortionParallelMatchesSerial(t *testing.T) {
+	data := dataset.SIFTLike(5000, 11) // above the parallel threshold
+	rng := rand.New(rand.NewSource(5))
+	k := 16
+	labels := make([]int, data.N)
+	for i := range labels {
+		labels[i] = rng.Intn(k)
+	}
+	c := Centroids(data, labels, k)
+	par := AverageDistortion(data, labels, c)
+	var serial float64
+	for i := 0; i < data.N; i++ {
+		serial += float64(vec.L2Sqr(data.Row(i), c.Row(labels[i])))
+	}
+	serial /= float64(data.N)
+	if math.Abs(par-serial) > 1e-6*serial {
+		t.Fatalf("parallel %v vs serial %v", par, serial)
+	}
+}

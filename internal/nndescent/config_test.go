@@ -1,0 +1,61 @@
+package nndescent
+
+import (
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/knngraph"
+)
+
+func TestHighDeltaTerminatesEarlier(t *testing.T) {
+	data := dataset.SIFTLike(400, 1)
+	rounds := func(delta float64) int {
+		last := 0
+		_, err := Build(data, Config{Kappa: 8, Seed: 2, Delta: delta, MaxRounds: 40,
+			OnRound: func(r, updates int) { last = r }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return last
+	}
+	strict, loose := rounds(0.0001), rounds(0.2)
+	if loose > strict {
+		t.Fatalf("looser delta ran longer: %d vs %d rounds", loose, strict)
+	}
+}
+
+func TestRhoControlsWorkPerRound(t *testing.T) {
+	// Smaller rho samples fewer candidates; the graph should still reach
+	// reasonable quality, just possibly needing more rounds.
+	data := dataset.SIFTLike(500, 3)
+	exact := knngraph.BruteForce(data, 8, 0)
+	g, err := Build(data, Config{Kappa: 8, Seed: 4, Rho: 0.3, MaxRounds: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := g.Recall(exact); r < 0.8 {
+		t.Fatalf("low-rho recall %.3f", r)
+	}
+	// Out-of-range rho falls back to the default rather than breaking.
+	if _, err := Build(data, Config{Kappa: 8, Seed: 5, Rho: 7}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildTinyDatasets(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		data := dataset.Uniform(n, 3, int64(n))
+		g, err := Build(data, Config{Kappa: 3, Seed: 6})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// kappa clamps to n-1, and with full lists the graph is exact.
+		exact := knngraph.BruteForce(data, n-1, 0)
+		if r := g.Recall(exact); r != 1 {
+			t.Fatalf("n=%d: complete graph recall %v", n, r)
+		}
+	}
+}

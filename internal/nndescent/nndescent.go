@@ -1,0 +1,221 @@
+// Package nndescent implements NN-Descent (Dong, Moses, Li — WWW 2011,
+// paper reference [32], the "KGraph" baseline): an approximate k-NN graph
+// builder driven by the observation that "a neighbour of a neighbour is
+// also likely to be a neighbour". Each round compares every node's new
+// neighbours against its (new ∪ old ∪ reverse) neighbourhood and keeps the
+// closest κ; the process stops when fewer than δ·n·κ list updates happen.
+//
+// The paper uses NN-Descent in the "KGraph+GK-means" configuration of the
+// evaluation (Fig. 4, Fig. 5, Table 2) — same clustering speed-up, roughly
+// 2× slower graph construction and slightly different distortion.
+package nndescent
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/vec"
+)
+
+// Config controls NN-Descent.
+type Config struct {
+	Kappa     int     // neighbours per node
+	Rho       float64 // sample rate of new/reverse candidates; <=0 selects 0.5
+	Delta     float64 // termination threshold on update rate; <=0 selects 0.001
+	MaxRounds int     // hard cap on rounds; <=0 selects 30
+	Seed      int64
+	OnRound   func(round, updates int) // optional progress hook (used by experiments)
+}
+
+// entry is a neighbour with the NN-Descent "new" flag.
+type entry struct {
+	id   int32
+	dist float32
+	new  bool
+}
+
+// Build constructs an approximate k-NN graph with NN-Descent.
+func Build(data *vec.Matrix, cfg Config) (*knngraph.Graph, error) {
+	n := data.N
+	if n < 2 {
+		return nil, fmt.Errorf("nndescent: need at least 2 samples, got %d", n)
+	}
+	kappa := cfg.Kappa
+	if kappa >= n {
+		kappa = n - 1
+	}
+	if kappa <= 0 {
+		return nil, fmt.Errorf("nndescent: kappa must be positive, got %d", cfg.Kappa)
+	}
+	rho := cfg.Rho
+	if rho <= 0 || rho > 1 {
+		rho = 0.5
+	}
+	delta := cfg.Delta
+	if delta <= 0 {
+		delta = 0.001
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 30
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// B[v]: the current neighbour list with flags, kept sorted by distance.
+	lists := make([][]entry, n)
+	for i := 0; i < n; i++ {
+		lists[i] = make([]entry, 0, kappa)
+		for len(lists[i]) < kappa {
+			j := int32(rng.Intn(n))
+			if int(j) == i || containsEntry(lists[i], j) {
+				continue
+			}
+			insertEntry(&lists[i], kappa, entry{j, vec.L2Sqr(data.Row(i), data.Row(int(j))), true})
+		}
+	}
+
+	sampleCap := int(rho * float64(kappa))
+	if sampleCap < 1 {
+		sampleCap = 1
+	}
+	for round := 0; round < maxRounds; round++ {
+		// Forward new/old sets; sampling new entries caps per-round work.
+		newF := make([][]int32, n)
+		oldF := make([][]int32, n)
+		for v := 0; v < n; v++ {
+			for idx := range lists[v] {
+				e := &lists[v][idx]
+				if e.new {
+					if len(newF[v]) < sampleCap || rng.Float64() < rho {
+						newF[v] = append(newF[v], e.id)
+						e.new = false
+					}
+				} else {
+					oldF[v] = append(oldF[v], e.id)
+				}
+			}
+		}
+		// Reverse sets, sampled to the same cap.
+		newR := make([][]int32, n)
+		oldR := make([][]int32, n)
+		for v := 0; v < n; v++ {
+			for _, id := range newF[v] {
+				newR[id] = append(newR[id], int32(v))
+			}
+			for _, id := range oldF[v] {
+				oldR[id] = append(oldR[id], int32(v))
+			}
+		}
+		updates := 0
+		for v := 0; v < n; v++ {
+			newSet := mergeSampled(newF[v], newR[v], sampleCap, rng)
+			oldSet := mergeSampled(oldF[v], oldR[v], sampleCap, rng)
+			// Compare new×new and new×old pairs; each comparison may update
+			// both endpoints' lists.
+			for a := 0; a < len(newSet); a++ {
+				ia := newSet[a]
+				for b := a + 1; b < len(newSet); b++ {
+					updates += tryPair(data, lists, kappa, ia, newSet[b])
+				}
+				for _, ib := range oldSet {
+					updates += tryPair(data, lists, kappa, ia, ib)
+				}
+			}
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(round+1, updates)
+		}
+		if float64(updates) < delta*float64(n)*float64(kappa) {
+			break
+		}
+	}
+
+	g := knngraph.New(n, kappa)
+	for i := 0; i < n; i++ {
+		for _, e := range lists[i] {
+			g.Insert(i, e.id, e.dist)
+		}
+	}
+	return g, nil
+}
+
+// tryPair scores the pair (a,b) once and offers the distance to both lists;
+// returns the number of list updates (0–2).
+func tryPair(data *vec.Matrix, lists [][]entry, kappa int, a, b int32) int {
+	if a == b {
+		return 0
+	}
+	d := vec.L2Sqr(data.Row(int(a)), data.Row(int(b)))
+	u := 0
+	if insertEntry(&lists[a], kappa, entry{b, d, true}) {
+		u++
+	}
+	if insertEntry(&lists[b], kappa, entry{a, d, true}) {
+		u++
+	}
+	return u
+}
+
+// insertEntry offers e to a bounded sorted list, rejecting duplicates and
+// entries beyond the current worst when full. Returns true on change.
+func insertEntry(list *[]entry, kappa int, e entry) bool {
+	l := *list
+	if len(l) == kappa && e.dist >= l[len(l)-1].dist {
+		return false
+	}
+	pos := len(l)
+	for i := range l {
+		if l[i].id == e.id {
+			return false
+		}
+		if e.dist < l[i].dist && pos == len(l) {
+			pos = i
+		}
+	}
+	for i := pos; i < len(l); i++ {
+		if l[i].id == e.id {
+			return false
+		}
+	}
+	if len(l) < kappa {
+		l = append(l, entry{})
+	}
+	copy(l[pos+1:], l[pos:len(l)-1])
+	l[pos] = e
+	*list = l
+	return true
+}
+
+func containsEntry(list []entry, id int32) bool {
+	for _, e := range list {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// mergeSampled unions two id lists, deduplicates, and reservoir-samples the
+// reverse part down to cap to bound the quadratic comparison cost.
+func mergeSampled(fwd, rev []int32, cap_ int, rng *rand.Rand) []int32 {
+	if len(rev) > cap_ {
+		rng.Shuffle(len(rev), func(a, b int) { rev[a], rev[b] = rev[b], rev[a] })
+		rev = rev[:cap_]
+	}
+	out := make([]int32, 0, len(fwd)+len(rev))
+	seen := make(map[int32]bool, len(fwd)+len(rev))
+	for _, id := range fwd {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range rev {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

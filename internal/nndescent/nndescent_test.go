@@ -1,0 +1,113 @@
+package nndescent
+
+import (
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/knngraph"
+)
+
+func TestBuildHighRecallOnClusteredData(t *testing.T) {
+	data := dataset.SIFTLike(800, 1)
+	g, err := Build(data, Config{Kappa: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	exact := knngraph.BruteForce(data, 10, 0)
+	if r := g.Recall(exact); r < 0.90 {
+		t.Fatalf("NN-Descent recall@top1 %.3f, want >= 0.90", r)
+	}
+}
+
+func TestBuildBeatsRandomGraph(t *testing.T) {
+	data := dataset.GloVeLike(500, 2)
+	g, err := Build(data, Config{Kappa: 8, Seed: 2, MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := knngraph.BruteForce(data, 8, 0)
+	random := knngraph.Random(data, 8, 2)
+	if g.Recall(exact) < 4*random.Recall(exact) {
+		t.Fatalf("NN-Descent recall %.3f not clearly above random %.3f",
+			g.Recall(exact), random.Recall(exact))
+	}
+}
+
+func TestBuildKappaClampedToN(t *testing.T) {
+	data := dataset.Uniform(5, 3, 3)
+	g, err := Build(data, Config{Kappa: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Kappa != 4 {
+		t.Fatalf("kappa %d, want 4", g.Kappa)
+	}
+	// With kappa = n-1 the graph must be exact.
+	exact := knngraph.BruteForce(data, 4, 0)
+	if r := g.Recall(exact); r != 1 {
+		t.Fatalf("complete graph recall %v", r)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	data := dataset.Uniform(1, 3, 1)
+	if _, err := Build(data, Config{Kappa: 2}); err == nil {
+		t.Fatal("n=1 should error")
+	}
+	if _, err := Build(dataset.Uniform(10, 2, 1), Config{Kappa: 0}); err == nil {
+		t.Fatal("kappa=0 should error")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	data := dataset.Uniform(150, 6, 4)
+	a, _ := Build(data, Config{Kappa: 6, Seed: 9, MaxRounds: 5})
+	b, _ := Build(data, Config{Kappa: 6, Seed: 9, MaxRounds: 5})
+	for i := range a.Lists {
+		if len(a.Lists[i]) != len(b.Lists[i]) {
+			t.Fatal("same seed produced different graphs")
+		}
+		for j := range a.Lists[i] {
+			if a.Lists[i][j] != b.Lists[i][j] {
+				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+}
+
+func TestOnRoundHookAndTermination(t *testing.T) {
+	data := dataset.SIFTLike(300, 5)
+	rounds := 0
+	_, err := Build(data, Config{Kappa: 8, Seed: 3, MaxRounds: 50,
+		OnRound: func(round, updates int) { rounds = round }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 {
+		t.Fatal("OnRound never called")
+	}
+	if rounds == 50 {
+		t.Fatal("never terminated early despite convergence threshold")
+	}
+}
+
+func TestInsertEntryBounded(t *testing.T) {
+	var list []entry
+	insertEntry(&list, 2, entry{1, 5, true})
+	insertEntry(&list, 2, entry{2, 3, true})
+	if !insertEntry(&list, 2, entry{3, 1, true}) {
+		t.Fatal("closer entry should evict")
+	}
+	if insertEntry(&list, 2, entry{4, 10, true}) {
+		t.Fatal("far entry should be rejected when full")
+	}
+	if insertEntry(&list, 2, entry{3, 0.5, true}) {
+		t.Fatal("duplicate id should be rejected")
+	}
+	if list[0].id != 3 || list[1].id != 2 {
+		t.Fatalf("order wrong: %v", list)
+	}
+}

@@ -1,0 +1,56 @@
+// Package parallel provides a minimal data-parallel loop helper. The
+// clustering inner loops (Lloyd assignment, brute-force k-NN ground truth,
+// per-cluster graph refinement) are embarrassingly parallel across disjoint
+// index ranges, which is exactly the shape For covers.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For splits [0,n) into contiguous chunks and runs body(lo, hi) on up to
+// workers goroutines. workers <= 0 selects GOMAXPROCS. body must only write
+// to state owned by its own index range. For n == 0 it returns immediately;
+// with a single worker it runs body inline, which keeps small inputs and
+// single-core machines free of goroutine overhead.
+func For(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0,n) using For. Convenience wrapper
+// for loops whose body is heavy enough that per-index closure overhead does
+// not matter.
+func ForEach(n, workers int, body func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 100} {
+		n := 137
+		hits := make([]int32, n)
+		For(n, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(lo, hi int) { called = true })
+	For(-3, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body must not run for n <= 0")
+	}
+}
+
+func TestForSingleWorkerRunsInline(t *testing.T) {
+	// With one worker the callback sees the full range in one call.
+	calls := 0
+	For(10, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("got range [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("got %d calls, want 1", calls)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(100, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum=%d", sum)
+	}
+}
+
+func TestForMoreWorkersThanItems(t *testing.T) {
+	var count int64
+	For(3, 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt64(&count, 1)
+		}
+	})
+	if count != 3 {
+		t.Fatalf("count=%d", count)
+	}
+}

@@ -1,0 +1,69 @@
+package twomeans
+
+import (
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/metrics"
+)
+
+func TestBisectItersConfigurations(t *testing.T) {
+	// The per-bisection epoch budget is a speed/quality dial. Greedy local
+	// splits do not guarantee monotone k-way quality, so only structural
+	// validity is asserted: every budget must yield a complete balanced
+	// partition and a distortion far below random labelling.
+	data := dataset.SIFTLike(600, 1)
+	k := 12
+	randE := metrics.DistortionFromLabels(data, make([]int, data.N), 1)
+	for _, iters := range []int{1, 4, 12} {
+		labels, err := Cluster(data, Config{K: k, Seed: 2, BisectIters: iters})
+		if err != nil {
+			t.Fatalf("iters=%d: %v", iters, err)
+		}
+		if metrics.NonEmpty(metrics.ClusterSizes(labels, k)) != k {
+			t.Fatalf("iters=%d: incomplete partition", iters)
+		}
+		if e := metrics.DistortionFromLabels(data, labels, k); e > randE {
+			t.Fatalf("iters=%d: distortion %v above single-cluster %v", iters, e, randE)
+		}
+	}
+}
+
+func TestClusterSizesDifferByAtMostFactor(t *testing.T) {
+	// Equal-size adjustment: after splitting the largest first, sizes can
+	// differ by at most ~2× between any two clusters for power-of-two k.
+	data := dataset.GloVeLike(512, 3)
+	labels, err := Cluster(data, Config{K: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := metrics.ClusterSizes(labels, 16)
+	for _, s := range sizes {
+		if s != 32 { // 512/16: perfectly balanced for power-of-two sizes
+			t.Fatalf("power-of-two case should be perfectly balanced: %v", sizes)
+		}
+	}
+}
+
+func TestOddSizesBalanced(t *testing.T) {
+	data := dataset.Uniform(101, 4, 5)
+	labels, err := Cluster(data, Config{K: 7, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := metrics.ClusterSizes(labels, 7)
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	// Largest-first halving bounds the spread at roughly 2× (plus rounding):
+	// for k=7 on 101 points the legal range is about [12, 26].
+	if max > 2*min+2 {
+		t.Fatalf("odd-size partition too skewed: %v", sizes)
+	}
+}

@@ -1,0 +1,159 @@
+// Package twomeans implements the two-means (2M) tree of paper §3.2
+// (Alg. 1, reference [31]): a balanced hierarchical bisecting clusterer.
+// Starting from one cluster holding everything, the largest cluster is
+// repeatedly popped and bisected until k clusters exist. Each bisection runs
+// a short boost k-means at k=2 (the enhancement the paper applies at Alg. 1
+// step 8) and is then *adjusted to equal size* by splitting the members at
+// the median of ‖x−c_u‖² − ‖x−c_v‖².
+//
+// The 2M tree is O(d·n·log k) — cheaper than a single k-means iteration —
+// and is how GK-means obtains its initial k clusters.
+package twomeans
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"gkmeans/internal/bkm"
+	"gkmeans/internal/vec"
+)
+
+// Config controls the tree construction.
+type Config struct {
+	K           int
+	Seed        int64
+	BisectIters int // boost k-means epochs per bisection; <=0 selects 8
+}
+
+// cluster is one heap entry: the member indices of a current cluster.
+type cluster struct {
+	members []int
+}
+
+// sizeHeap is a max-heap of clusters ordered by member count.
+type sizeHeap []*cluster
+
+func (h sizeHeap) Len() int            { return len(h) }
+func (h sizeHeap) Less(i, j int) bool  { return len(h[i].members) > len(h[j].members) }
+func (h sizeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *sizeHeap) Push(x interface{}) { *h = append(*h, x.(*cluster)) }
+func (h *sizeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return c
+}
+
+// Cluster partitions data into k clusters with the 2M tree and returns the
+// cluster label of every sample.
+func Cluster(data *vec.Matrix, cfg Config) ([]int, error) {
+	if cfg.K <= 0 {
+		return nil, fmt.Errorf("twomeans: k must be positive, got %d", cfg.K)
+	}
+	if cfg.K > data.N {
+		return nil, fmt.Errorf("twomeans: k=%d exceeds n=%d", cfg.K, data.N)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	all := make([]int, data.N)
+	for i := range all {
+		all[i] = i
+	}
+	h := &sizeHeap{{members: all}}
+	heap.Init(h)
+	// Alg. 1 main loop: t grows from 1 to k clusters.
+	for h.Len() < cfg.K {
+		top := heap.Pop(h).(*cluster)
+		if len(top.members) < 2 {
+			// Cannot bisect a singleton; with k <= n this only happens when
+			// every remaining cluster is a singleton, i.e. never before
+			// reaching k. Guard anyway.
+			heap.Push(h, top)
+			return nil, fmt.Errorf("twomeans: cannot split singleton cluster (k=%d, n=%d)", cfg.K, data.N)
+		}
+		left, right := bisect(data, top.members, cfg, rng)
+		heap.Push(h, &cluster{members: left})
+		heap.Push(h, &cluster{members: right})
+	}
+	labels := make([]int, data.N)
+	for id, c := range *h {
+		for _, i := range c.members {
+			labels[i] = id
+		}
+	}
+	return labels, nil
+}
+
+// bisect splits members into two equally sized halves: a short BKM run at
+// k=2 finds the two-centre structure, then the equal-size adjustment of
+// Alg. 1 line 9 rebalances on the signed distance difference.
+func bisect(data *vec.Matrix, members []int, cfg Config, rng *rand.Rand) (left, right []int) {
+	sub := data.SubsetRows(members)
+	labels := make([]int, sub.N)
+	// Random balanced initial split.
+	perm := rng.Perm(sub.N)
+	for idx, i := range perm {
+		labels[i] = idx % 2
+	}
+	o, err := bkm.NewOptimizer(sub, labels, 2)
+	if err != nil {
+		// Unreachable: inputs are validated by Cluster. Fall back to the
+		// initial random split rather than crash mid-tree.
+		return splitByLabel(members, labels)
+	}
+	iters := cfg.BisectIters
+	if iters <= 0 {
+		iters = 8
+	}
+	order := rng.Perm(sub.N)
+	for e := 0; e < iters; e++ {
+		if o.Epoch(order, nil) == 0 {
+			break
+		}
+	}
+	// Equal-size adjustment: order members by how much closer they are to
+	// centre u than to centre v, then cut in the middle.
+	cents := o.Centroids()
+	cu, cv := cents.Row(0), cents.Row(1)
+	type scored struct {
+		member int
+		diff   float32
+	}
+	sc := make([]scored, sub.N)
+	for i := 0; i < sub.N; i++ {
+		row := sub.Row(i)
+		sc[i] = scored{members[i], vec.L2Sqr(row, cu) - vec.L2Sqr(row, cv)}
+	}
+	sort.Slice(sc, func(a, b int) bool {
+		if sc[a].diff != sc[b].diff {
+			return sc[a].diff < sc[b].diff
+		}
+		return sc[a].member < sc[b].member // deterministic tie break
+	})
+	half := (len(sc) + 1) / 2
+	left = make([]int, 0, half)
+	right = make([]int, 0, len(sc)-half)
+	for i, s := range sc {
+		if i < half {
+			left = append(left, s.member)
+		} else {
+			right = append(right, s.member)
+		}
+	}
+	return left, right
+}
+
+// splitByLabel partitions members by a binary labelling (fallback path).
+func splitByLabel(members []int, labels []int) (left, right []int) {
+	for i, m := range members {
+		if labels[i] == 0 {
+			left = append(left, m)
+		} else {
+			right = append(right, m)
+		}
+	}
+	return left, right
+}

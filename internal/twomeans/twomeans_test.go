@@ -1,0 +1,130 @@
+package twomeans
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/metrics"
+)
+
+func TestClusterProducesKBalancedClusters(t *testing.T) {
+	data := dataset.SIFTLike(400, 1)
+	for _, k := range []int{2, 3, 7, 16} {
+		labels, err := Cluster(data, Config{K: k, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := metrics.ClusterSizes(labels, k)
+		if metrics.NonEmpty(sizes) != k {
+			t.Fatalf("k=%d: %d non-empty clusters", k, metrics.NonEmpty(sizes))
+		}
+		// Balanced tree: equal-size adjustment at every bisection keeps the
+		// max/min ratio small (popping largest first bounds skew at ~2×).
+		min, max := sizes[0], sizes[0]
+		for _, s := range sizes {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if max > 3*min {
+			t.Fatalf("k=%d: unbalanced sizes min=%d max=%d (%v)", k, min, max, sizes)
+		}
+	}
+}
+
+// Property: any valid (n,k) pair yields a complete partition into exactly k
+// non-empty clusters.
+func TestClusterPartitionQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(120)
+		k := 1 + rng.Intn(n)
+		data := dataset.Uniform(n, 1+rng.Intn(8), seed)
+		labels, err := Cluster(data, Config{K: k, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if len(labels) != n {
+			return false
+		}
+		return metrics.NonEmpty(metrics.ClusterSizes(labels, k)) == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterSeparatedDataQuality(t *testing.T) {
+	// On well-separated blobs the 2M tree should produce a far better
+	// partition than random labelling.
+	data, _ := dataset.GMM(dataset.GMMConfig{
+		N: 512, Dim: 16, Components: 4, Spread: 30, Noise: 1, Seed: 3,
+	})
+	labels, err := Cluster(data, Config{K: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eTree := metrics.DistortionFromLabels(data, labels, 4)
+	rng := rand.New(rand.NewSource(5))
+	randLabels := make([]int, data.N)
+	for i := range randLabels {
+		randLabels[i] = rng.Intn(4)
+	}
+	eRand := metrics.DistortionFromLabels(data, randLabels, 4)
+	if eTree > eRand/2 {
+		t.Fatalf("2M tree distortion %.2f not clearly better than random %.2f", eTree, eRand)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	data := dataset.Uniform(10, 3, 1)
+	if _, err := Cluster(data, Config{K: 0}); err == nil {
+		t.Fatal("k=0 should error")
+	}
+	if _, err := Cluster(data, Config{K: 11}); err == nil {
+		t.Fatal("k>n should error")
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	data := dataset.GloVeLike(200, 6)
+	a, _ := Cluster(data, Config{K: 9, Seed: 7})
+	b, _ := Cluster(data, Config{K: 9, Seed: 7})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different labels")
+		}
+	}
+}
+
+func TestClusterKEqualsN(t *testing.T) {
+	data := dataset.Uniform(8, 2, 2)
+	labels, err := Cluster(data, Config{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := metrics.ClusterSizes(labels, 8)
+	for r, s := range sizes {
+		if s != 1 {
+			t.Fatalf("cluster %d has size %d, want 1", r, s)
+		}
+	}
+}
+
+func TestClusterK1(t *testing.T) {
+	data := dataset.Uniform(5, 2, 3)
+	labels, err := Cluster(data, Config{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("k=1 must put everything in cluster 0")
+		}
+	}
+}
