@@ -1,19 +1,23 @@
 // Command gkmeans clusters a dataset from the command line with the
-// GK-means pipeline and optionally saves the labels, centroids and k-NN
-// graph.
+// GK-means pipeline and optionally saves the labels, centroids, k-NN graph
+// or the whole search-ready index. Ctrl-C cancels a run cleanly between
+// graph rounds / optimisation epochs.
 //
 // Input is either an fvecs file (-data) or a named synthetic corpus
 // (-synth sift|gist|glove|vlad with -n). Examples:
 //
 //	gkmeans -synth sift -n 10000 -k 500
 //	gkmeans -data sift1m.fvecs -k 10000 -labels out.ivecs -centroids c.fvecs
+//	gkmeans -synth sift -n 50000 -k 1000 -index sift.gkx -progress
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"gkmeans"
@@ -32,21 +36,30 @@ func main() {
 		maxIter   = flag.Int("iter", 50, "maximum optimisation epochs")
 		seed      = flag.Int64("seed", 1, "RNG seed")
 		trad      = flag.Bool("traditional", false, "use the GK-means− (nearest centroid) variant")
+		progress  = flag.Bool("progress", false, "print per-stage progress")
 		labelsOut = flag.String("labels", "", "write labels to this ivecs file")
 		centsOut  = flag.String("centroids", "", "write centroids to this fvecs file")
 		graphOut  = flag.String("graph", "", "write the k-NN graph to this file")
+		indexOut  = flag.String("index", "", "write the whole search-ready index to this file")
 	)
 	flag.Parse()
-	if err := run(*dataPath, *synth, *n, *k, *kappa, *xi, *tau, *maxIter, *seed, *trad,
-		*labelsOut, *centsOut, *graphOut); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if err := run(ctx, *dataPath, *synth, *n, *k, *kappa, *xi, *tau, *maxIter, *seed, *trad,
+		*progress, *labelsOut, *centsOut, *graphOut, *indexOut); err != nil {
 		fmt.Fprintln(os.Stderr, "gkmeans:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataPath, synth string, n, k, kappa, xi, tau, maxIter int, seed int64,
-	trad bool, labelsOut, centsOut, graphOut string) error {
+func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxIter int,
+	seed int64, trad, progress bool, labelsOut, centsOut, graphOut, indexOut string) error {
 
+	if k <= 0 {
+		return fmt.Errorf("-k must be positive, got %d", k)
+	}
 	var data *gkmeans.Matrix
 	switch {
 	case dataPath != "":
@@ -66,16 +79,36 @@ func run(dataPath, synth string, n, k, kappa, xi, tau, maxIter int, seed int64,
 	}
 	fmt.Printf("data: %d × %d\n", data.N, data.Dim)
 
+	opts := []gkmeans.Option{
+		gkmeans.WithKappa(kappa), gkmeans.WithXi(xi), gkmeans.WithTau(tau),
+		gkmeans.WithMaxIter(maxIter), gkmeans.WithSeed(seed), gkmeans.WithClusters(k),
+	}
+	if trad {
+		opts = append(opts, gkmeans.WithTraditional())
+	}
+	var openLine bool
+	if progress {
+		opts = append(opts, gkmeans.WithProgress(func(stage string, done, total int) {
+			fmt.Printf("\r  %-8s %d/%d", stage, done, total)
+			openLine = done != total
+			if !openLine {
+				fmt.Println()
+			}
+		}))
+	}
+
 	start := time.Now()
-	res, err := gkmeans.Cluster(data, k, gkmeans.Options{
-		Kappa: kappa, Xi: xi, Tau: tau, MaxIter: maxIter, Seed: seed, Traditional: trad,
-	})
+	idx, err := gkmeans.Build(ctx, data, opts...)
+	if openLine {
+		fmt.Println() // a stage ended early (e.g. clustering converged)
+	}
 	if err != nil {
 		return err
 	}
+	res := idx.Clusters()
 	fmt.Printf("clustered into %d clusters in %v\n", k, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("  graph: %v   init: %v   iterations: %v (%d epochs)\n",
-		res.GraphTime.Round(time.Millisecond), res.InitTime.Round(time.Millisecond),
+		idx.GraphTime().Round(time.Millisecond), res.InitTime.Round(time.Millisecond),
 		res.IterTime.Round(time.Millisecond), res.Iters)
 	fmt.Printf("  average distortion: %.4f\n", res.Distortion(data))
 	fmt.Printf("  avg candidate clusters per sample: %.1f (k = %d)\n", res.AvgCandidates, k)
@@ -93,10 +126,16 @@ func run(dataPath, synth string, n, k, kappa, xi, tau, maxIter int, seed int64,
 		fmt.Println("centroids written to", centsOut)
 	}
 	if graphOut != "" {
-		if err := res.Graph.SaveFile(graphOut); err != nil {
+		if err := idx.Graph().SaveFile(graphOut); err != nil {
 			return err
 		}
 		fmt.Println("graph written to", graphOut)
+	}
+	if indexOut != "" {
+		if err := gkmeans.SaveIndex(indexOut, idx); err != nil {
+			return err
+		}
+		fmt.Println("index written to", indexOut)
 	}
 	return nil
 }

@@ -1,7 +1,10 @@
 // Command knngraph builds, inspects and evaluates approximate k-NN graphs
-// from the command line.
+// from the command line. The gkmeans builder goes through the public Index
+// API (so builds are Ctrl-C cancellable and can emit a whole search-ready
+// index); nndescent remains as a baseline builder.
 //
 //	knngraph build -synth sift -n 20000 -kappa 50 -tau 10 -out g.knn
+//	knngraph build -synth sift -n 20000 -index sift.gkx
 //	knngraph build -data sift1m.fvecs -builder nndescent -out g.knn
 //	knngraph stats -graph g.knn
 //	knngraph recall -graph g.knn -synth sift -n 20000 -sample 200
@@ -9,12 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
-	"gkmeans/internal/core"
+	"gkmeans"
 	"gkmeans/internal/dataset"
 	"gkmeans/internal/knngraph"
 	"gkmeans/internal/nndescent"
@@ -77,7 +82,11 @@ func cmdBuild(args []string) error {
 	builder := fs.String("builder", "gkmeans", "gkmeans (Alg. 3) or nndescent")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	out := fs.String("out", "graph.knn", "output file")
+	indexOut := fs.String("index", "", "also write a search-ready index (gkmeans builder only)")
 	fs.Parse(args)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	data, err := loadData(*dataPath, *synth, *n, *seed)
 	if err != nil {
@@ -88,16 +97,29 @@ func cmdBuild(args []string) error {
 	var g *knngraph.Graph
 	switch *builder {
 	case "gkmeans":
-		g, err = core.BuildGraph(data, core.GraphConfig{
-			Kappa: *kappa, Xi: *xi, Tau: *tau, Seed: *seed,
-		})
+		idx, err := gkmeans.Build(ctx, data,
+			gkmeans.WithKappa(*kappa), gkmeans.WithXi(*xi), gkmeans.WithTau(*tau),
+			gkmeans.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		g = idx.Graph()
+		if *indexOut != "" {
+			if err := gkmeans.SaveIndex(*indexOut, idx); err != nil {
+				return err
+			}
+			fmt.Println("index written to", *indexOut)
+		}
 	case "nndescent":
+		if *indexOut != "" {
+			return fmt.Errorf("-index requires the gkmeans builder")
+		}
 		g, err = nndescent.Build(data, nndescent.Config{Kappa: *kappa, Seed: *seed})
+		if err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown builder %q", *builder)
-	}
-	if err != nil {
-		return err
 	}
 	fmt.Printf("built with %s in %v (%d edges)\n",
 		*builder, time.Since(start).Round(time.Millisecond), g.EdgeCount())

@@ -1,6 +1,7 @@
 // Package gkmeans is a Go implementation of "Fast k-means based on KNN
 // Graph" (Deng & Zhao, ICDE 2018): k-means clustering whose per-iteration
-// cost is independent of the cluster count k.
+// cost is independent of the cluster count k, plus approximate
+// nearest-neighbour search over the same graph.
 //
 // # The algorithm
 //
@@ -21,13 +22,53 @@
 // objective-driven single-sample moves that converge to lower distortion
 // than Lloyd iterations.
 //
-// # Quick start
+// # The Index
+//
+// The package API centres on Index: an immutable bundle of a dataset, its
+// k-NN graph and an optional clustering — the one artefact the paper builds
+// once and then serves two workloads from. Build constructs it with
+// functional options and honours context cancellation between graph rounds
+// and clustering epochs:
 //
 //	data := gkmeans.FromRows(rows)          // n×d float32 samples
-//	res, err := gkmeans.Cluster(data, 1000, gkmeans.Options{})
-//	// res.Labels, res.Centroids, res.Distortion(data)
+//	idx, err := gkmeans.Build(ctx, data,
+//	        gkmeans.WithKappa(50),          // graph neighbours per sample
+//	        gkmeans.WithClusters(1000),     // also cluster into k=1000
+//	)
+//	res := idx.Clusters()                   // labels, centroids, distortion
 //
-// For repeated clusterings of the same data at different k, build the graph
-// once with BuildGraph and call ClusterWithGraph. The graph also powers
-// approximate nearest-neighbour search via NewSearcher.
+// An Index is safe for concurrent use: Search, SearchBatch and Cluster may
+// be called from any number of goroutines with no per-goroutine plumbing —
+// per-query scratch is pooled internally.
+//
+//	nbs := idx.Search(q, 10, 64)            // top-10, pool size ef=64
+//	all := idx.SearchBatch(queries, 10, 64) // fan a query set across cores
+//	res, err := idx.Cluster(ctx, 500)       // another k, same graph
+//
+// A built index persists as a single binary blob (versioned container for
+// the dataset, graph and clustering) and loads back ready to serve, with
+// search results identical to the saved index:
+//
+//	err = gkmeans.SaveIndex("sift.gkx", idx)
+//	idx, err = gkmeans.LoadIndex("sift.gkx")
+//	n, err := idx.WriteTo(w)                // or stream it anywhere
+//	idx, err = gkmeans.ReadIndexFrom(r)
+//
+// Wrap a graph built elsewhere (a loaded file, NN-Descent, …) with NewIndex
+// to search or cluster over it.
+//
+// # Migrating from the legacy functions
+//
+// The original free functions remain as thin deprecated wrappers over the
+// Index API:
+//
+//	Cluster(data, k, opt)              ->  Build(ctx, data, WithClusters(k), ...)
+//	BuildGraph(data, opt)              ->  Build(ctx, data, ...) + Index.Graph()
+//	ClusterWithGraph(data, k, g, opt)  ->  NewIndex(data, g, ...) + Index.Cluster(ctx, k)
+//	NewSearcher(data, g, entries)      ->  Build/NewIndex + Index.Search
+//	SearchBatch(s, q, topK, ef, w)     ->  Index.SearchBatch(q, topK, ef)
+//	Options{Kappa: 50, Tau: 10, ...}   ->  WithKappa(50), WithTau(10), ...
+//
+// BoostKMeans (the exhaustive quality yardstick) is not graph-based and
+// stays a free function. See examples/quickstart for a full walkthrough.
 package gkmeans

@@ -1,14 +1,17 @@
 // Approximate nearest-neighbour search over the Alg. 3 graph — the paper's
 // §4.3 claim: the same graph that accelerates clustering serves ANN search.
 //
-// The example builds a graph over VLAD-like image descriptors, answers a
+// The example builds an index over VLAD-like image descriptors, answers a
 // held-out query set at several pool sizes (ef), and reports recall@1 and
-// per-query latency against exact brute force.
+// per-query latency against exact brute force. Batch queries run through
+// Index.SearchBatch, which fans the query set across all cores against the
+// one shared index.
 //
 // Run with: go run ./examples/annsearch
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -20,32 +23,20 @@ import (
 func main() {
 	all := dataset.VLADLike(8200, 17)
 	// Hold out 200 in-distribution queries.
-	dataIdx, queryIdx := make([]int, 0, 8000), make([]int, 0, 200)
-	for i := 0; i < all.N; i++ {
-		if i%41 == 0 && len(queryIdx) < 200 {
-			queryIdx = append(queryIdx, i)
-		} else {
-			dataIdx = append(dataIdx, i)
-		}
-	}
-	data := all.SubsetRows(dataIdx)
-	queries := all.SubsetRows(queryIdx)
+	data, queries := gkmeans.Split(all, 200)
 
 	fmt.Printf("reference set %d × %d, %d queries\n", data.N, data.Dim, queries.N)
 
 	start := time.Now()
 	// Tau higher than the clustering default: §4.4 recommends up to 32
 	// rounds when the graph is built for search.
-	g, err := gkmeans.BuildGraph(data, gkmeans.Options{Kappa: 20, Xi: 50, Tau: 12, Seed: 19})
+	idx, err := gkmeans.Build(context.Background(), data,
+		gkmeans.WithKappa(20), gkmeans.WithXi(50), gkmeans.WithTau(12),
+		gkmeans.WithSeed(19), gkmeans.WithEntryPoints(32))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("graph construction: %v\n", time.Since(start).Round(time.Millisecond))
-
-	s, err := gkmeans.NewSearcher(data, g, 32)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("index construction: %v\n", time.Since(start).Round(time.Millisecond))
 
 	start = time.Now()
 	truth := gkmeans.ExactNeighbors(data, queries, 1)
@@ -54,19 +45,27 @@ func main() {
 		bruteTotal.Round(time.Millisecond),
 		float64(bruteTotal.Microseconds())/1000/float64(queries.N))
 
-	fmt.Printf("%-6s %10s %14s\n", "ef", "recall@1", "ms/query")
+	fmt.Printf("%-6s %10s %14s %14s\n", "ef", "recall@1", "ms/query", "batch ms/query")
 	for _, ef := range []int{8, 16, 32, 64, 128} {
+		// Sequential single queries.
 		start = time.Now()
 		hit := 0
 		for qi := 0; qi < queries.N; qi++ {
-			res := s.Search(queries.Row(qi), 1, ef)
+			res := idx.Search(queries.Row(qi), 1, ef)
 			if len(res) > 0 && len(truth[qi]) > 0 && res[0].ID == truth[qi][0] {
 				hit++
 			}
 		}
-		elapsed := time.Since(start)
-		fmt.Printf("%-6d %10.3f %14.3f\n", ef,
+		seq := time.Since(start)
+
+		// The same query set as one concurrent batch on the same index.
+		start = time.Now()
+		idx.SearchBatch(queries, 1, ef)
+		batch := time.Since(start)
+
+		fmt.Printf("%-6d %10.3f %14.3f %14.3f\n", ef,
 			float64(hit)/float64(queries.N),
-			float64(elapsed.Microseconds())/1000/float64(queries.N))
+			float64(seq.Microseconds())/1000/float64(queries.N),
+			float64(batch.Microseconds())/1000/float64(queries.N))
 	}
 }

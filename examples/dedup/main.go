@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -46,10 +47,12 @@ func main() {
 	fmt.Printf("corpus: %d items (%d planted near-duplicates)\n", data.N, planted)
 
 	start := time.Now()
-	g, err := gkmeans.BuildGraph(data, gkmeans.Options{Kappa: 10, Xi: 50, Tau: 8, Seed: 25})
+	idx, err := gkmeans.Build(context.Background(), data,
+		gkmeans.WithKappa(10), gkmeans.WithXi(50), gkmeans.WithTau(8), gkmeans.WithSeed(25))
 	if err != nil {
 		log.Fatal(err)
 	}
+	g := idx.Graph()
 	fmt.Printf("graph built in %v\n", time.Since(start).Round(time.Millisecond))
 
 	// One pass over graph edges: any edge below the threshold is a

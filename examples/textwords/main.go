@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,19 +18,21 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	data := dataset.GloVeLike(10000, 11)
 	fmt.Printf("clustering %d GloVe-like word vectors (d=%d)\n\n", data.N, data.Dim)
 
-	// Build the graph once (the expensive step)...
-	g, err := gkmeans.BuildGraph(data, gkmeans.Options{Kappa: 20, Xi: 50, Tau: 8, Seed: 5})
+	// Build the index once (the expensive step is its k-NN graph)...
+	idx, err := gkmeans.Build(ctx, data,
+		gkmeans.WithKappa(20), gkmeans.WithXi(50), gkmeans.WithTau(8), gkmeans.WithSeed(5))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// ...then sweep cluster granularity cheaply on the same graph.
+	// ...then sweep cluster granularity cheaply on the same index.
 	fmt.Printf("%-8s %12s %14s %8s\n", "k", "distortion", "avg candidates", "epochs")
 	for _, k := range []int{100, 300, 1000} {
-		res, err := gkmeans.ClusterWithGraph(data, k, g, gkmeans.Options{MaxIter: 25, Seed: 6})
+		res, err := idx.Cluster(ctx, k, gkmeans.WithMaxIter(25), gkmeans.WithSeed(6))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -37,7 +40,7 @@ func main() {
 	}
 
 	// Distortion-vs-epoch trace at k=300 (the Fig. 5 view).
-	res, err := gkmeans.ClusterWithGraph(data, 300, g, gkmeans.Options{MaxIter: 15, Seed: 6, Trace: true})
+	res, err := idx.Cluster(ctx, 300, gkmeans.WithMaxIter(15), gkmeans.WithSeed(6), gkmeans.WithTrace())
 	if err != nil {
 		log.Fatal(err)
 	}

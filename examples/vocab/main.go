@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -28,12 +29,13 @@ func main() {
 		k, data.N, data.Dim)
 
 	startG := time.Now()
-	gres, err := gkmeans.Cluster(data, k, gkmeans.Options{
-		Kappa: 20, Xi: 50, Tau: 6, MaxIter: 20, Seed: 3,
-	})
+	idx, err := gkmeans.Build(context.Background(), data,
+		gkmeans.WithKappa(20), gkmeans.WithXi(50), gkmeans.WithTau(6),
+		gkmeans.WithMaxIter(20), gkmeans.WithSeed(3), gkmeans.WithClusters(k))
 	if err != nil {
 		log.Fatal(err)
 	}
+	gres := idx.Clusters()
 	gTime := time.Since(startG)
 	gE := gres.Distortion(data)
 

@@ -1,6 +1,7 @@
 package gkmeans
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,7 +26,10 @@ type Graph = knngraph.Graph
 type Neighbor = knngraph.Neighbor
 
 // Searcher answers approximate nearest-neighbour queries over a dataset and
-// its k-NN graph. Not safe for concurrent use; create one per goroutine.
+// its k-NN graph. Safe for concurrent use.
+//
+// Deprecated: use Index.Search / Index.SearchBatch, which bundle the
+// dataset and graph and expose the same search core.
 type Searcher = anns.Searcher
 
 // NewMatrix allocates a zeroed n×d matrix.
@@ -45,6 +49,9 @@ func SaveFvecs(path string, m *Matrix) error { return dataset.SaveFvecsFile(path
 
 // Options tunes the GK-means pipeline. The zero value reproduces the
 // paper's standard configuration (§4.4): κ=50, ξ=50, τ=10.
+//
+// Deprecated: use the functional options (WithKappa, WithTau, …) accepted
+// by Build, NewIndex and Index.Cluster.
 type Options struct {
 	// Kappa is the number of graph neighbours per sample (κ). Larger
 	// values raise clustering quality and cost. Default 50.
@@ -72,8 +79,21 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) graphConfig() core.GraphConfig {
-	return core.GraphConfig{Kappa: o.Kappa, Xi: o.Xi, Tau: o.Tau, Seed: o.Seed, Workers: o.Workers}
+// asOptions translates a legacy Options value into the functional options
+// consumed by the Index API; zero fields pass through and pick up the same
+// downstream defaults they always had.
+func (o Options) asOptions() []Option {
+	opts := []Option{
+		WithKappa(o.Kappa), WithXi(o.Xi), WithTau(o.Tau),
+		WithSeed(o.Seed), WithWorkers(o.Workers), WithMaxIter(o.MaxIter),
+	}
+	if o.Trace {
+		opts = append(opts, WithTrace())
+	}
+	if o.Traditional {
+		opts = append(opts, WithTraditional())
+	}
+	return opts
 }
 
 // IterStat is one entry of a traced clustering history.
@@ -134,44 +154,47 @@ func fromCore(res *core.Result, g *Graph, graphTime time.Duration) *Result {
 // Cluster runs the complete GK-means pipeline on data: it builds the
 // approximate k-NN graph (Alg. 3) and then clusters into k clusters with
 // graph-supported boost k-means (Alg. 2).
+//
+// Deprecated: use Build with WithClusters, or Build followed by
+// Index.Cluster, which add cancellation, progress reporting and an index
+// that is reusable for search and persistence.
 func Cluster(data *Matrix, k int, opt Options) (*Result, error) {
-	res, err := core.GKMeans(data, core.PipelineConfig{
-		K:     k,
-		Graph: opt.graphConfig(),
-		Run: core.Config{
-			MaxIter:     opt.MaxIter,
-			Seed:        opt.Seed,
-			Trace:       opt.Trace,
-			Traditional: opt.Traditional,
-		},
-	})
+	idx, err := Build(context.Background(), data, opt.asOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	return fromCore(res.Result, res.Graph, res.GraphTime), nil
+	res, err := idx.Cluster(context.Background(), k)
+	if err != nil {
+		return nil, err
+	}
+	res.GraphTime = idx.GraphTime()
+	return res, nil
 }
 
 // BuildGraph constructs the approximate k-NN graph alone (Alg. 3). Build it
 // once and reuse it across ClusterWithGraph calls and searchers.
+//
+// Deprecated: use Build and keep the returned Index; its graph is available
+// from Index.Graph.
 func BuildGraph(data *Matrix, opt Options) (*Graph, error) {
-	return core.BuildGraph(data, opt.graphConfig())
+	idx, err := Build(context.Background(), data, opt.asOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	return idx.Graph(), nil
 }
 
 // ClusterWithGraph clusters data into k clusters supported by an existing
 // graph (Alg. 2). The graph may come from BuildGraph or any other source
 // covering the same samples.
+//
+// Deprecated: use NewIndex to wrap the graph, then Index.Cluster.
 func ClusterWithGraph(data *Matrix, k int, g *Graph, opt Options) (*Result, error) {
-	res, err := core.Cluster(data, g, core.Config{
-		K:           k,
-		MaxIter:     opt.MaxIter,
-		Seed:        opt.Seed,
-		Trace:       opt.Trace,
-		Traditional: opt.Traditional,
-	})
+	idx, err := NewIndex(data, g, opt.asOptions()...)
 	if err != nil {
 		return nil, err
 	}
-	return fromCore(res, g, 0), nil
+	return idx.Cluster(context.Background(), k)
 }
 
 // BoostKMeans runs exhaustive boost k-means (no graph pruning) — the
@@ -197,6 +220,8 @@ func BoostKMeans(data *Matrix, k int, opt Options) (*Result, error) {
 // NewSearcher builds an approximate nearest-neighbour searcher over data
 // and its graph. entries sets the number of search entry points (<=0
 // selects 16; raise it for data with many well-separated clusters).
+//
+// Deprecated: use NewIndex (with WithEntryPoints) and Index.Search.
 func NewSearcher(data *Matrix, g *Graph, entries int) (*Searcher, error) {
 	return anns.NewSearcher(data, g, entries)
 }
@@ -209,6 +234,8 @@ func ExactNeighbors(data, queries *Matrix, k int) [][]int32 {
 
 // SearchBatch answers every query concurrently (workers <= 0 selects
 // GOMAXPROCS) and returns one sorted result list per query.
+//
+// Deprecated: use Index.SearchBatch.
 func SearchBatch(s *Searcher, queries *Matrix, topK, ef, workers int) [][]Neighbor {
 	return anns.BatchSearch(s, queries, topK, ef, workers)
 }
@@ -226,15 +253,33 @@ func Distortion(data *Matrix, labels []int, k int) float64 {
 	return metrics.DistortionFromLabels(data, labels, k)
 }
 
-// Validate checks that a result is structurally consistent with a dataset.
+// Validate checks that a result is structurally consistent with a dataset:
+// non-nil labels with one in-range label per sample, and a non-nil K×d
+// centroid matrix matching the data's dimensionality.
 func (r *Result) Validate(data *Matrix) error {
+	if r.Labels == nil {
+		return fmt.Errorf("gkmeans: result has nil labels")
+	}
 	if len(r.Labels) != data.N {
 		return fmt.Errorf("gkmeans: %d labels for %d samples", len(r.Labels), data.N)
 	}
+	if r.K <= 0 {
+		return fmt.Errorf("gkmeans: invalid cluster count K=%d", r.K)
+	}
 	for i, l := range r.Labels {
 		if l < 0 || l >= r.K {
-			return fmt.Errorf("gkmeans: label %d of sample %d out of range", l, i)
+			return fmt.Errorf("gkmeans: label %d of sample %d out of range [0,%d)", l, i, r.K)
 		}
+	}
+	if r.Centroids == nil {
+		return fmt.Errorf("gkmeans: result has nil centroids")
+	}
+	if r.Centroids.N != r.K {
+		return fmt.Errorf("gkmeans: %d centroid rows for K=%d clusters", r.Centroids.N, r.K)
+	}
+	if r.Centroids.Dim != data.Dim {
+		return fmt.Errorf("gkmeans: centroid dimensionality %d, data dimensionality %d",
+			r.Centroids.Dim, data.Dim)
 	}
 	return nil
 }

@@ -197,7 +197,7 @@ func TestClusterErrorsSurface(t *testing.T) {
 
 func TestValidateCatchesCorruptResult(t *testing.T) {
 	data := dataset.Uniform(10, 2, 16)
-	res := &Result{Labels: make([]int, 10), K: 2}
+	res := &Result{Labels: make([]int, 10), K: 2, Centroids: NewMatrix(2, 2)}
 	if err := res.Validate(data); err != nil {
 		t.Fatal(err)
 	}
@@ -205,8 +205,30 @@ func TestValidateCatchesCorruptResult(t *testing.T) {
 	if err := res.Validate(data); err == nil {
 		t.Fatal("bad label should fail validation")
 	}
-	res2 := &Result{Labels: make([]int, 3), K: 1}
+	res.Labels[0] = 0
+
+	res2 := &Result{Labels: make([]int, 3), K: 1, Centroids: NewMatrix(1, 2)}
 	if err := res2.Validate(data); err == nil {
 		t.Fatal("length mismatch should fail validation")
+	}
+
+	// The extended checks: nil labels, nil centroids, centroid shape.
+	if err := (&Result{K: 2, Centroids: NewMatrix(2, 2)}).Validate(data); err == nil {
+		t.Fatal("nil labels should fail validation")
+	}
+	if err := (&Result{Labels: make([]int, 10), K: 2}).Validate(data); err == nil {
+		t.Fatal("nil centroids should fail validation")
+	}
+	res.Centroids = NewMatrix(3, 2) // wrong row count for K=2
+	if err := res.Validate(data); err == nil {
+		t.Fatal("centroid row mismatch should fail validation")
+	}
+	res.Centroids = NewMatrix(2, 5) // wrong dimensionality
+	if err := res.Validate(data); err == nil {
+		t.Fatal("centroid dimensionality mismatch should fail validation")
+	}
+	res.Centroids = NewMatrix(2, 2)
+	if err := res.Validate(data); err != nil {
+		t.Fatalf("repaired result should validate: %v", err)
 	}
 }

@@ -1,0 +1,3 @@
+module gkmeans
+
+go 1.24

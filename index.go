@@ -1,0 +1,155 @@
+package gkmeans
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"gkmeans/internal/anns"
+	"gkmeans/internal/core"
+	"gkmeans/internal/knngraph"
+)
+
+// Index is an immutable bundle of a dataset, its approximate k-NN graph and
+// an optional clustering — the one artefact the paper builds (Alg. 3) and
+// then reuses for both graph-supported clustering (Alg. 2) and ANN search
+// (§4.3). After Build returns, an Index is safe for concurrent use: Search,
+// SearchBatch and Cluster may all be called from any number of goroutines.
+//
+// The dataset and graph are shared, not copied; callers must not mutate
+// them after handing them to Build or NewIndex.
+type Index struct {
+	data  *Matrix
+	graph *Graph
+
+	// clusters is the Build-time clustering (WithClusters), if any.
+	clusters *Result
+
+	// graphTime is the wall clock spent constructing the graph; zero when
+	// the graph was supplied (NewIndex) or loaded (ReadIndexFrom).
+	graphTime time.Duration
+
+	// cfg keeps the build-time options as defaults for Cluster and
+	// SearchBatch calls.
+	cfg config
+
+	// searcher is built lazily on first search: pure clustering workloads
+	// never pay for the symmetrised adjacency. Construction cannot fail —
+	// the shape invariants it checks are validated by Build/NewIndex.
+	searcherOnce sync.Once
+	searcher     *anns.Searcher
+}
+
+// Build constructs an Index over data: it runs the paper's intertwined
+// graph construction (Alg. 3) and, with WithClusters, a graph-supported
+// clustering (Alg. 2). ctx cancellation is honoured between graph rounds
+// and clustering epochs; on cancellation Build returns ctx.Err().
+func Build(ctx context.Context, data *Matrix, opts ...Option) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if data == nil || data.N == 0 {
+		return nil, fmt.Errorf("gkmeans: Build needs a non-empty dataset")
+	}
+	cfg := applyOptions(config{}, opts)
+
+	gc := core.GraphConfig{
+		Kappa:     cfg.kappa,
+		Xi:        cfg.xi,
+		Tau:       cfg.tau,
+		Seed:      cfg.seed,
+		Workers:   cfg.workers,
+		Interrupt: ctx.Err,
+	}
+	if cfg.progress != nil {
+		progress, tau := cfg.progress, cfg.resolvedTau()
+		gc.OnRound = func(t int, _ *knngraph.Graph, _ []int) { progress("graph", t, tau) }
+	}
+	start := time.Now()
+	g, err := core.BuildGraph(data, gc)
+	if err != nil {
+		return nil, err
+	}
+	x := &Index{data: data, graph: g, graphTime: time.Since(start), cfg: cfg}
+	if cfg.clusterK > 0 {
+		res, err := x.Cluster(ctx, cfg.clusterK)
+		if err != nil {
+			return nil, err
+		}
+		x.clusters = res
+	}
+	return x, nil
+}
+
+// NewIndex wraps a dataset and a pre-built graph (from BuildGraph, a loaded
+// file, NN-Descent, …) into an Index without constructing anything. The
+// graph must cover exactly the samples of data.
+func NewIndex(data *Matrix, g *Graph, opts ...Option) (*Index, error) {
+	if data == nil || data.N == 0 {
+		return nil, fmt.Errorf("gkmeans: NewIndex needs a non-empty dataset")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("gkmeans: NewIndex needs a graph")
+	}
+	if g.N() != data.N {
+		return nil, fmt.Errorf("gkmeans: graph has %d nodes for %d samples", g.N(), data.N)
+	}
+	// The graph may come from anywhere (a file, NN-Descent, …); reject a
+	// structurally broken one here rather than panicking inside the first
+	// search or clustering call.
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gkmeans: invalid graph: %w", err)
+	}
+	return &Index{data: data, graph: g, cfg: applyOptions(config{}, opts)}, nil
+}
+
+// Data returns the indexed dataset. Treat it as read-only.
+func (x *Index) Data() *Matrix { return x.data }
+
+// Graph returns the underlying k-NN graph. Treat it as read-only.
+func (x *Index) Graph() *Graph { return x.graph }
+
+// N returns the number of indexed samples.
+func (x *Index) N() int { return x.data.N }
+
+// Dim returns the dimensionality of the indexed samples.
+func (x *Index) Dim() int { return x.data.Dim }
+
+// Clusters returns the clustering computed at Build time via WithClusters,
+// or nil when none was requested.
+func (x *Index) Clusters() *Result { return x.clusters }
+
+// GraphTime returns the wall clock spent on graph construction; zero for
+// indexes over pre-built or loaded graphs.
+func (x *Index) GraphTime() time.Duration { return x.graphTime }
+
+// Cluster partitions the indexed dataset into k clusters with
+// graph-supported boost k-means (Alg. 2). Options given here override the
+// Build-time options (seed, epoch cap, trace, traditional, progress). The
+// call only reads the index, so any number of clusterings — at the same or
+// different k — may run concurrently with each other and with searches.
+// ctx cancellation is honoured between epochs.
+func (x *Index) Cluster(ctx context.Context, k int, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := applyOptions(x.cfg, opts)
+	cc := core.Config{
+		K:           k,
+		MaxIter:     cfg.maxIter,
+		Seed:        cfg.seed,
+		Trace:       cfg.trace,
+		Traditional: cfg.traditional,
+		Interrupt:   ctx.Err,
+	}
+	if cfg.progress != nil {
+		progress := cfg.progress
+		cc.OnEpoch = func(epoch, maxIter int) { progress("cluster", epoch, maxIter) }
+	}
+	res, err := core.Cluster(x.data, x.graph, cc)
+	if err != nil {
+		return nil, err
+	}
+	return fromCore(res, x.graph, 0), nil
+}

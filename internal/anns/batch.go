@@ -6,28 +6,22 @@ import (
 	"gkmeans/internal/vec"
 )
 
-// CloneForConcurrent returns a searcher that shares this searcher's
-// read-only state (data, adjacency, entry points) but owns its own per-query
-// scratch, making the pair safe to use from two goroutines.
-func (s *Searcher) CloneForConcurrent() *Searcher {
-	return &Searcher{
-		data:    s.data,
-		g:       s.g,
-		entry:   s.entry,
-		adj:     s.adj,
-		visited: make([]int32, len(s.visited)),
-	}
-}
+// CloneForConcurrent returns the receiver. Per-query scratch now lives in a
+// sync.Pool inside the Searcher, so one Searcher is already safe for
+// concurrent use from any number of goroutines.
+//
+// Deprecated: call Search directly from multiple goroutines.
+func (s *Searcher) CloneForConcurrent() *Searcher { return s }
 
 // BatchSearch answers every query concurrently and returns one result list
 // per query. workers <= 0 selects GOMAXPROCS. The expensive symmetrised
-// adjacency is built once and shared across workers.
+// adjacency is built once and shared across workers; per-query scratch is
+// recycled through the searcher's pool.
 func BatchSearch(s *Searcher, queries *vec.Matrix, topK, ef, workers int) [][]knngraph.Neighbor {
 	out := make([][]knngraph.Neighbor, queries.N)
 	parallel.For(queries.N, workers, func(lo, hi int) {
-		w := s.CloneForConcurrent()
 		for qi := lo; qi < hi; qi++ {
-			out[qi] = w.Search(queries.Row(qi), topK, ef)
+			out[qi] = s.Search(queries.Row(qi), topK, ef)
 		}
 	})
 	return out

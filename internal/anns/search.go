@@ -11,15 +11,19 @@ package anns
 
 import (
 	"fmt"
+	"math"
 	"sort"
+	"sync"
 
 	"gkmeans/internal/knngraph"
 	"gkmeans/internal/vec"
 )
 
-// Searcher performs repeated queries against one dataset + graph pair. It
-// is not safe for concurrent use; create one Searcher per goroutine (they
-// share the underlying data and graph, which are read-only here).
+// Searcher performs repeated queries against one dataset + graph pair. The
+// dataset, adjacency and entry points are read-only after construction and
+// every per-query mutable structure lives in a searchScratch recycled
+// through a sync.Pool, so a single Searcher is safe for concurrent use from
+// any number of goroutines.
 type Searcher struct {
 	data  *vec.Matrix
 	g     *knngraph.Graph
@@ -31,10 +35,17 @@ type Searcher struct {
 	// search needs.
 	adj [][]int32
 
-	// visited is a per-query stamp array, reused across queries to avoid
-	// reallocating n booleans per search.
+	// scratch recycles per-query state across searches and goroutines.
+	scratch sync.Pool
+}
+
+// searchScratch is the per-query mutable state: the stamp-based visited set
+// and the bounded candidate pool. One scratch serves one search at a time;
+// the pool hands each goroutine its own.
+type searchScratch struct {
 	visited []int32
 	stamp   int32
+	pool    []candidate
 }
 
 // candidate is a pool entry during search.
@@ -63,7 +74,11 @@ func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, er
 	if nEntry > data.N {
 		nEntry = data.N
 	}
-	s := &Searcher{data: data, g: g, visited: make([]int32, data.N)}
+	s := &Searcher{data: data, g: g}
+	n := data.N
+	s.scratch.New = func() any {
+		return &searchScratch{visited: make([]int32, n)}
+	}
 	s.adj = make([][]int32, data.N)
 	for i, list := range g.Lists {
 		for _, nb := range list {
@@ -139,6 +154,7 @@ func (s *Searcher) components() []int32 {
 // Search returns the approximately closest topK samples to q, sorted by
 // ascending squared distance. ef bounds the candidate pool (larger ef =
 // higher recall, more distance computations); ef < topK is raised to topK.
+// Safe to call from any goroutine.
 func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 	if topK <= 0 {
 		return nil
@@ -146,10 +162,23 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 	if ef < topK {
 		ef = topK
 	}
-	s.stamp++
-	stamp := s.stamp
+	sc := s.scratch.Get().(*searchScratch)
+	if sc.stamp == math.MaxInt32 {
+		// Stamp wrapped: wash the visited array so stale stamps cannot
+		// collide with fresh ones.
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.stamp = 0
+	}
+	sc.stamp++
+	stamp := sc.stamp
 
-	pool := make([]candidate, 0, ef+1)
+	// cur is the index of the first unexpanded pool entry: entries before it
+	// are all expanded, so each iteration resumes there instead of rescanning
+	// the pool from 0 (which made Search O(ef²)).
+	cur := 0
+	pool := sc.pool[:0]
 	insert := func(id int32, dist float32) {
 		if len(pool) == ef && dist >= pool[len(pool)-1].dist {
 			return
@@ -160,35 +189,33 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 		}
 		copy(pool[pos+1:], pool[pos:len(pool)-1])
 		pool[pos] = candidate{id: id, dist: dist}
+		if pos < cur {
+			cur = pos
+		}
 	}
 
 	for _, e := range s.entry {
-		if s.visited[e] == stamp {
+		if sc.visited[e] == stamp {
 			continue
 		}
-		s.visited[e] = stamp
+		sc.visited[e] = stamp
 		insert(e, vec.L2Sqr(q, s.data.Row(int(e))))
 	}
 
 	for {
-		// Closest unexpanded candidate.
-		idx := -1
-		for i := range pool {
-			if !pool[i].expanded {
-				idx = i
-				break
-			}
+		for cur < len(pool) && pool[cur].expanded {
+			cur++
 		}
-		if idx < 0 {
+		if cur >= len(pool) {
 			break
 		}
-		pool[idx].expanded = true
-		node := pool[idx].id
+		pool[cur].expanded = true
+		node := pool[cur].id
 		for _, id := range s.adj[node] {
-			if s.visited[id] == stamp {
+			if sc.visited[id] == stamp {
 				continue
 			}
-			s.visited[id] = stamp
+			sc.visited[id] = stamp
 			insert(id, vec.L2Sqr(q, s.data.Row(int(id))))
 		}
 	}
@@ -200,6 +227,8 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 	for i := 0; i < topK; i++ {
 		out[i] = knngraph.Neighbor{ID: pool[i].id, Dist: pool[i].dist}
 	}
+	sc.pool = pool // keep the grown capacity for the next query
+	s.scratch.Put(sc)
 	return out
 }
 

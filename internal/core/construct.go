@@ -23,6 +23,11 @@ type GraphConfig struct {
 	// (1-based), the graph after refinement, and the clustering used for
 	// the round. Fig. 2 of the paper is generated from this hook.
 	OnRound func(t int, g *knngraph.Graph, labels []int)
+
+	// Interrupt, when non-nil, is polled before every construction round;
+	// a non-nil return aborts the build with that error. Context
+	// cancellation is plumbed through this hook.
+	Interrupt func() error
 }
 
 // BuildGraph constructs an approximate k-NN graph by the paper's
@@ -60,6 +65,11 @@ func BuildGraph(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, error) {
 	g := knngraph.Random(data, kappa, cfg.Seed)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	for t := 0; t < tau; t++ {
+		if cfg.Interrupt != nil {
+			if err := cfg.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		// Line 7: one GK-means pass (the inner iteration count is fixed to
 		// 1, §4.5). The seed varies per round so the 2M tree produces a
 		// fresh partition each time; diversity across rounds is what lets

@@ -32,6 +32,14 @@ type Config struct {
 	Trace       bool  // record per-epoch distortion history
 	InitLabels  []int // optional initial clustering; nil runs the 2M tree (Alg. 2 line 3)
 	Traditional bool  // GK-means−: nearest-centroid moves instead of boost k-means ΔI moves
+
+	// Interrupt, when non-nil, is polled before every optimisation epoch;
+	// a non-nil return aborts the run with that error. Context cancellation
+	// is plumbed through this hook.
+	Interrupt func() error
+	// OnEpoch, when non-nil, observes every completed epoch: the 1-based
+	// epoch number and the epoch cap. Progress reporting hangs off it.
+	OnEpoch func(epoch, maxIter int)
 }
 
 // Result extends the common clustering result with the statistic that
@@ -142,6 +150,11 @@ func clusterBoost(data *vec.Matrix, g *knngraph.Graph, cfg Config, labels []int,
 	coll := newCandidateCollector(cfg.K, g.Kappa)
 	var candTotal, candSamples int64
 	for iter := 0; iter < maxIter; iter++ {
+		if cfg.Interrupt != nil {
+			if err := cfg.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		moves := 0
 		for _, i := range order {
@@ -165,6 +178,9 @@ func clusterBoost(data *vec.Matrix, g *knngraph.Graph, cfg Config, labels []int,
 				Moves:      moves,
 				Elapsed:    initTime + time.Since(iterStart),
 			})
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(iter+1, maxIter)
 		}
 		if moves == 0 {
 			break
@@ -197,6 +213,11 @@ func clusterTraditional(data *vec.Matrix, g *knngraph.Graph, cfg Config, labels 
 	coll := newCandidateCollector(cfg.K, g.Kappa)
 	var candTotal, candSamples int64
 	for iter := 0; iter < maxIter; iter++ {
+		if cfg.Interrupt != nil {
+			if err := cfg.Interrupt(); err != nil {
+				return nil, err
+			}
+		}
 		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
 		moves := 0
 		for _, i := range order {
@@ -230,6 +251,9 @@ func clusterTraditional(data *vec.Matrix, g *knngraph.Graph, cfg Config, labels 
 				Moves:      moves,
 				Elapsed:    initTime + time.Since(iterStart),
 			})
+		}
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(iter+1, maxIter)
 		}
 		if moves == 0 {
 			break

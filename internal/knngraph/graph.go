@@ -302,6 +302,54 @@ func Read(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
+// encodedSize returns the exact byte count Write produces: a 12-byte
+// header plus, per node, a 4-byte list length and 8 bytes per neighbour.
+func (g *Graph) encodedSize() int64 {
+	size := int64(12)
+	for _, list := range g.Lists {
+		size += 4 + 8*int64(len(list))
+	}
+	return size
+}
+
+// WriteSection serialises the graph as a length-prefixed section: a uint64
+// byte count followed by the Write format, streamed (not buffered whole).
+// Unlike Write/Read, a section can be embedded in the middle of a larger
+// stream (index persistence does), because the prefix lets the reader
+// bound its buffering exactly.
+func (g *Graph) WriteSection(w io.Writer) (int64, error) {
+	size := g.encodedSize()
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(size))
+	n, err := w.Write(hdr[:])
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	if err := g.Write(w); err != nil {
+		return written, err
+	}
+	return written + size, nil
+}
+
+// ReadSection deserialises a graph written by WriteSection, consuming
+// exactly the section's bytes from r.
+func ReadSection(r io.Reader) (*Graph, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("knngraph: reading section header: %w", err)
+	}
+	size := binary.LittleEndian.Uint64(hdr[:])
+	if size > 1<<40 {
+		return nil, fmt.Errorf("knngraph: implausible section size %d", size)
+	}
+	g, err := Read(io.LimitReader(r, int64(size)))
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
 // SaveFile writes the graph to a file on disk.
 func (g *Graph) SaveFile(path string) error {
 	f, err := os.Create(path)

@@ -1,0 +1,81 @@
+package vec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Matrix (de)serialisation: a tiny shape header followed by the row-major
+// float32 payload, all little-endian. The format is a building block for
+// larger container files (the index persistence embeds it), so reads never
+// consume more bytes than the matrix occupies.
+
+// ioChunk is the streaming buffer size for the payload: large enough to
+// amortise Write calls, small enough not to double peak memory.
+const ioChunk = 16384 // float32 values per chunk (64 KiB)
+
+// WriteMatrix serialises m to w and returns the number of bytes written.
+func WriteMatrix(w io.Writer, m *Matrix) (int64, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.N))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Dim))
+	n, err := w.Write(hdr[:])
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	buf := make([]byte, 0, 4*ioChunk)
+	for off := 0; off < len(m.Data); off += ioChunk {
+		end := off + ioChunk
+		if end > len(m.Data) {
+			end = len(m.Data)
+		}
+		buf = buf[:0]
+		for _, v := range m.Data[off:end] {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		n, err := w.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadMatrix deserialises a matrix written by WriteMatrix. It reads exactly
+// the matrix's bytes from r — safe to call mid-stream.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("vec: reading matrix header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[0:]))
+	d := int(binary.LittleEndian.Uint32(hdr[4:]))
+	if n < 0 || d <= 0 || n > math.MaxInt32 || d > math.MaxInt32 {
+		return nil, fmt.Errorf("vec: invalid matrix shape %d×%d", n, d)
+	}
+	// Plausibility cap before allocating from an untrusted header: a corrupt
+	// file must fail with an error, not an OOM crash. 1 TiB of payload.
+	if int64(n)*int64(d) > (1<<40)/4 {
+		return nil, fmt.Errorf("vec: implausible matrix shape %d×%d", n, d)
+	}
+	m := NewMatrix(n, d)
+	buf := make([]byte, 4*ioChunk)
+	for off := 0; off < len(m.Data); off += ioChunk {
+		end := off + ioChunk
+		if end > len(m.Data) {
+			end = len(m.Data)
+		}
+		chunk := buf[:4*(end-off)]
+		if _, err := io.ReadFull(r, chunk); err != nil {
+			return nil, fmt.Errorf("vec: reading matrix payload: %w", err)
+		}
+		for i := range m.Data[off:end] {
+			m.Data[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[4*i:]))
+		}
+	}
+	return m, nil
+}

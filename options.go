@@ -1,0 +1,91 @@
+package gkmeans
+
+// Option is a functional option for Build, NewIndex and Index.Cluster. The
+// zero configuration reproduces the paper's standard setup (§4.4): κ=50,
+// ξ=50, τ=10, 50 optimisation epochs, GOMAXPROCS workers.
+type Option func(*config)
+
+// config is the resolved option set. Zero values mean "use the paper
+// default"; defaults are applied by the layer that consumes each field so
+// they stay defined in exactly one place.
+type config struct {
+	kappa   int
+	xi      int
+	tau     int
+	seed    int64
+	workers int
+	entries int
+
+	maxIter     int
+	trace       bool
+	traditional bool
+
+	clusterK int
+
+	progress func(stage string, done, total int)
+}
+
+func applyOptions(base config, opts []Option) config {
+	for _, o := range opts {
+		o(&base)
+	}
+	return base
+}
+
+// WithKappa sets the number of graph neighbours per sample (κ). Larger
+// values raise clustering and search quality at higher cost. Default 50.
+func WithKappa(kappa int) Option { return func(c *config) { c.kappa = kappa } }
+
+// WithXi sets the refinement cluster size used while building the graph (ξ).
+// Recommended range 40–100. Default 50.
+func WithXi(xi int) Option { return func(c *config) { c.xi = xi } }
+
+// WithTau sets the number of graph construction rounds (τ). 10 suffices for
+// clustering; up to 32 pays off when the graph is reused for ANN search.
+// Default 10.
+func WithTau(tau int) Option { return func(c *config) { c.tau = tau } }
+
+// WithSeed makes graph construction and clustering deterministic.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithWorkers bounds parallelism during graph construction and batch
+// search; <=0 uses GOMAXPROCS.
+func WithWorkers(workers int) Option { return func(c *config) { c.workers = workers } }
+
+// WithEntryPoints sets the number of ANN search entry points (<=0 selects
+// 16; raise it for data with many well-separated clusters).
+func WithEntryPoints(entries int) Option { return func(c *config) { c.entries = entries } }
+
+// WithMaxIter caps the clustering optimisation epochs. Default 50; a run
+// stops earlier at the first epoch with no accepted move.
+func WithMaxIter(maxIter int) Option { return func(c *config) { c.maxIter = maxIter } }
+
+// WithTrace records per-epoch distortion history in clustering results.
+func WithTrace() Option { return func(c *config) { c.trace = true } }
+
+// WithTraditional switches the optimisation step from boost k-means moves
+// to nearest-centroid moves (the paper's GK-means− ablation; lower quality,
+// same speed).
+func WithTraditional() Option { return func(c *config) { c.traditional = true } }
+
+// WithClusters makes Build also cluster the dataset into k clusters right
+// after the graph is ready; the result is available from Index.Clusters and
+// persists with the index.
+func WithClusters(k int) Option { return func(c *config) { c.clusterK = k } }
+
+// WithProgress installs a progress callback. It is invoked with stage
+// "graph" after every construction round and stage "cluster" after every
+// optimisation epoch, with done out of total units complete. The callback
+// must be safe for use from the goroutine that runs Build or Cluster.
+func WithProgress(fn func(stage string, done, total int)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// resolvedTau mirrors core.BuildGraph's default so progress totals match
+// the number of rounds actually run.
+func (c config) resolvedTau() int {
+	if c.tau <= 0 {
+		return 10
+	}
+	return c.tau
+}

@@ -1,0 +1,164 @@
+package gkmeans
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/vec"
+)
+
+// Whole-index persistence: a versioned container holding the dataset, the
+// k-NN graph (reusing the knngraph wire format as an embedded section) and
+// the optional Build-time clustering. Derived search structures (adjacency,
+// entry points) are rebuilt on load from the persisted entry-point count,
+// so a loaded index answers queries identically to the saved one.
+//
+// Layout (all little-endian):
+//
+//	uint32  magic "GKIX"
+//	uint32  format version (1)
+//	uint32  flags (bit 0: clustering section present)
+//	uint32  requested entry points (0 = default)
+//	matrix  dataset            (vec.WriteMatrix)
+//	section k-NN graph         (knngraph.WriteSection)
+//	[clustering: uint32 k, uint32 iters, n×int32 labels,
+//	             matrix centroids]
+const (
+	indexMagic   = uint32(0x474b4958) // "GKIX"
+	indexVersion = uint32(1)
+
+	flagClusters = uint32(1 << 0)
+)
+
+// countingWriter tracks bytes written so WriteTo can satisfy io.WriterTo.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serialises the whole index to w and returns the number of bytes
+// written. It implements io.WriterTo.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	var flags uint32
+	if x.clusters != nil {
+		flags |= flagClusters
+	}
+	entries := x.cfg.entries
+	if entries < 0 {
+		entries = 0 // any non-positive request means "default"; keep it 0 on disk
+	}
+	hdr := []uint32{indexMagic, indexVersion, flags, uint32(entries)}
+	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+		return cw.n, err
+	}
+	if _, err := vec.WriteMatrix(cw, x.data); err != nil {
+		return cw.n, err
+	}
+	if _, err := x.graph.WriteSection(cw); err != nil {
+		return cw.n, err
+	}
+	if x.clusters != nil {
+		c := x.clusters
+		if err := binary.Write(cw, binary.LittleEndian, []uint32{uint32(c.K), uint32(c.Iters)}); err != nil {
+			return cw.n, err
+		}
+		labels := make([]int32, len(c.Labels))
+		for i, l := range c.Labels {
+			labels[i] = int32(l)
+		}
+		if err := binary.Write(cw, binary.LittleEndian, labels); err != nil {
+			return cw.n, err
+		}
+		if _, err := vec.WriteMatrix(cw, c.Centroids); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+// ReadIndexFrom deserialises an index written by WriteTo. The loaded index
+// is immediately ready for Search, SearchBatch and Cluster and answers
+// searches identically to the index that was saved.
+func ReadIndexFrom(r io.Reader) (*Index, error) {
+	hdr := make([]uint32, 4)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, fmt.Errorf("gkmeans: reading index header: %w", err)
+	}
+	if hdr[0] != indexMagic {
+		return nil, fmt.Errorf("gkmeans: bad index magic %#x", hdr[0])
+	}
+	if hdr[1] != indexVersion {
+		return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d)", hdr[1], indexVersion)
+	}
+	flags, entries := hdr[2], int(hdr[3])
+
+	data, err := vec.ReadMatrix(r)
+	if err != nil {
+		return nil, err
+	}
+	g, err := knngraph.ReadSection(r)
+	if err != nil {
+		return nil, err
+	}
+	x, err := NewIndex(data, g, WithEntryPoints(entries))
+	if err != nil {
+		return nil, err
+	}
+	if flags&flagClusters != 0 {
+		var ck [2]uint32
+		if err := binary.Read(r, binary.LittleEndian, ck[:]); err != nil {
+			return nil, fmt.Errorf("gkmeans: reading clustering header: %w", err)
+		}
+		labels32 := make([]int32, data.N)
+		if err := binary.Read(r, binary.LittleEndian, labels32); err != nil {
+			return nil, fmt.Errorf("gkmeans: reading labels: %w", err)
+		}
+		labels := make([]int, len(labels32))
+		for i, l := range labels32 {
+			labels[i] = int(l)
+		}
+		centroids, err := vec.ReadMatrix(r)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Labels: labels, Centroids: centroids, K: int(ck[0]), Iters: int(ck[1]), Graph: g}
+		if err := res.Validate(data); err != nil {
+			return nil, fmt.Errorf("gkmeans: corrupt clustering section: %w", err)
+		}
+		x.clusters = res
+	}
+	return x, nil
+}
+
+// SaveIndex writes the index to a file on disk.
+func SaveIndex(path string, x *Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := x.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadIndex reads an index from a file written by SaveIndex.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadIndexFrom(f)
+}

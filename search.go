@@ -1,0 +1,56 @@
+package gkmeans
+
+import (
+	"gkmeans/internal/anns"
+)
+
+// ensureSearcher builds the search structures (symmetrised adjacency, entry
+// points) on first use. It cannot fail: Build/NewIndex already validated
+// the only invariants anns.NewSearcher checks.
+func (x *Index) ensureSearcher() *anns.Searcher {
+	x.searcherOnce.Do(func() {
+		s, err := anns.NewSearcher(x.data, x.graph, x.cfg.entries)
+		if err != nil {
+			// Unreachable by construction; keep the invariant loud.
+			panic("gkmeans: index searcher: " + err.Error())
+		}
+		x.searcher = s
+	})
+	return x.searcher
+}
+
+// defaultEf resolves the candidate pool size: a non-positive ef selects
+// max(4·topK, 32), a reasonable recall/latency default.
+func defaultEf(topK, ef int) int {
+	if ef > 0 {
+		return ef
+	}
+	if ef = 4 * topK; ef < 32 {
+		ef = 32
+	}
+	return ef
+}
+
+// Search returns the approximately closest topK samples to q, sorted by
+// ascending squared distance. ef bounds the candidate pool (larger ef =
+// higher recall, more distance computations); ef <= 0 selects
+// max(4·topK, 32), and ef < topK is raised to topK. Safe to call from any
+// goroutine.
+func (x *Index) Search(q []float32, topK, ef int) []Neighbor {
+	return x.ensureSearcher().Search(q, topK, defaultEf(topK, ef))
+}
+
+// SearchBatch answers every query concurrently and returns one sorted
+// result list per query. ef follows the same defaulting as Search; the
+// worker count comes from WithWorkers (<=0 selects GOMAXPROCS). Safe to
+// call from any goroutine, including concurrently with Search.
+func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
+	return anns.BatchSearch(x.ensureSearcher(), queries, topK, defaultEf(topK, ef), x.cfg.workers)
+}
+
+// Recall evaluates the index on a query set against exact ground truth (one
+// exact top-k id list per query, e.g. from ExactNeighbors) and returns the
+// average recall@k at the given pool size ef.
+func (x *Index) Recall(queries *Matrix, truth [][]int32, k, ef int) float64 {
+	return anns.RecallAt(x.ensureSearcher(), queries, truth, k, defaultEf(k, ef))
+}
