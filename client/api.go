@@ -1,0 +1,88 @@
+package client
+
+// Wire types of the gkserved HTTP/JSON API, shared by this client and the
+// server implementation (gkmeans/internal/server) so the two cannot drift.
+// All endpoints exchange JSON; errors are `{"error": "..."}` with a
+// non-2xx status code.
+
+// Neighbor is one search result on the wire: a sample id and its squared
+// Euclidean distance, mirroring gkmeans.Neighbor.
+type Neighbor struct {
+	ID   int32   `json:"id"`
+	Dist float32 `json:"dist"`
+}
+
+// SearchRequest is the body of POST /v1/indexes/{name}/search. Exactly one
+// of Query (single) or Queries (batch) must be set. TopK is the number of
+// neighbours to return; Ef bounds the candidate pool and follows the
+// library defaulting (ef <= 0 selects max(4·topK, 32), ef < topK is raised
+// to topK).
+type SearchRequest struct {
+	Query   []float32   `json:"query,omitempty"`
+	Queries [][]float32 `json:"queries,omitempty"`
+	TopK    int         `json:"top_k"`
+	Ef      int         `json:"ef,omitempty"`
+}
+
+// SearchResponse carries one sorted neighbour list per query; a single-query
+// request gets exactly one list.
+type SearchResponse struct {
+	Results [][]Neighbor `json:"results"`
+}
+
+// ClusterRequest is the body of POST /v1/indexes/{name}/cluster: cluster the
+// indexed dataset into K clusters over the served k-NN graph. Labels and
+// centroids are opt-in because they scale with n and k×d respectively.
+type ClusterRequest struct {
+	K             int   `json:"k"`
+	MaxIter       int   `json:"max_iter,omitempty"`
+	Seed          int64 `json:"seed,omitempty"`
+	WithLabels    bool  `json:"with_labels,omitempty"`
+	WithCentroids bool  `json:"with_centroids,omitempty"`
+}
+
+// ClusterResponse summarises a clustering run.
+type ClusterResponse struct {
+	K          int         `json:"k"`
+	Iters      int         `json:"iters"`
+	Distortion float64     `json:"distortion"`
+	Labels     []int       `json:"labels,omitempty"`
+	Centroids  [][]float32 `json:"centroids,omitempty"`
+}
+
+// RegisterRequest is the body of POST /v1/indexes: load a persisted index
+// (a .gkx file written by gkmeans.SaveIndex) from the server's filesystem
+// and serve it under Name.
+type RegisterRequest struct {
+	Name string `json:"name"`
+	Path string `json:"path"`
+}
+
+// IndexInfo describes one served index (GET /v1/indexes).
+type IndexInfo struct {
+	Name        string `json:"name"`
+	N           int    `json:"n"`
+	Dim         int    `json:"dim"`
+	HasClusters bool   `json:"has_clusters"`
+}
+
+// ListResponse is the body of GET /v1/indexes.
+type ListResponse struct {
+	Indexes []IndexInfo `json:"indexes"`
+}
+
+// IndexStats extends IndexInfo with serving counters
+// (GET /v1/indexes/{name}/stats). Queries counts every query answered
+// (single and batch rows); Batches counts SearchBatch executions on the hot
+// path, so Queries > Batches means the micro-batching coalescer merged
+// concurrent single-query requests.
+type IndexStats struct {
+	IndexInfo
+	Path             string `json:"path,omitempty"`
+	Queries          int64  `json:"queries"`
+	Batches          int64  `json:"batches"`
+	MaxBatch         int64  `json:"max_batch"`
+	BatchRequests    int64  `json:"batch_requests"`
+	ClusterRequests  int64  `json:"cluster_requests"`
+	CoalesceWindowNS int64  `json:"coalesce_window_ns"`
+}

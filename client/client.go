@@ -1,0 +1,242 @@
+// Package client is a typed Go client for gkserved, the HTTP serving
+// daemon of the gkmeans library. It speaks the /v1 JSON API: single and
+// batched approximate nearest-neighbour search, graph-supported clustering,
+// index listing/registration and serving stats.
+//
+// Every call takes a context and honours its cancellation. Transient
+// failures — connection errors and 502/503/504 responses — are retried
+// with exponential backoff (configurable via WithRetries/WithRetryBackoff)
+// on every call except Register, the one operation whose blind retry could
+// misreport an already-applied registration as a conflict.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one gkserved instance. It is safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default:
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a transient failure is retried after the
+// first attempt (default 2; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithRetryBackoff sets the initial retry delay, doubled after every
+// failed attempt (default 50ms).
+func WithRetryBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New returns a client for the server at baseURL (e.g. "http://localhost:8080").
+// The default transport is a private clone of http.DefaultTransport, so the
+// client owns its connection pool and Close affects nothing else.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		retries: 2,
+		backoff: 50 * time.Millisecond,
+	}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		c.hc = &http.Client{Transport: t.Clone()}
+	} else {
+		c.hc = &http.Client{}
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Close releases idle connections held by the underlying HTTP client.
+// Call it when done with the client: a draining server waits several
+// seconds for half-open idle connections before giving up on them, so
+// closing them client-side lets a graceful shutdown finish promptly.
+func (c *Client) Close() { c.hc.CloseIdleConnections() }
+
+// APIError is a non-2xx response from the server.
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-provided error message
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("gkserved: %s (HTTP %d)", e.Message, e.Status)
+}
+
+// retryable reports whether a status code signals a transient condition
+// worth retrying: bad gateway, service draining/unavailable, or timeout.
+func retryable(status int) bool {
+	return status == http.StatusBadGateway ||
+		status == http.StatusServiceUnavailable ||
+		status == http.StatusGatewayTimeout
+}
+
+// do runs one API call with retries. in (when non-nil) is marshalled as the
+// JSON request body; out (when non-nil) receives the decoded response.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	return c.doRetries(ctx, method, path, in, out, c.retries)
+}
+
+func (c *Client) doRetries(ctx context.Context, method, path string, in, out any, retries int) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			delay := c.backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
+			case <-time.After(delay):
+			}
+		}
+		lastErr = c.once(ctx, method, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		var apiErr *APIError
+		if errors.As(lastErr, &apiErr) && !retryable(apiErr.Status) {
+			return lastErr // a definitive server verdict: do not retry
+		}
+		if ctx.Err() != nil || attempt >= retries {
+			return lastErr
+		}
+	}
+}
+
+// once runs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Health reports whether the server is up and accepting work; a draining
+// (shutting down) server returns an *APIError with status 503.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Indexes lists the served indexes.
+func (c *Client) Indexes(ctx context.Context) ([]IndexInfo, error) {
+	var out ListResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/indexes", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Indexes, nil
+}
+
+// Register asks the server to load the persisted index at path (a .gkx file
+// on the server's filesystem, written by gkmeans.SaveIndex) and serve it
+// under name. Unlike the read-only calls, registration is not retried: a
+// first attempt whose response was lost may have registered the index, and
+// a blind retry would misreport that success as 409 Conflict.
+func (c *Client) Register(ctx context.Context, name, path string) (IndexInfo, error) {
+	var out IndexInfo
+	err := c.doRetries(ctx, http.MethodPost, "/v1/indexes", RegisterRequest{Name: name, Path: path}, &out, 0)
+	return out, err
+}
+
+// Stats fetches the serving counters of one index.
+func (c *Client) Stats(ctx context.Context, name string) (IndexStats, error) {
+	var out IndexStats
+	err := c.do(ctx, http.MethodGet, "/v1/indexes/"+name+"/stats", nil, &out)
+	return out, err
+}
+
+// Search returns the approximately closest topK samples to q, sorted by
+// ascending squared distance. On the server, concurrent single-query
+// searches are micro-batched through the index's SearchBatch. ef follows
+// the library defaulting (<=0 selects max(4·topK, 32)).
+func (c *Client) Search(ctx context.Context, name string, q []float32, topK, ef int) ([]Neighbor, error) {
+	var out SearchResponse
+	req := SearchRequest{Query: q, TopK: topK, Ef: ef}
+	if err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/search", req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != 1 {
+		return nil, fmt.Errorf("client: server returned %d result lists for one query", len(out.Results))
+	}
+	return out.Results[0], nil
+}
+
+// SearchBatch answers every query and returns one sorted neighbour list per
+// query, in order. An empty query set answers locally with no request.
+func (c *Client) SearchBatch(ctx context.Context, name string, queries [][]float32, topK, ef int) ([][]Neighbor, error) {
+	if len(queries) == 0 {
+		// The wire format cannot distinguish an empty batch from an absent
+		// one (omitempty), and there is nothing to ask anyway.
+		return [][]Neighbor{}, nil
+	}
+	var out SearchResponse
+	req := SearchRequest{Queries: queries, TopK: topK, Ef: ef}
+	if err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/search", req, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Results) != len(queries) {
+		return nil, fmt.Errorf("client: server returned %d result lists for %d queries", len(out.Results), len(queries))
+	}
+	return out.Results, nil
+}
+
+// Cluster partitions the served dataset into req.K clusters with
+// graph-supported boost k-means on the server.
+func (c *Client) Cluster(ctx context.Context, name string, req ClusterRequest) (ClusterResponse, error) {
+	var out ClusterResponse
+	err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/cluster", req, &out)
+	return out, err
+}

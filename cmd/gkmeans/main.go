@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "fvecs input file (alternative to -synth)")
+		dataPath  = flag.String("data", "", "fvecs or bvecs input file (alternative to -synth)")
 		synth     = flag.String("synth", "", "synthetic corpus: sift, gist, glove or vlad")
 		n         = flag.Int("n", 10000, "number of samples (synthetic input or fvecs cap)")
 		k         = flag.Int("k", 1000, "number of clusters")
@@ -64,7 +64,7 @@ func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxI
 	switch {
 	case dataPath != "":
 		var err error
-		data, err = gkmeans.LoadFvecs(dataPath, n)
+		data, err = gkmeans.LoadVectors(dataPath, n)
 		if err != nil {
 			return fmt.Errorf("loading %s: %w", dataPath, err)
 		}

@@ -1,0 +1,110 @@
+// Command gkserved serves persisted gkmeans indexes (.gkx files written by
+// gkmeans.SaveIndex or `gkmeans -index`) over HTTP: approximate
+// nearest-neighbour search — with concurrent single-query requests
+// micro-batched through SearchBatch — graph-supported clustering, index
+// listing/registration, per-endpoint metrics and health checking.
+//
+//	gkserved -listen :8080 -index sift=sift.gkx -index glove=glove.gkx
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/v1/indexes
+//	curl -d '{"query":[...],"top_k":10}' localhost:8080/v1/indexes/sift/search
+//	curl -d '{"name":"new","path":"new.gkx"}' localhost:8080/v1/indexes
+//	curl localhost:8080/debug/vars
+//
+// On SIGINT/SIGTERM the daemon drains: the health check flips to 503, open
+// micro-batches are flushed, in-flight requests finish (up to -drain), and
+// only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gkmeans/internal/server"
+)
+
+// indexFlags collects repeated -index name=path.gkx arguments.
+type indexFlags []struct{ name, path string }
+
+func (f *indexFlags) String() string { return fmt.Sprintf("%d indexes", len(*f)) }
+
+func (f *indexFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path.gkx, got %q", v)
+	}
+	*f = append(*f, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var indexes indexFlags
+	var (
+		listen   = flag.String("listen", ":8080", "address to serve on")
+		window   = flag.Duration("window", server.DefaultWindow, "micro-batch collection window (0 disables batching)")
+		maxBatch = flag.Int("max-batch", server.DefaultMaxBatch, "max single queries coalesced into one SearchBatch")
+		drain    = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Var(&indexes, "index", "serve a persisted index as name=path.gkx (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gkserved: ", log.LstdFlags)
+	if err := run(logger, *listen, *window, *maxBatch, *drain, indexes); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+func run(logger *log.Logger, listen string, window time.Duration, maxBatch int,
+	drain time.Duration, indexes indexFlags) error {
+
+	if window <= 0 {
+		window = -1 // "-window 0" means no batching, not the server default
+	}
+	srv := server.New(server.Config{Window: window, MaxBatch: maxBatch, Logger: logger})
+	for _, ix := range indexes {
+		if err := srv.RegisterFile(ix.name, ix.path); err != nil {
+			return err
+		}
+	}
+	if len(indexes) == 0 {
+		logger.Printf("no -index given; starting empty (register via POST /v1/indexes)")
+	}
+
+	hs := &http.Server{Addr: listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s", listen)
+		errc <- hs.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received, draining for up to %s", drain)
+	srv.BeginShutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained, exiting")
+	return nil
+}

@@ -57,6 +57,28 @@
 // Wrap a graph built elsewhere (a loaded file, NN-Descent, …) with NewIndex
 // to search or cluster over it.
 //
+// # Serving an index
+//
+// A persisted index can be served over HTTP without linking this library:
+// the gkserved daemon (cmd/gkserved) loads .gkx files into a named
+// registry and exposes search, clustering, index listing, hot
+// registration, stats and /debug/vars metrics as a JSON API. Its hot path
+// micro-batches: concurrent single-query searches are coalesced for a
+// short window and answered through one SearchBatch call, so callers
+// share the worker pool. On SIGTERM it drains in-flight work before
+// exiting.
+//
+//	gkserved -listen :8080 -index sift=sift.gkx
+//
+// The typed Go client lives in gkmeans/client; results are identical to
+// calling Index.Search in-process:
+//
+//	cl := client.New("http://localhost:8080")
+//	nbs, err := cl.Search(ctx, "sift", q, 10, 64)
+//
+// See examples/serve for the full build → persist → serve → query → drain
+// walkthrough in one process.
+//
 // # Migrating from the legacy functions
 //
 // The original free functions remain as thin deprecated wrappers over the

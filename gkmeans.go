@@ -3,6 +3,8 @@ package gkmeans
 import (
 	"context"
 	"fmt"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"gkmeans/internal/anns"
@@ -46,6 +48,24 @@ func LoadFvecs(path string, maxN int) (*Matrix, error) {
 
 // SaveFvecs writes a matrix to an fvecs file.
 func SaveFvecs(path string, m *Matrix) error { return dataset.SaveFvecsFile(path, m) }
+
+// LoadBvecs reads up to maxN vectors from a bvecs file (the byte-vector
+// format of SIFT1B), widening each byte to float32; maxN <= 0 reads
+// everything.
+func LoadBvecs(path string, maxN int) (*Matrix, error) {
+	return dataset.LoadBvecsFile(path, maxN)
+}
+
+// LoadVectors reads up to maxN vectors from an fvecs or bvecs file,
+// dispatching on the file extension (".bvecs" selects the byte format,
+// anything else the float format). It is the loader behind every file-fed
+// tool in this repository.
+func LoadVectors(path string, maxN int) (*Matrix, error) {
+	if strings.EqualFold(filepath.Ext(path), ".bvecs") {
+		return LoadBvecs(path, maxN)
+	}
+	return LoadFvecs(path, maxN)
+}
 
 // Options tunes the GK-means pipeline. The zero value reproduces the
 // paper's standard configuration (§4.4): κ=50, ξ=50, τ=10.

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gkmeans"
+)
+
+// ErrDraining is returned for work submitted after shutdown has begun.
+var ErrDraining = errors.New("server: draining, not accepting new work")
+
+// coalescer micro-batches concurrent single-query searches against one
+// index. Each incoming query joins the open batch for its (topK, ef)
+// parameters; a batch is executed — one Index.SearchBatch call fanning the
+// queries across the worker pool — as soon as it reaches maxBatch queries
+// or its collection window expires, whichever comes first. Under load this
+// turns q concurrent HTTP requests into ~q/maxBatch batched searches that
+// share workers instead of contending query by query; an idle server pays
+// at most the window in added latency.
+//
+// Results are identical to calling Index.Search directly: batches are
+// grouped by exact (topK, ef), and SearchBatch resolves those parameters
+// the same way Search does.
+type coalescer struct {
+	idx      *gkmeans.Index
+	window   time.Duration
+	maxBatch int
+
+	mu     sync.Mutex
+	closed bool
+	groups map[searchKey]*batchGroup
+
+	queries  atomic.Int64 // single queries accepted
+	batches  atomic.Int64 // SearchBatch executions
+	maxFlush atomic.Int64 // largest batch executed
+}
+
+// searchKey groups queries that can share one SearchBatch call.
+type searchKey struct{ topK, ef int }
+
+// batchGroup is one open batch: the collected queries and one result
+// channel per caller. flushed guards against the double flush that the
+// size trigger and the window timer could otherwise race into.
+type batchGroup struct {
+	key     searchKey
+	queries [][]float32
+	out     []chan []gkmeans.Neighbor
+	timer   *time.Timer
+	flushed bool
+}
+
+// newCoalescer wires a coalescer to an index. window <= 0 disables
+// batching (every query runs alone); maxBatch <= 1 likewise.
+func newCoalescer(idx *gkmeans.Index, window time.Duration, maxBatch int) *coalescer {
+	return &coalescer{
+		idx:      idx,
+		window:   window,
+		maxBatch: maxBatch,
+		groups:   make(map[searchKey]*batchGroup),
+	}
+}
+
+// Search answers one query through the micro-batcher. It blocks until the
+// query's batch has executed or ctx is done; a query whose caller gave up
+// still executes with its batch (the result is simply dropped).
+func (c *coalescer) Search(ctx context.Context, q []float32, topK, ef int) ([]gkmeans.Neighbor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if c.window <= 0 || c.maxBatch <= 1 {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return nil, ErrDraining
+		}
+		c.queries.Add(1)
+		c.batches.Add(1)
+		c.bumpMaxFlush(1)
+		return c.idx.Search(q, topK, ef), nil
+	}
+
+	key := searchKey{topK: topK, ef: ef}
+	ch := make(chan []gkmeans.Neighbor, 1) // buffered: delivery never blocks on a gone caller
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrDraining
+	}
+	c.queries.Add(1)
+	g, ok := c.groups[key]
+	if !ok {
+		g = &batchGroup{key: key}
+		g.timer = time.AfterFunc(c.window, func() { c.flush(g) })
+		c.groups[key] = g
+	}
+	g.queries = append(g.queries, q)
+	g.out = append(g.out, ch)
+	full := len(g.queries) >= c.maxBatch
+	if full {
+		c.detachLocked(g)
+	}
+	c.mu.Unlock()
+
+	if full {
+		// The filling goroutine runs the batch itself: natural backpressure,
+		// and no handoff latency for the batch-mates waiting on channels.
+		c.run(g)
+	}
+
+	select {
+	case res := <-ch:
+		return res, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// detachLocked removes g from the open set and disarms its timer. The
+// caller holds c.mu; after detach, the caller owns g exclusively.
+func (c *coalescer) detachLocked(g *batchGroup) {
+	g.flushed = true
+	g.timer.Stop()
+	delete(c.groups, g.key)
+}
+
+// flush is the window-timer path: claim the group if the size trigger has
+// not already, then execute it.
+func (c *coalescer) flush(g *batchGroup) {
+	c.mu.Lock()
+	if g.flushed {
+		c.mu.Unlock()
+		return
+	}
+	c.detachLocked(g)
+	c.mu.Unlock()
+	c.run(g)
+}
+
+// run executes one claimed batch and delivers each caller its result list.
+func (c *coalescer) run(g *batchGroup) {
+	c.batches.Add(1)
+	c.bumpMaxFlush(int64(len(g.queries)))
+	m := gkmeans.FromRows(g.queries)
+	res := c.idx.SearchBatch(m, g.key.topK, g.key.ef)
+	for i, ch := range g.out {
+		ch <- res[i]
+	}
+}
+
+func (c *coalescer) bumpMaxFlush(n int64) {
+	for {
+		cur := c.maxFlush.Load()
+		if n <= cur || c.maxFlush.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Close stops accepting new queries and synchronously executes every open
+// batch, so callers already waiting get their results — the drain step of
+// graceful shutdown.
+func (c *coalescer) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	pending := make([]*batchGroup, 0, len(c.groups))
+	for _, g := range c.groups {
+		pending = append(pending, g)
+	}
+	for _, g := range pending {
+		c.detachLocked(g)
+	}
+	c.mu.Unlock()
+	for _, g := range pending {
+		c.run(g)
+	}
+}
+
+// Stats returns the counters: total queries accepted, batches executed and
+// the largest batch.
+func (c *coalescer) Stats() (queries, batches, maxBatch int64) {
+	return c.queries.Load(), c.batches.Load(), c.maxFlush.Load()
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gkmeans"
+	"gkmeans/internal/dataset"
+)
+
+// testIndex builds one small deterministic index per test binary run.
+var (
+	testIdxOnce sync.Once
+	testIdx     *gkmeans.Index
+	testQueries *gkmeans.Matrix
+)
+
+func sharedIndex(t testing.TB) (*gkmeans.Index, *gkmeans.Matrix) {
+	t.Helper()
+	testIdxOnce.Do(func() {
+		all := dataset.SIFTLike(540, 7)
+		data, queries := dataset.Split(all, 40)
+		idx, err := gkmeans.Build(context.Background(), data,
+			gkmeans.WithKappa(10), gkmeans.WithXi(25), gkmeans.WithTau(4), gkmeans.WithSeed(3))
+		if err != nil {
+			panic(err)
+		}
+		testIdx, testQueries = idx, queries
+	})
+	return testIdx, testQueries
+}
+
+func neighborsEqual(a, b []gkmeans.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Queries answered through the coalescer must be bit-identical to direct
+// Index.Search calls, and hammering it from many goroutines must batch them.
+func TestCoalescerMatchesDirectSearchUnderLoad(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	c := newCoalescer(idx, 50*time.Millisecond, 8)
+	defer c.Close()
+
+	const goroutines, perG = 32, 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				q := queries.Row((g*perG + i) % queries.N)
+				got, err := c.Search(context.Background(), q, 10, 64)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if want := idx.Search(q, 10, 64); !neighborsEqual(got, want) {
+					errs <- fmt.Errorf("g%d i%d: coalesced result differs from direct Index.Search", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	nq, nb, maxB := c.Stats()
+	if nq != goroutines*perG {
+		t.Fatalf("coalescer accepted %d queries, want %d (dropped requests)", nq, goroutines*perG)
+	}
+	if nb >= nq {
+		t.Fatalf("%d batches for %d queries: coalescer never batched", nb, nq)
+	}
+	if maxB < 2 || maxB > 8 {
+		t.Fatalf("max batch %d outside (1, maxBatch]", maxB)
+	}
+}
+
+// Reaching maxBatch must flush immediately — no waiting out the window.
+func TestCoalescerSizeTrigger(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	// A window far longer than the test timeout: only the size trigger can
+	// flush, so completion itself proves the trigger works.
+	c := newCoalescer(idx, time.Hour, 4)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.Search(context.Background(), queries.Row(i), 5, 32); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("size-triggered flush never happened")
+	}
+	if _, nb, _ := c.Stats(); nb != 1 {
+		t.Fatalf("4 queries at maxBatch=4 ran as %d batches, want 1", nb)
+	}
+}
+
+// Different (topK, ef) parameters must not share a batch — mixing them
+// would change results.
+func TestCoalescerGroupsByParams(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	c := newCoalescer(idx, 20*time.Millisecond, 64)
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	run := func(topK, ef int) {
+		defer wg.Done()
+		q := queries.Row(0)
+		got, err := c.Search(context.Background(), q, topK, ef)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if want := idx.Search(q, topK, ef); !neighborsEqual(got, want) {
+			t.Errorf("topK=%d ef=%d: coalesced result differs", topK, ef)
+		}
+	}
+	wg.Add(3)
+	go run(5, 32)
+	go run(10, 64)
+	go run(10, 0)
+	wg.Wait()
+
+	if _, nb, _ := c.Stats(); nb != 3 {
+		t.Fatalf("3 distinct parameter sets ran as %d batches, want 3", nb)
+	}
+}
+
+// A caller whose context dies while waiting gets the context error; the
+// batch still executes for its surviving members.
+func TestCoalescerContextCancellation(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	c := newCoalescer(idx, time.Hour, 1000) // nothing flushes on its own
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Search(ctx, queries.Row(0), 5, 32)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the query enqueue
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled caller never returned")
+	}
+
+	// Pre-cancelled contexts never enqueue at all.
+	if _, err := c.Search(ctx, queries.Row(0), 5, 32); err != context.Canceled {
+		t.Fatalf("pre-cancelled search: got %v, want context.Canceled", err)
+	}
+}
+
+// Close drains: callers already waiting get results, later callers get
+// ErrDraining.
+func TestCoalescerCloseDrains(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	c := newCoalescer(idx, time.Hour, 1000)
+
+	done := make(chan error, 1)
+	go func() {
+		res, err := c.Search(context.Background(), queries.Row(0), 5, 32)
+		if err == nil && len(res) != 5 {
+			err = fmt.Errorf("drained search returned %d results, want 5", len(res))
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the query enqueue
+	c.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waiting caller not drained: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not flush the open batch")
+	}
+
+	if _, err := c.Search(context.Background(), queries.Row(0), 5, 32); err != ErrDraining {
+		t.Fatalf("search after Close: got %v, want ErrDraining", err)
+	}
+	c.Close() // idempotent
+}
+
+// window <= 0 disables batching but keeps the same results and counters.
+func TestCoalescerDisabled(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	c := newCoalescer(idx, 0, 32)
+	q := queries.Row(1)
+	got, err := c.Search(context.Background(), q, 7, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := idx.Search(q, 7, 40); !neighborsEqual(got, want) {
+		t.Fatal("unbatched coalescer result differs from direct search")
+	}
+	nq, nb, maxB := c.Stats()
+	if nq != 1 || nb != 1 || maxB != 1 {
+		t.Fatalf("stats %d/%d/%d, want 1/1/1", nq, nb, maxB)
+	}
+	c.Close()
+	if _, err := c.Search(context.Background(), q, 7, 40); err != ErrDraining {
+		t.Fatalf("disabled coalescer after Close: got %v, want ErrDraining", err)
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latWindow is the per-endpoint ring of recent request latencies backing
+// the quantile estimates. 1024 samples bound both memory and the cost of
+// the sort performed when /debug/vars is scraped.
+const latWindow = 1024
+
+// metrics tracks per-endpoint request counts and latency quantiles plus a
+// server-wide in-flight gauge, exported as JSON at /debug/vars (the expvar
+// convention, but instance-scoped: no process-global registry, so many
+// servers can coexist in one process/test binary).
+type metrics struct {
+	inflight atomic.Int64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+}
+
+type endpointMetrics struct {
+	count atomic.Int64
+
+	mu     sync.Mutex
+	ring   [latWindow]float64 // latency in milliseconds
+	pos    int
+	filled int
+}
+
+func newMetrics() *metrics {
+	return &metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+// endpoint returns (creating on first use) the named endpoint's stats.
+func (m *metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[name]
+	if !ok {
+		em = &endpointMetrics{}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// observe records one completed request.
+func (em *endpointMetrics) observe(d time.Duration) {
+	em.count.Add(1)
+	ms := float64(d) / float64(time.Millisecond)
+	em.mu.Lock()
+	em.ring[em.pos] = ms
+	em.pos = (em.pos + 1) % latWindow
+	if em.filled < latWindow {
+		em.filled++
+	}
+	em.mu.Unlock()
+}
+
+// quantiles returns p50/p90/p99 over the retained window via the
+// nearest-rank method; zeros when nothing has been observed yet.
+func (em *endpointMetrics) quantiles() (p50, p90, p99 float64) {
+	em.mu.Lock()
+	n := em.filled
+	buf := make([]float64, n)
+	copy(buf, em.ring[:n])
+	em.mu.Unlock()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(buf)
+	rank := func(q float64) float64 {
+		i := int(q*float64(n)+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return buf[i]
+	}
+	return rank(0.50), rank(0.90), rank(0.99)
+}
+
+// instrument wraps a handler with the in-flight gauge and per-endpoint
+// count/latency tracking under name.
+func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := m.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			em.observe(time.Since(start))
+			m.inflight.Add(-1)
+		}()
+		h(w, r)
+	}
+}
+
+// endpointVars is the exported per-endpoint snapshot.
+type endpointVars struct {
+	Count int64   `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// serveVars renders the metrics snapshot at /debug/vars.
+func (m *metrics) serveVars(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	m.mu.Unlock()
+	sort.Strings(names)
+
+	eps := make(map[string]endpointVars, len(names))
+	for _, name := range names {
+		em := m.endpoint(name)
+		p50, p90, p99 := em.quantiles()
+		eps[name] = endpointVars{Count: em.count.Load(), P50Ms: p50, P90Ms: p90, P99Ms: p99}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"inflight":   m.inflight.Load(),
+		"endpoints":  eps,
+		"goroutines": runtime.NumGoroutine(),
+	})
+}

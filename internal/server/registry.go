@@ -1,0 +1,115 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gkmeans"
+	"gkmeans/client"
+)
+
+// nameRE constrains index names so they embed cleanly in URL paths.
+var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
+
+// errDuplicate marks a registration under a name that is already serving;
+// the HTTP layer maps it to 409 Conflict.
+var errDuplicate = errors.New("already registered")
+
+// entry is one served index: the immutable Index, its coalescer and its
+// serving counters.
+type entry struct {
+	name string
+	path string // source .gkx file, "" for in-process registration
+	idx  *gkmeans.Index
+	coal *coalescer
+
+	batchRequests   atomic.Int64 // explicit batch searches (bypass the coalescer)
+	batchQueries    atomic.Int64 // rows answered by explicit batch searches
+	clusterRequests atomic.Int64
+}
+
+// info snapshots the entry for the list endpoint.
+func (e *entry) info() client.IndexInfo {
+	return client.IndexInfo{
+		Name:        e.name,
+		N:           e.idx.N(),
+		Dim:         e.idx.Dim(),
+		HasClusters: e.idx.Clusters() != nil,
+	}
+}
+
+// stats snapshots the entry's serving counters.
+func (e *entry) stats(window time.Duration) client.IndexStats {
+	queries, batches, maxBatch := e.coal.Stats()
+	return client.IndexStats{
+		IndexInfo:        e.info(),
+		Path:             e.path,
+		Queries:          queries + e.batchQueries.Load(),
+		Batches:          batches,
+		MaxBatch:         maxBatch,
+		BatchRequests:    e.batchRequests.Load(),
+		ClusterRequests:  e.clusterRequests.Load(),
+		CoalesceWindowNS: int64(window),
+	}
+}
+
+// registry is the concurrent-safe name → index map behind /v1/indexes.
+// Registration is cheap relative to serving, so a single RWMutex suffices:
+// the hot search path takes only a read lock for the name lookup.
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+func newRegistry() *registry {
+	return &registry{entries: make(map[string]*entry)}
+}
+
+// add registers an index under name. It fails on a duplicate name so a
+// re-registration cannot silently swap an index out from under live
+// traffic.
+func (r *registry) add(name, path string, idx *gkmeans.Index, window time.Duration, maxBatch int) (*entry, error) {
+	if !nameRE.MatchString(name) {
+		return nil, fmt.Errorf("invalid index name %q (want %s)", name, nameRE)
+	}
+	e := &entry{name: name, path: path, idx: idx, coal: newCoalescer(idx, window, maxBatch)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return nil, fmt.Errorf("index %q: %w", name, errDuplicate)
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// get looks up a served index by name.
+func (r *registry) get(name string) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// list returns every entry sorted by name.
+func (r *registry) list() []*entry {
+	r.mu.RLock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// closeAll drains every coalescer; part of graceful shutdown.
+func (r *registry) closeAll() {
+	for _, e := range r.list() {
+		e.coal.Close()
+	}
+}

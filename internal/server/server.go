@@ -1,0 +1,357 @@
+// Package server implements gkserved's HTTP serving layer: a registry of
+// named gkmeans indexes served over a /v1 JSON API, with micro-batched
+// single-query search (concurrent requests coalesce into SearchBatch calls
+// that share the worker pool), graph-supported clustering, hot index
+// registration, instance-scoped /debug/vars metrics and graceful drain.
+//
+// The wire types live in gkmeans/client so the Go client and this server
+// share one definition of the API.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"gkmeans"
+	"gkmeans/client"
+)
+
+// Defaults for the micro-batching coalescer; see Config.
+const (
+	DefaultWindow   = time.Millisecond
+	DefaultMaxBatch = 32
+)
+
+// maxBodyBytes bounds request bodies (a batch of a few thousand
+// high-dimensional queries fits comfortably).
+const maxBodyBytes = 64 << 20
+
+// Config tunes a Server. The zero value serves with the defaults.
+type Config struct {
+	// Window is how long the coalescer holds the first single-query search
+	// of a batch while collecting company; 0 selects DefaultWindow, and a
+	// negative Window (or MaxBatch 1) disables batching entirely.
+	Window time.Duration
+	// MaxBatch caps how many single queries share one SearchBatch call;
+	// 0 selects DefaultMaxBatch.
+	MaxBatch int
+	// Logger receives serving events; nil discards them.
+	Logger *log.Logger
+}
+
+// Server serves a registry of indexes over HTTP. Create one with New,
+// register indexes, then mount Handler on any http.Server. Safe for
+// concurrent use.
+type Server struct {
+	cfg Config
+	reg *registry
+	met *metrics
+	mux *http.ServeMux
+
+	draining chan struct{} // closed when shutdown begins
+}
+
+// New builds a Server with no indexes registered.
+func New(cfg Config) *Server {
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	s := &Server{cfg: cfg, reg: newRegistry(), met: newMetrics(), draining: make(chan struct{})}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.met.instrument("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /v1/indexes", s.met.instrument("list", s.handleList))
+	s.mux.HandleFunc("POST /v1/indexes", s.met.instrument("register", s.handleRegister))
+	s.mux.HandleFunc("GET /v1/indexes/{name}/stats", s.met.instrument("stats", s.handleStats))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/search", s.met.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/cluster", s.met.instrument("cluster", s.handleCluster))
+	s.mux.HandleFunc("GET /debug/vars", s.met.instrument("debug_vars", s.met.serveVars))
+	return s
+}
+
+// Handler returns the root http.Handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// RegisterIndex serves an already-loaded index under name — the path used
+// by gkserved at startup and by tests/examples embedding the server.
+func (s *Server) RegisterIndex(name string, idx *gkmeans.Index) error {
+	return s.registerIndex(name, "", idx)
+}
+
+// RegisterFile loads a persisted index (gkmeans.SaveIndex) from path and
+// serves it under name.
+func (s *Server) RegisterFile(name, path string) error {
+	idx, err := gkmeans.LoadIndex(path)
+	if err != nil {
+		return fmt.Errorf("loading index %q from %s: %w", name, path, err)
+	}
+	return s.registerIndex(name, path, idx)
+}
+
+func (s *Server) registerIndex(name, path string, idx *gkmeans.Index) error {
+	e, err := s.reg.add(name, path, idx, s.cfg.Window, s.cfg.MaxBatch)
+	if err != nil {
+		return err
+	}
+	s.logf("serving index %q: %d×%d (clusters: %v)", name, e.idx.N(), e.idx.Dim(), e.idx.Clusters() != nil)
+	return nil
+}
+
+// BeginShutdown moves the server into draining: /healthz flips to 503 so
+// load balancers stop routing here, new searches are refused with 503, and
+// every open micro-batch is executed so waiting callers get their results.
+// In-flight requests run to completion — pair it with http.Server.Shutdown,
+// which drains connections. Idempotent.
+func (s *Server) BeginShutdown() {
+	select {
+	case <-s.draining:
+		return // already draining
+	default:
+	}
+	close(s.draining)
+	s.logf("draining: flushing open batches, refusing new work")
+	s.reg.closeAll()
+}
+
+// isDraining reports whether BeginShutdown has been called.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// writeError sends the API's error envelope.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSON sends a 200 with the JSON-encoded body.
+func writeJSON(w http.ResponseWriter, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
+}
+
+// decodeBody strictly decodes the request body into dst; unknown fields are
+// rejected so client typos surface as 400s instead of silently-default
+// behaviour.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	// A body with trailing garbage ("{}{}") is malformed too.
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON body")
+	}
+	return nil
+}
+
+// lookup resolves the {name} path segment against the registry, writing the
+// 404 itself when absent.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*entry, bool) {
+	name := r.PathValue("name")
+	e, ok := s.reg.get(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown index %q", name)
+		return nil, false
+	}
+	return e, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	entries := s.reg.list()
+	out := client.ListResponse{Indexes: make([]client.IndexInfo, 0, len(entries))}
+	for _, e := range entries {
+		out.Indexes = append(out.Indexes, e.info())
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req client.RegisterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed register request: %v", err)
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		writeError(w, http.StatusBadRequest, "register needs both name and path")
+		return
+	}
+	if _, dup := s.reg.get(req.Name); dup {
+		writeError(w, http.StatusConflict, "index %q already registered", req.Name)
+		return
+	}
+	if err := s.RegisterFile(req.Name, req.Path); err != nil {
+		// A racing registration can still lose to the registry's own
+		// duplicate check after the pre-check above passed.
+		code := http.StatusBadRequest
+		if errors.Is(err, errDuplicate) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	e, _ := s.reg.get(req.Name)
+	writeJSON(w, e.info())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, e.stats(s.cfg.Window))
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.SearchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed search request: %v", err)
+		return
+	}
+	single := req.Query != nil
+	batch := req.Queries != nil
+	switch {
+	case single == batch:
+		writeError(w, http.StatusBadRequest, "exactly one of query and queries must be set")
+		return
+	case req.TopK <= 0:
+		writeError(w, http.StatusBadRequest, "top_k must be positive, got %d", req.TopK)
+		return
+	}
+	dim := e.idx.Dim()
+	queries := req.Queries
+	if single {
+		queries = [][]float32{req.Query}
+	}
+	for i, q := range queries {
+		if len(q) != dim {
+			writeError(w, http.StatusBadRequest,
+				"query %d has dimensionality %d, index %q has %d", i, len(q), e.name, dim)
+			return
+		}
+	}
+	if len(queries) == 0 {
+		writeJSON(w, client.SearchResponse{Results: [][]client.Neighbor{}})
+		return
+	}
+
+	var results [][]gkmeans.Neighbor
+	if single {
+		res, err := e.coal.Search(r.Context(), req.Query, req.TopK, req.Ef)
+		if err != nil {
+			s.writeSearchError(w, err)
+			return
+		}
+		results = [][]gkmeans.Neighbor{res}
+	} else {
+		e.batchRequests.Add(1)
+		e.batchQueries.Add(int64(len(queries)))
+		results = e.idx.SearchBatch(gkmeans.FromRows(queries), req.TopK, req.Ef)
+	}
+
+	out := client.SearchResponse{Results: make([][]client.Neighbor, len(results))}
+	for i, res := range results {
+		list := make([]client.Neighbor, len(res))
+		for j, nb := range res {
+			list[j] = client.Neighbor{ID: nb.ID, Dist: nb.Dist}
+		}
+		out.Results[i] = list
+	}
+	writeJSON(w, out)
+}
+
+// writeSearchError maps coalescer errors to status codes.
+func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	default: // context cancellation: the client went away or timed out
+		writeError(w, http.StatusRequestTimeout, "search aborted: %v", err)
+	}
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.ClusterRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed cluster request: %v", err)
+		return
+	}
+	if req.K <= 0 || req.K > e.idx.N() {
+		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", e.idx.N(), req.K)
+		return
+	}
+	e.clusterRequests.Add(1)
+	var opts []gkmeans.Option
+	if req.MaxIter > 0 {
+		opts = append(opts, gkmeans.WithMaxIter(req.MaxIter))
+	}
+	if req.Seed != 0 {
+		opts = append(opts, gkmeans.WithSeed(req.Seed))
+	}
+	res, err := e.idx.Cluster(r.Context(), req.K, opts...)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "clustering failed: %v", err)
+		return
+	}
+	out := client.ClusterResponse{K: res.K, Iters: res.Iters, Distortion: res.Distortion(e.idx.Data())}
+	if req.WithLabels {
+		out.Labels = res.Labels
+	}
+	if req.WithCentroids {
+		out.Centroids = make([][]float32, res.Centroids.N)
+		for i := range out.Centroids {
+			row := make([]float32, res.Centroids.Dim)
+			copy(row, res.Centroids.Row(i))
+			out.Centroids[i] = row
+		}
+	}
+	writeJSON(w, out)
+}

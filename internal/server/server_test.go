@@ -1,0 +1,404 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gkmeans"
+	"gkmeans/client"
+)
+
+// newTestServer serves the shared test index as "sift".
+func newTestServer(t *testing.T) *Server {
+	t.Helper()
+	idx, _ := sharedIndex(t)
+	s := New(Config{Window: time.Millisecond, MaxBatch: 8})
+	if err := s.RegisterIndex("sift", idx); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// call sends one request through the handler and decodes the JSON reply.
+func call(t *testing.T, s *Server, method, path, body string, out any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	if out != nil && w.Code < 300 {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w
+}
+
+// errorOf extracts the error envelope of a non-2xx reply.
+func errorOf(t *testing.T, w *httptest.ResponseRecorder) string {
+	t.Helper()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &e); err != nil || e.Error == "" {
+		t.Fatalf("status %d reply %q is not the error envelope", w.Code, w.Body.String())
+	}
+	return e.Error
+}
+
+func searchBody(q []float32, topK, ef int) string {
+	b, _ := json.Marshal(client.SearchRequest{Query: q, TopK: topK, Ef: ef})
+	return string(b)
+}
+
+func TestServerErrorPaths(t *testing.T) {
+	s := newTestServer(t)
+	idx, queries := sharedIndex(t)
+	okQuery := queries.Row(0)
+
+	cases := []struct {
+		name          string
+		method, path  string
+		body          string
+		wantCode      int
+		wantErrSubstr string
+	}{
+		{"search unknown index", "POST", "/v1/indexes/nosuch/search",
+			searchBody(okQuery, 5, 32), http.StatusNotFound, "unknown index"},
+		{"stats unknown index", "GET", "/v1/indexes/nosuch/stats",
+			"", http.StatusNotFound, "unknown index"},
+		{"cluster unknown index", "POST", "/v1/indexes/nosuch/cluster",
+			`{"k":4}`, http.StatusNotFound, "unknown index"},
+		{"malformed search JSON", "POST", "/v1/indexes/sift/search",
+			`{"query": [1,2`, http.StatusBadRequest, "malformed"},
+		{"unknown search field", "POST", "/v1/indexes/sift/search",
+			`{"quary": [1], "top_k": 5}`, http.StatusBadRequest, "malformed"},
+		{"trailing garbage", "POST", "/v1/indexes/sift/search",
+			`{"query":[1],"top_k":5}{}`, http.StatusBadRequest, "malformed"},
+		{"neither query nor queries", "POST", "/v1/indexes/sift/search",
+			`{"top_k": 5}`, http.StatusBadRequest, "exactly one"},
+		{"both query and queries", "POST", "/v1/indexes/sift/search",
+			`{"query":[1],"queries":[[1]],"top_k":5}`, http.StatusBadRequest, "exactly one"},
+		{"non-positive top_k", "POST", "/v1/indexes/sift/search",
+			searchBody(okQuery, 0, 32), http.StatusBadRequest, "top_k"},
+		{"wrong dimensionality", "POST", "/v1/indexes/sift/search",
+			searchBody([]float32{1, 2, 3}, 5, 32), http.StatusBadRequest, "dimensionality"},
+		{"wrong dimensionality in batch", "POST", "/v1/indexes/sift/search",
+			`{"queries":[[1,2,3]],"top_k":5}`, http.StatusBadRequest, "dimensionality"},
+		{"malformed cluster JSON", "POST", "/v1/indexes/sift/cluster",
+			`k=4`, http.StatusBadRequest, "malformed"},
+		{"non-positive k", "POST", "/v1/indexes/sift/cluster",
+			`{"k":0}`, http.StatusBadRequest, "k must be"},
+		{"k beyond n", "POST", "/v1/indexes/sift/cluster",
+			fmt.Sprintf(`{"k":%d}`, idx.N()+1), http.StatusBadRequest, "k must be"},
+		{"malformed register JSON", "POST", "/v1/indexes",
+			`{`, http.StatusBadRequest, "malformed"},
+		{"register missing fields", "POST", "/v1/indexes",
+			`{"name":"x"}`, http.StatusBadRequest, "name and path"},
+		{"register unreadable path", "POST", "/v1/indexes",
+			`{"name":"x","path":"/nonexistent/a.gkx"}`, http.StatusBadRequest, "loading index"},
+		{"register duplicate name", "POST", "/v1/indexes",
+			`{"name":"sift","path":"/tmp/x.gkx"}`, http.StatusConflict, "already registered"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := call(t, s, c.method, c.path, c.body, nil)
+			if w.Code != c.wantCode {
+				t.Fatalf("status %d (%s), want %d", w.Code, w.Body.String(), c.wantCode)
+			}
+			if msg := errorOf(t, w); !strings.Contains(msg, c.wantErrSubstr) {
+				t.Fatalf("error %q does not mention %q", msg, c.wantErrSubstr)
+			}
+		})
+	}
+}
+
+func TestServerSearchSingleAndBatch(t *testing.T) {
+	s := newTestServer(t)
+	idx, queries := sharedIndex(t)
+
+	q := queries.Row(3)
+	var single client.SearchResponse
+	if w := call(t, s, "POST", "/v1/indexes/sift/search", searchBody(q, 10, 64), &single); w.Code != 200 {
+		t.Fatalf("single search: %d %s", w.Code, w.Body.String())
+	}
+	if len(single.Results) != 1 {
+		t.Fatalf("single search returned %d lists", len(single.Results))
+	}
+	want := idx.Search(q, 10, 64)
+	if len(single.Results[0]) != len(want) {
+		t.Fatalf("got %d neighbours, want %d", len(single.Results[0]), len(want))
+	}
+	for i, nb := range single.Results[0] {
+		if nb.ID != want[i].ID || nb.Dist != want[i].Dist {
+			t.Fatalf("result %d = %+v, want %+v", i, nb, want[i])
+		}
+	}
+
+	rows := make([][]float32, 5)
+	for i := range rows {
+		rows[i] = queries.Row(i)
+	}
+	body, _ := json.Marshal(client.SearchRequest{Queries: rows, TopK: 5, Ef: 40})
+	var batch client.SearchResponse
+	if w := call(t, s, "POST", "/v1/indexes/sift/search", string(body), &batch); w.Code != 200 {
+		t.Fatalf("batch search: %d %s", w.Code, w.Body.String())
+	}
+	if len(batch.Results) != 5 {
+		t.Fatalf("batch returned %d lists, want 5", len(batch.Results))
+	}
+	for qi, res := range batch.Results {
+		want := idx.Search(rows[qi], 5, 40)
+		for i, nb := range res {
+			if nb.ID != want[i].ID || nb.Dist != want[i].Dist {
+				t.Fatalf("batch query %d result %d = %+v, want %+v", qi, i, nb, want[i])
+			}
+		}
+	}
+
+	// An empty batch is a 200 with zero lists, not an error.
+	var empty client.SearchResponse
+	if w := call(t, s, "POST", "/v1/indexes/sift/search", `{"queries":[],"top_k":5}`, &empty); w.Code != 200 {
+		t.Fatalf("empty batch: %d %s", w.Code, w.Body.String())
+	}
+	if len(empty.Results) != 0 {
+		t.Fatalf("empty batch returned %d lists", len(empty.Results))
+	}
+}
+
+func TestServerListAndStats(t *testing.T) {
+	s := newTestServer(t)
+	idx, queries := sharedIndex(t)
+
+	var list client.ListResponse
+	call(t, s, "GET", "/v1/indexes", "", &list)
+	if len(list.Indexes) != 1 || list.Indexes[0].Name != "sift" ||
+		list.Indexes[0].N != idx.N() || list.Indexes[0].Dim != idx.Dim() {
+		t.Fatalf("list = %+v", list)
+	}
+
+	call(t, s, "POST", "/v1/indexes/sift/search", searchBody(queries.Row(0), 5, 32), nil)
+	var stats client.IndexStats
+	if w := call(t, s, "GET", "/v1/indexes/sift/stats", "", &stats); w.Code != 200 {
+		t.Fatalf("stats: %d %s", w.Code, w.Body.String())
+	}
+	if stats.Name != "sift" || stats.Queries < 1 || stats.Batches < 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.CoalesceWindowNS != int64(time.Millisecond) {
+		t.Fatalf("stats window %d, want %d", stats.CoalesceWindowNS, time.Millisecond)
+	}
+}
+
+func TestServerClusterEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	idx, _ := sharedIndex(t)
+
+	var res client.ClusterResponse
+	body := `{"k":8,"seed":5,"with_labels":true,"with_centroids":true}`
+	if w := call(t, s, "POST", "/v1/indexes/sift/cluster", body, &res); w.Code != 200 {
+		t.Fatalf("cluster: %d %s", w.Code, w.Body.String())
+	}
+	if res.K != 8 || res.Iters <= 0 || res.Distortion <= 0 {
+		t.Fatalf("cluster response %+v", res)
+	}
+	if len(res.Labels) != idx.N() {
+		t.Fatalf("%d labels for %d samples", len(res.Labels), idx.N())
+	}
+	if len(res.Centroids) != 8 || len(res.Centroids[0]) != idx.Dim() {
+		t.Fatalf("centroid shape %d×%d", len(res.Centroids), len(res.Centroids[0]))
+	}
+
+	// Labels and centroids stay off the wire unless asked for.
+	var lean client.ClusterResponse
+	call(t, s, "POST", "/v1/indexes/sift/cluster", `{"k":8,"seed":5}`, &lean)
+	if lean.Labels != nil || lean.Centroids != nil {
+		t.Fatal("labels/centroids returned without opt-in")
+	}
+}
+
+func TestServerHotRegistration(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	path := filepath.Join(t.TempDir(), "hot.gkx")
+	if err := gkmeans.SaveIndex(path, idx); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{})
+	var info client.IndexInfo
+	body, _ := json.Marshal(client.RegisterRequest{Name: "hot", Path: path})
+	if w := call(t, s, "POST", "/v1/indexes", string(body), &info); w.Code != 200 {
+		t.Fatalf("register: %d %s", w.Code, w.Body.String())
+	}
+	if info.Name != "hot" || info.N != idx.N() || info.Dim != idx.Dim() {
+		t.Fatalf("register info %+v", info)
+	}
+
+	// The freshly loaded index serves identically to the in-process one.
+	q := queries.Row(1)
+	var res client.SearchResponse
+	if w := call(t, s, "POST", "/v1/indexes/hot/search", searchBody(q, 5, 32), &res); w.Code != 200 {
+		t.Fatalf("search on hot index: %d %s", w.Code, w.Body.String())
+	}
+	want := idx.Search(q, 5, 32)
+	for i, nb := range res.Results[0] {
+		if nb.ID != want[i].ID || nb.Dist != want[i].Dist {
+			t.Fatalf("hot result %d = %+v, want %+v", i, nb, want[i])
+		}
+	}
+
+	// Invalid names never enter the registry.
+	if w := call(t, s, "POST", "/v1/indexes", `{"name":"../evil","path":"x.gkx"}`, nil); w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid name accepted: %d", w.Code)
+	}
+}
+
+func TestServerShutdownDrains(t *testing.T) {
+	s := newTestServer(t)
+	_, queries := sharedIndex(t)
+
+	if w := call(t, s, "GET", "/healthz", "", nil); w.Code != 200 {
+		t.Fatalf("healthz before shutdown: %d", w.Code)
+	}
+	s.BeginShutdown()
+	s.BeginShutdown() // idempotent
+
+	if w := call(t, s, "GET", "/healthz", "", nil); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", w.Code)
+	}
+	for _, c := range []struct{ method, path, body string }{
+		{"POST", "/v1/indexes/sift/search", searchBody(queries.Row(0), 5, 32)},
+		{"POST", "/v1/indexes/sift/cluster", `{"k":4}`},
+		{"POST", "/v1/indexes", `{"name":"x","path":"x.gkx"}`},
+	} {
+		if w := call(t, s, c.method, c.path, c.body, nil); w.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%s %s during drain: %d, want 503", c.method, c.path, w.Code)
+		}
+	}
+
+	// Read-only endpoints keep answering so operators can inspect a
+	// draining server.
+	if w := call(t, s, "GET", "/v1/indexes", "", nil); w.Code != 200 {
+		t.Fatalf("list during drain: %d", w.Code)
+	}
+	if w := call(t, s, "GET", "/debug/vars", "", nil); w.Code != 200 {
+		t.Fatalf("debug vars during drain: %d", w.Code)
+	}
+}
+
+func TestServerConcurrentSearchNoDrops(t *testing.T) {
+	s := newTestServer(t)
+	idx, queries := sharedIndex(t)
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				q := queries.Row((g*4 + i) % queries.N)
+				w := call(t, s, "POST", "/v1/indexes/sift/search", searchBody(q, 10, 64), nil)
+				if w.Code != 200 {
+					errs <- fmt.Errorf("g%d i%d: status %d", g, i, w.Code)
+					return
+				}
+				var res client.SearchResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+					errs <- err
+					return
+				}
+				want := idx.Search(q, 10, 64)
+				for j, nb := range res.Results[0] {
+					if nb.ID != want[j].ID || nb.Dist != want[j].Dist {
+						errs <- fmt.Errorf("g%d i%d: result %d differs from in-process search", g, i, j)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	var stats client.IndexStats
+	call(t, s, "GET", "/v1/indexes/sift/stats", "", &stats)
+	if stats.Queries != goroutines*4 {
+		t.Fatalf("served %d queries, want %d (dropped requests)", stats.Queries, goroutines*4)
+	}
+	if stats.Batches >= stats.Queries {
+		t.Fatalf("%d batches for %d queries: coalescer never batched", stats.Batches, stats.Queries)
+	}
+}
+
+func TestServerMetricsEndpoint(t *testing.T) {
+	s := newTestServer(t)
+	_, queries := sharedIndex(t)
+	for i := 0; i < 3; i++ {
+		call(t, s, "POST", "/v1/indexes/sift/search", searchBody(queries.Row(i), 5, 32), nil)
+	}
+	call(t, s, "GET", "/healthz", "", nil)
+
+	var vars struct {
+		Inflight  int64                   `json:"inflight"`
+		Endpoints map[string]endpointVars `json:"endpoints"`
+	}
+	if w := call(t, s, "GET", "/debug/vars", "", &vars); w.Code != 200 {
+		t.Fatalf("debug vars: %d", w.Code)
+	}
+	search, ok := vars.Endpoints["search"]
+	if !ok || search.Count != 3 {
+		t.Fatalf("search endpoint vars %+v (present %v)", search, ok)
+	}
+	if search.P50Ms <= 0 || search.P99Ms < search.P50Ms {
+		t.Fatalf("implausible quantiles %+v", search)
+	}
+	if vars.Endpoints["healthz"].Count != 1 {
+		t.Fatalf("healthz count %d, want 1", vars.Endpoints["healthz"].Count)
+	}
+	// The scrape itself is in flight while it runs.
+	if vars.Inflight < 1 {
+		t.Fatalf("inflight gauge %d, want >= 1", vars.Inflight)
+	}
+}
+
+func TestServerSearchContextCancelled(t *testing.T) {
+	idx, queries := sharedIndex(t)
+	// A giant window and no size trigger: the only way out is the request
+	// context, which must map to 408.
+	s := New(Config{Window: time.Hour, MaxBatch: 1 << 20})
+	if err := s.RegisterIndex("sift", idx); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/indexes/sift/search",
+		bytes.NewReader([]byte(searchBody(queries.Row(0), 5, 32)))).WithContext(ctx)
+	w := httptest.NewRecorder()
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	s.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusRequestTimeout {
+		t.Fatalf("cancelled search: %d %s, want 408", w.Code, w.Body.String())
+	}
+	s.BeginShutdown() // release the hour-long batch for a clean test exit
+}

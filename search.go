@@ -1,6 +1,8 @@
 package gkmeans
 
 import (
+	"fmt"
+
 	"gkmeans/internal/anns"
 )
 
@@ -20,31 +22,50 @@ func (x *Index) ensureSearcher() *anns.Searcher {
 }
 
 // defaultEf resolves the candidate pool size: a non-positive ef selects
-// max(4·topK, 32), a reasonable recall/latency default.
+// max(4·topK, 32), a reasonable recall/latency default, and ef < topK is
+// raised to topK so the pool can always hold the requested results.
 func defaultEf(topK, ef int) int {
-	if ef > 0 {
-		return ef
+	if ef <= 0 {
+		if ef = 4 * topK; ef < 32 {
+			ef = 32
+		}
 	}
-	if ef = 4 * topK; ef < 32 {
-		ef = 32
+	if ef < topK {
+		ef = topK
 	}
 	return ef
+}
+
+// checkQueryDim rejects a query whose dimensionality does not match the
+// indexed data. Search has no error return (a mismatch is a programming
+// error, like an out-of-range slice index), so the violation is a panic
+// with a message that names both sides.
+func (x *Index) checkQueryDim(dim int) {
+	if dim != x.data.Dim {
+		panic(fmt.Sprintf("gkmeans: query dimensionality %d, index dimensionality %d", dim, x.data.Dim))
+	}
 }
 
 // Search returns the approximately closest topK samples to q, sorted by
 // ascending squared distance. ef bounds the candidate pool (larger ef =
 // higher recall, more distance computations); ef <= 0 selects
-// max(4·topK, 32), and ef < topK is raised to topK. Safe to call from any
-// goroutine.
+// max(4·topK, 32), and ef < topK is raised to topK. topK larger than the
+// index returns all indexed samples. q must have the index's
+// dimensionality; a mismatch panics. Safe to call from any goroutine.
 func (x *Index) Search(q []float32, topK, ef int) []Neighbor {
+	x.checkQueryDim(len(q))
 	return x.ensureSearcher().Search(q, topK, defaultEf(topK, ef))
 }
 
 // SearchBatch answers every query concurrently and returns one sorted
 // result list per query. ef follows the same defaulting as Search; the
-// worker count comes from WithWorkers (<=0 selects GOMAXPROCS). Safe to
-// call from any goroutine, including concurrently with Search.
+// worker count comes from WithWorkers (<=0 selects GOMAXPROCS). Queries
+// must have the index's dimensionality; a mismatch panics. Safe to call
+// from any goroutine, including concurrently with Search.
 func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
+	if queries.N > 0 {
+		x.checkQueryDim(queries.Dim)
+	}
 	return anns.BatchSearch(x.ensureSearcher(), queries, topK, defaultEf(topK, ef), x.cfg.workers)
 }
 
