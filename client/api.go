@@ -85,4 +85,11 @@ type IndexStats struct {
 	BatchRequests    int64  `json:"batch_requests"`
 	ClusterRequests  int64  `json:"cluster_requests"`
 	CoalesceWindowNS int64  `json:"coalesce_window_ns"`
+
+	// Hot-path totals from the index itself: distance-kernel evaluations
+	// (the dominant per-query cost) and candidate expansions across every
+	// search served. DistanceComps/Queries is the average per-query work —
+	// the quantity the searcher's early-termination rule bounds.
+	DistanceComps      uint64 `json:"distance_comps"`
+	ExpandedCandidates uint64 `json:"expanded_candidates"`
 }

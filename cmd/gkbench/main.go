@@ -1,0 +1,135 @@
+// Command gkbench benchmarks the search hot path and records the result as
+// a JSON perf trajectory. It builds a k-NN graph over a corpus (synthetic
+// or fvecs/bvecs), holds out a query set, then measures Build time,
+// single-query Search latency percentiles with per-query work counters,
+// SearchBatch throughput and recall@k against exact ground truth across a
+// topK×ef grid. The report is printed as a table and written to
+// BENCH_search.json (see -out) so successive PRs leave comparable numbers.
+//
+// Examples:
+//
+//	gkbench -quick                            # CI smoke preset, ~seconds
+//	gkbench -synth sift -n 50000 -queries 500
+//	gkbench -data sift1m.fvecs -n 100000 -topk 1,10,100 -ef 32,64,128,256
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gkmeans"
+	"gkmeans/internal/bench"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "small fixed preset for CI: sift 2000×128, topK 10, ef 16/32/64")
+		synth    = flag.String("synth", "sift", "synthetic corpus: sift, gist, glove or vlad")
+		dataPath = flag.String("data", "", "fvecs or bvecs input file (overrides -synth)")
+		n        = flag.Int("n", 20000, "corpus size (synthetic count or file row cap)")
+		queries  = flag.Int("queries", 200, "held-out query count")
+		kappa    = flag.Int("kappa", 20, "graph neighbours per sample (κ)")
+		xi       = flag.Int("xi", 50, "refinement cluster size (ξ)")
+		tau      = flag.Int("tau", 8, "graph construction rounds (τ)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		entries  = flag.Int("entries", 0, "search entry points (0 = default)")
+		workers  = flag.Int("workers", 0, "SearchBatch workers (0 = GOMAXPROCS)")
+		topks    = flag.String("topk", "1,10", "comma-separated topK grid")
+		efs      = flag.String("ef", "16,32,64,128", "comma-separated ef grid")
+		out      = flag.String("out", "BENCH_search.json", "JSON report path ('' disables)")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	if err := run(*quick, *synth, *dataPath, *n, *queries, *kappa, *xi, *tau, *seed,
+		*entries, *workers, *topks, *efs, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "gkbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(quick bool, synth, dataPath string, n, queries, kappa, xi, tau int, seed int64,
+	entries, workers int, topks, efs, out string, quiet bool) error {
+
+	cfg := bench.SearchBenchConfig{
+		Dataset: synth, N: n, Queries: queries,
+		Kappa: kappa, Xi: xi, Tau: tau, Seed: seed,
+		Entries: entries, Workers: workers,
+	}
+	var err error
+	if cfg.TopKs, err = parseGrid(topks); err != nil {
+		return fmt.Errorf("-topk: %w", err)
+	}
+	if cfg.Efs, err = parseGrid(efs); err != nil {
+		return fmt.Errorf("-ef: %w", err)
+	}
+	if quick {
+		// The CI smoke preset: small enough for seconds, large enough that
+		// recall and the early-exit savings are visible in the trajectory.
+		cfg.Dataset, cfg.Data = "sift", nil
+		cfg.N, cfg.Queries = 2000, 100
+		cfg.Kappa, cfg.Xi, cfg.Tau = 10, 25, 4
+		cfg.TopKs, cfg.Efs = []int{10}, []int{16, 32, 64}
+	} else if dataPath != "" {
+		if cfg.Data, err = gkmeans.LoadVectors(dataPath, n); err != nil {
+			return fmt.Errorf("loading %s: %w", dataPath, err)
+		}
+		cfg.Dataset = dataPath
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	}
+	rep, err := bench.RunSearchBench(cfg, logf)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Print(rep.Summary().Render())
+	fmt.Printf("build: graph %.2fs, searcher %.3fs, %d edges, %d entry points\n",
+		rep.Build.GraphSeconds, rep.Build.SearcherSeconds, rep.Build.GraphEdges, rep.Build.EntryPoints)
+
+	if out == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("report written to", out)
+	return nil
+}
+
+// parseGrid parses a comma-separated list of positive ints.
+func parseGrid(s string) ([]int, error) {
+	var grid []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("grid values must be positive, got %d", v)
+		}
+		grid = append(grid, v)
+	}
+	if len(grid) == 0 {
+		return nil, fmt.Errorf("empty grid")
+	}
+	return grid, nil
+}

@@ -45,6 +45,18 @@
 //	all := idx.SearchBatch(queries, 10, 64) // fan a query set across cores
 //	res, err := idx.Cluster(ctx, 500)       // another k, same graph
 //
+// Search walks the k-NN graph best-first over a flat CSR adjacency,
+// keeping the ef closest candidates found so far, and terminates early:
+// expansion stops once the best unexpanded candidate can no longer improve
+// the current top-topK and a further patience window of expansions has not
+// improved them either. ef is the recall/latency knob — it bounds both
+// pool admission and the worst-case work — while easy queries finish well
+// below that budget. Index.SearchStats reports the cumulative work
+// (distance computations, candidate expansions) so the per-query cost is
+// observable in production, and cmd/gkbench measures latency percentiles,
+// throughput and recall across a topK/ef grid, recording the trajectory in
+// BENCH_search.json.
+//
 // A built index persists as a single binary blob (versioned container for
 // the dataset, graph and clustering) and loads back ready to serve, with
 // search results identical to the saved index:

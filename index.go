@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gkmeans/internal/anns"
@@ -35,10 +36,11 @@ type Index struct {
 	cfg config
 
 	// searcher is built lazily on first search: pure clustering workloads
-	// never pay for the symmetrised adjacency. Construction cannot fail —
-	// the shape invariants it checks are validated by Build/NewIndex.
+	// never pay for the CSR adjacency. Construction cannot fail — the shape
+	// invariants it checks are validated by Build/NewIndex. The atomic
+	// pointer lets SearchStats peek without forcing the build.
 	searcherOnce sync.Once
-	searcher     *anns.Searcher
+	searcher     atomic.Pointer[anns.Searcher]
 }
 
 // Build constructs an Index over data: it runs the paper's intertwined

@@ -14,9 +14,9 @@ import (
 func (s *Searcher) CloneForConcurrent() *Searcher { return s }
 
 // BatchSearch answers every query concurrently and returns one result list
-// per query. workers <= 0 selects GOMAXPROCS. The expensive symmetrised
-// adjacency is built once and shared across workers; per-query scratch is
-// recycled through the searcher's pool.
+// per query. workers <= 0 selects GOMAXPROCS. The flat CSR adjacency is
+// built once in NewSearcher and shared read-only across workers; per-query
+// scratch is recycled through the searcher's pool.
 func BatchSearch(s *Searcher, queries *vec.Matrix, topK, ef, workers int) [][]knngraph.Neighbor {
 	out := make([][]knngraph.Neighbor, queries.N)
 	parallel.For(queries.N, workers, func(lo, hi int) {

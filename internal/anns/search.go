@@ -3,10 +3,24 @@
 // graph produced by Alg. 3 serves ANN search well (sub-3 ms queries at 0.9+
 // recall on 100M SIFT in the authors' C++ setup).
 //
-// The search keeps a bounded pool of the closest candidates found so far,
-// repeatedly expands the closest unexpanded one through its graph
-// neighbours, and stops when the pool's best unexpanded candidate can no
-// longer improve the top results — the standard graph-ANN routine.
+// The search keeps a bounded pool of the ef closest candidates found so
+// far, sorted by ascending distance, and repeatedly expands the closest
+// unexpanded one through its graph neighbours. It terminates early: once
+// the best unexpanded candidate can no longer improve the current top-topK
+// results and a further patience window of expansions (max(topK, ef/4))
+// has brought no top-topK improvement either, the remaining pool tail is
+// abandoned. Easy queries — the common case — therefore stop well before
+// the ef pool is exhausted, while hard queries keep expanding up to the
+// full pool; ef remains the recall/latency knob (it bounds both pool
+// admission and the worst-case expansion count), and topK anchors the
+// termination window.
+//
+// Two further hot-path structures keep the constant factor small: the
+// symmetrised adjacency is a flat CSR layout (one offsets array and one
+// neighbours array, no per-node slice headers to chase), and candidate
+// distances are computed with an early-abandoning kernel that stops
+// mid-vector once the partial sum proves the candidate cannot enter the
+// pool.
 package anns
 
 import (
@@ -14,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gkmeans/internal/knngraph"
 	"gkmeans/internal/vec"
@@ -29,20 +44,45 @@ type Searcher struct {
 	g     *knngraph.Graph
 	entry []int32 // fixed, evenly spread entry points
 
-	// adj is the symmetrised adjacency: each node's k-NN list plus the
-	// nodes that list it. A raw k-NN graph is directed and splits into
-	// hard-to-escape basins; reverse edges restore the connectivity greedy
-	// search needs.
-	adj [][]int32
+	// The symmetrised adjacency — each node's k-NN list plus the nodes that
+	// list it (a raw k-NN graph is directed and splits into hard-to-escape
+	// basins; reverse edges restore the connectivity greedy search needs) —
+	// stored as a flat CSR: node i's neighbours are
+	// neighbors[offsets[i]:offsets[i+1]]. One contiguous allocation instead
+	// of n slice headers keeps expansion sequential in memory.
+	offsets   []int32
+	neighbors []int32
+
+	// Cumulative hot-path counters, accumulated once per query (not per
+	// candidate), exposed through Totals for serving metrics.
+	nQueries  atomic.Uint64
+	nDist     atomic.Uint64
+	nExpanded atomic.Uint64
 
 	// scratch recycles per-query state across searches and goroutines.
 	scratch sync.Pool
+}
+
+// Stats counts the work one Search performed.
+type Stats struct {
+	// Dist is the number of distance-kernel evaluations (one per candidate
+	// whose distance to the query was computed, abandoned or not).
+	Dist int
+	// Expanded is the number of pool candidates expanded through their
+	// graph neighbours — the quantity the early-termination rule bounds.
+	// On easy queries it stays well below ef; it has no hard ceiling
+	// (eviction of an already-expanded candidate frees its pool slot for a
+	// fresh one), but it never exceeds Dist.
+	Expanded int
 }
 
 // searchScratch is the per-query mutable state: the stamp-based visited set
 // and the bounded candidate pool. One scratch serves one search at a time;
 // the pool hands each goroutine its own.
 type searchScratch struct {
+	// visited holds one stamp per dataset sample — the classic O(1)
+	// visited-set fast path: membership is one array load, and "clearing"
+	// between queries is a single stamp increment instead of an O(n) wipe.
 	visited []int32
 	stamp   int32
 	pool    []candidate
@@ -55,8 +95,8 @@ type candidate struct {
 	expanded bool
 }
 
-// NewSearcher builds a searcher with nEntry evenly spaced entry points
-// (<=0 selects 16). A k-NN graph over strongly clustered data can be
+// NewSearcher builds a searcher with nEntry evenly spread distinct entry
+// points (<=0 selects 16). A k-NN graph over strongly clustered data can be
 // disconnected even after symmetrisation, and greedy search cannot cross
 // between components — so the searcher additionally locates every connected
 // component of the graph and guarantees at least one entry point inside
@@ -79,30 +119,16 @@ func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, er
 	s.scratch.New = func() any {
 		return &searchScratch{visited: make([]int32, n)}
 	}
-	s.adj = make([][]int32, data.N)
-	for i, list := range g.Lists {
-		for _, nb := range list {
-			s.adj[i] = append(s.adj[i], nb.ID)
-		}
+	if err := s.buildCSR(); err != nil {
+		return nil, err
 	}
-	for i, list := range g.Lists {
-		for _, nb := range list {
-			if !g.Contains(int(nb.ID), int32(i)) {
-				s.adj[nb.ID] = append(s.adj[nb.ID], int32(i))
-			}
-		}
-	}
-	step := data.N / nEntry
-	if step == 0 {
-		step = 1
-	}
-	covered := make(map[int32]bool, nEntry)
+	// floor(i·n/nEntry) is strictly increasing when nEntry <= n, so the
+	// entries are nEntry distinct ids spread evenly across the id range —
+	// a stride-and-modulo scheme can wrap onto already-covered ids and
+	// silently under-fill the entry set.
+	s.entry = make([]int32, 0, nEntry)
 	for i := 0; i < nEntry; i++ {
-		id := int32((i * step) % data.N)
-		if !covered[id] {
-			covered[id] = true
-			s.entry = append(s.entry, id)
-		}
+		s.entry = append(s.entry, int32(int64(i)*int64(n)/int64(nEntry)))
 	}
 	// One entry per connected component not already reachable.
 	comp := s.components()
@@ -110,7 +136,7 @@ func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, er
 	for _, e := range s.entry {
 		reach[comp[e]] = true
 	}
-	for i := 0; i < data.N; i++ {
+	for i := 0; i < n; i++ {
 		if !reach[comp[i]] {
 			reach[comp[i]] = true
 			s.entry = append(s.entry, int32(i))
@@ -119,11 +145,67 @@ func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, er
 	return s, nil
 }
 
+// buildCSR flattens the symmetrised adjacency into the offsets/neighbors
+// pair: a counting pass sizes each node's slot, a prefix sum places it, and
+// a fill pass writes forward edges then the reverse edges missing from the
+// target's own list. Built once per Searcher; every query reads it.
+func (s *Searcher) buildCSR() error {
+	g, n := s.g, s.data.N
+	deg := make([]int32, n)
+	for i, list := range g.Lists {
+		deg[i] += int32(len(list))
+		for _, nb := range list {
+			if !g.Contains(int(nb.ID), int32(i)) {
+				deg[nb.ID]++
+			}
+		}
+	}
+	s.offsets = make([]int32, n+1)
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(deg[i])
+		if total > math.MaxInt32 {
+			return fmt.Errorf("anns: symmetrised adjacency has over %d edges; int32 CSR offsets overflow", math.MaxInt32)
+		}
+		s.offsets[i+1] = int32(total)
+	}
+	s.neighbors = make([]int32, total)
+	cursor := deg // reuse: cursor[i] counts down as slots fill
+	copy(cursor, s.offsets[:n])
+	for i, list := range g.Lists {
+		for _, nb := range list {
+			s.neighbors[cursor[i]] = nb.ID
+			cursor[i]++
+		}
+	}
+	for i, list := range g.Lists {
+		for _, nb := range list {
+			if !g.Contains(int(nb.ID), int32(i)) {
+				s.neighbors[cursor[nb.ID]] = int32(i)
+				cursor[nb.ID]++
+			}
+		}
+	}
+	return nil
+}
+
+// adjacency returns node id's neighbour ids (a CSR row).
+func (s *Searcher) adjacency(id int32) []int32 {
+	return s.neighbors[s.offsets[id]:s.offsets[id+1]]
+}
+
+// Edges returns the number of directed edges in the symmetrised adjacency.
+func (s *Searcher) Edges() int { return len(s.neighbors) }
+
+// Entries returns the number of search entry points (evenly spread ids plus
+// the per-component top-up).
+func (s *Searcher) Entries() int { return len(s.entry) }
+
 // components labels the connected components of the symmetrised graph with
-// an iterative DFS (adj holds both edge directions, so directed reach
+// an iterative DFS (the CSR holds both edge directions, so directed reach
 // equals undirected components).
 func (s *Searcher) components() []int32 {
-	n := len(s.adj)
+	n := s.data.N
 	comp := make([]int32, n)
 	for i := range comp {
 		comp[i] = -1
@@ -139,7 +221,7 @@ func (s *Searcher) components() []int32 {
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, w := range s.adj[v] {
+			for _, w := range s.adjacency(v) {
 				if comp[w] < 0 {
 					comp[w] = next
 					stack = append(stack, w)
@@ -152,15 +234,47 @@ func (s *Searcher) components() []int32 {
 }
 
 // Search returns the approximately closest topK samples to q, sorted by
-// ascending squared distance. ef bounds the candidate pool (larger ef =
-// higher recall, more distance computations); ef < topK is raised to topK.
-// Safe to call from any goroutine.
+// ascending squared distance. ef bounds the candidate pool and the
+// worst-case expansion count (larger ef = higher recall, more distance
+// computations); ef < topK is raised to topK. The search stops early once
+// the best unexpanded candidate can no longer improve the current top-topK
+// and a further patience window of expansions has not improved them either
+// (see the package comment). Safe to call from any goroutine.
 func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
+	res, _ := s.search(q, topK, ef, false)
+	return res
+}
+
+// SearchWithStats is Search plus the work counters for this query —
+// benchmark harnesses and serving metrics read them.
+func (s *Searcher) SearchWithStats(q []float32, topK, ef int) ([]knngraph.Neighbor, Stats) {
+	return s.search(q, topK, ef, false)
+}
+
+// Totals returns the cumulative counters across every search answered by
+// this Searcher: queries, distance-kernel evaluations and candidate
+// expansions.
+func (s *Searcher) Totals() (queries, dist, expanded uint64) {
+	return s.nQueries.Load(), s.nDist.Load(), s.nExpanded.Load()
+}
+
+// search runs one query. exhaust disables early termination (the
+// expand-the-whole-pool baseline) — kept for the regression tests that
+// prove the early exit bounds work without costing recall.
+func (s *Searcher) search(q []float32, topK, ef int, exhaust bool) ([]knngraph.Neighbor, Stats) {
+	var st Stats
 	if topK <= 0 {
-		return nil
+		return nil, st
 	}
 	if ef < topK {
 		ef = topK
+	}
+	// patience: how many consecutive non-improving expansions the search
+	// tolerates once the best unexpanded candidate is outside the top-topK.
+	// Scaling it with ef keeps ef meaningful as the recall knob.
+	patience := ef / 4
+	if patience < topK {
+		patience = topK
 	}
 	sc := s.scratch.Get().(*searchScratch)
 	if sc.stamp == math.MaxInt32 {
@@ -179,9 +293,11 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 	// the pool from 0 (which made Search O(ef²)).
 	cur := 0
 	pool := sc.pool[:0]
-	insert := func(id int32, dist float32) {
+	// insert places (id, dist) into the sorted bounded pool and reports the
+	// insertion position, or -1 when the pool rejected the candidate.
+	insert := func(id int32, dist float32) int {
 		if len(pool) == ef && dist >= pool[len(pool)-1].dist {
-			return
+			return -1
 		}
 		pos := sort.Search(len(pool), func(i int) bool { return pool[i].dist >= dist })
 		if len(pool) < ef {
@@ -192,6 +308,7 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 		if pos < cur {
 			cur = pos
 		}
+		return pos
 	}
 
 	for _, e := range s.entry {
@@ -199,9 +316,11 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 			continue
 		}
 		sc.visited[e] = stamp
+		st.Dist++
 		insert(e, vec.L2Sqr(q, s.data.Row(int(e))))
 	}
 
+	sinceImprove := 0
 	for {
 		for cur < len(pool) && pool[cur].expanded {
 			cur++
@@ -209,14 +328,50 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 		if cur >= len(pool) {
 			break
 		}
+		kTop := topK
+		if kTop > len(pool) {
+			kTop = len(pool)
+		}
+		// outside: the best unexpanded candidate sits at or beyond the
+		// top-topK boundary, so its own distance cannot improve the current
+		// top-topK. Only expansions performed in this state count toward
+		// the patience window — the documented rule grants a full window of
+		// further expansions after the boundary condition first holds.
+		outside := cur >= kTop
+		if !exhaust && outside && sinceImprove >= patience {
+			// Early termination: the remaining pool tail is very unlikely
+			// to help; abandon it.
+			break
+		}
 		pool[cur].expanded = true
 		node := pool[cur].id
-		for _, id := range s.adj[node] {
+		st.Expanded++
+		improved := false
+		for _, id := range s.adjacency(node) {
 			if sc.visited[id] == stamp {
 				continue
 			}
 			sc.visited[id] = stamp
-			insert(id, vec.L2Sqr(q, s.data.Row(int(id))))
+			// Candidates that cannot enter the pool are rejected by the
+			// early-abandoning kernel partway through the vector.
+			bound := float32(math.MaxFloat32)
+			if len(pool) == ef {
+				bound = pool[len(pool)-1].dist
+			}
+			st.Dist++
+			d := vec.L2SqrBound(q, s.data.Row(int(id)), bound)
+			if d >= bound {
+				continue
+			}
+			if pos := insert(id, d); pos >= 0 && pos < topK {
+				improved = true
+			}
+		}
+		switch {
+		case improved:
+			sinceImprove = 0
+		case outside:
+			sinceImprove++
 		}
 	}
 
@@ -229,23 +384,23 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 	}
 	sc.pool = pool // keep the grown capacity for the next query
 	s.scratch.Put(sc)
-	return out
+	s.nQueries.Add(1)
+	s.nDist.Add(uint64(st.Dist))
+	s.nExpanded.Add(uint64(st.Expanded))
+	return out, st
 }
 
 // RecallAt evaluates the searcher on a query set against exact ground truth
-// (one exact top-k list per query) and returns the average recall@k: the
-// fraction of each true top-k found among the returned top-k.
+// (one exact top-k list per query) and returns the average recall@k — the
+// fraction of each true top-k found among the returned top-k — over the
+// queries that have a non-empty ground-truth list. Queries with no ground
+// truth are excluded from the average entirely (counting them in the
+// denominator would bias recall downward); if no query has ground truth the
+// recall is 0.
 func RecallAt(s *Searcher, queries *vec.Matrix, truth [][]int32, k, ef int) float64 {
-	if queries.N == 0 {
-		return 0
-	}
 	var sum float64
+	evaluated := 0
 	for qi := 0; qi < queries.N; qi++ {
-		res := s.Search(queries.Row(qi), k, ef)
-		got := make(map[int32]bool, len(res))
-		for _, nb := range res {
-			got[nb.ID] = true
-		}
 		t := truth[qi]
 		if len(t) > k {
 			t = t[:k]
@@ -253,15 +408,24 @@ func RecallAt(s *Searcher, queries *vec.Matrix, truth [][]int32, k, ef int) floa
 		if len(t) == 0 {
 			continue
 		}
+		res := s.Search(queries.Row(qi), k, ef)
+		got := make(map[int32]bool, len(res))
+		for _, nb := range res {
+			got[nb.ID] = true
+		}
 		hit := 0
 		for _, id := range t {
 			if got[id] {
 				hit++
 			}
 		}
+		evaluated++
 		sum += float64(hit) / float64(len(t))
 	}
-	return sum / float64(queries.N)
+	if evaluated == 0 {
+		return 0
+	}
+	return sum / float64(evaluated)
 }
 
 // ExactTruth computes exact top-k ids for each query by brute force —

@@ -1,0 +1,267 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"gkmeans/internal/anns"
+	"gkmeans/internal/core"
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/knngraph"
+	"gkmeans/internal/vec"
+)
+
+// The search benchmark harness behind cmd/gkbench: it builds one graph over
+// a corpus, holds out a query set, and measures the three serving
+// quantities that matter for the ROADMAP's perf trajectory — Build time,
+// per-query Search latency (with the work counters the early-termination
+// rule bounds), and SearchBatch throughput — plus recall@k against exact
+// ground truth, across a topK×ef grid. The resulting SearchReport
+// marshals to BENCH_search.json at the repo root so successive PRs leave a
+// comparable perf record.
+
+// SearchBenchConfig configures one harness run.
+type SearchBenchConfig struct {
+	Dataset string      // synthetic corpus name (dataset.Registry); ignored when Data is set
+	Data    *vec.Matrix // pre-loaded corpus (e.g. fvecs/bvecs); queries are split off it
+	N       int         // corpus size before the query split (synthetic only)
+	Queries int         // held-out query count
+	Kappa   int         // graph neighbours per sample
+	Xi      int         // refinement cluster size
+	Tau     int         // graph construction rounds
+	Seed    int64
+	Entries int   // search entry points (<=0 selects the searcher default)
+	TopKs   []int // grid: requested neighbours per query
+	Efs     []int // grid: candidate pool sizes
+	Workers int   // SearchBatch parallelism (<=0 selects GOMAXPROCS)
+}
+
+// SearchPoint is one (topK, ef) cell of the single-query grid.
+type SearchPoint struct {
+	TopK         int     `json:"top_k"`
+	Ef           int     `json:"ef"`
+	Recall       float64 `json:"recall"`
+	MeanUS       float64 `json:"mean_us"`
+	P50US        float64 `json:"p50_us"`
+	P90US        float64 `json:"p90_us"`
+	P99US        float64 `json:"p99_us"`
+	AvgDistComps float64 `json:"avg_dist_comps"`
+	AvgExpanded  float64 `json:"avg_expanded"`
+}
+
+// BatchPoint is one (topK, ef) cell of the SearchBatch throughput grid.
+type BatchPoint struct {
+	TopK   int     `json:"top_k"`
+	Ef     int     `json:"ef"`
+	QPS    float64 `json:"qps"`
+	WallMS float64 `json:"wall_ms"`
+}
+
+// BuildResult times index construction.
+type BuildResult struct {
+	GraphSeconds    float64 `json:"graph_seconds"`
+	SearcherSeconds float64 `json:"searcher_seconds"` // CSR + entry points
+	GraphEdges      int     `json:"graph_edges"`      // symmetrised, directed
+	EntryPoints     int     `json:"entry_points"`
+}
+
+// SearchReport is the full harness output; it marshals to BENCH_search.json.
+type SearchReport struct {
+	Schema    int           `json:"schema"`
+	CreatedAt string        `json:"created_at"`
+	GoVersion string        `json:"go_version"`
+	MaxProcs  int           `json:"maxprocs"`
+	Dataset   string        `json:"dataset"`
+	N         int           `json:"n"`
+	Dim       int           `json:"dim"`
+	Queries   int           `json:"queries"`
+	Kappa     int           `json:"kappa"`
+	Xi        int           `json:"xi"`
+	Tau       int           `json:"tau"`
+	Seed      int64         `json:"seed"`
+	Build     BuildResult   `json:"build"`
+	Search    []SearchPoint `json:"search"`
+	Batch     []BatchPoint  `json:"search_batch"`
+}
+
+// RunSearchBench executes the harness. logf, when non-nil, receives
+// progress lines (cmd/gkbench passes a printer; tests pass nil).
+func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)) (*SearchReport, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("bench: query count must be positive, got %d", cfg.Queries)
+	}
+	if len(cfg.TopKs) == 0 || len(cfg.Efs) == 0 {
+		return nil, fmt.Errorf("bench: empty topK/ef grid")
+	}
+
+	corpus := cfg.Data
+	name := cfg.Dataset
+	if corpus == nil {
+		info, err := dataset.ByName(cfg.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		corpus = info.Gen(cfg.N, cfg.Seed)
+	} else if name == "" {
+		name = "file"
+	}
+	if corpus.N <= cfg.Queries {
+		return nil, fmt.Errorf("bench: corpus of %d rows cannot spare %d queries", corpus.N, cfg.Queries)
+	}
+	data, queries := splitCorpus(corpus, cfg.Queries)
+	logf("corpus %s: %d×%d data, %d held-out queries", name, data.N, data.Dim, queries.N)
+
+	rep := &SearchReport{
+		Schema:    1,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:   name,
+		N:         data.N,
+		Dim:       data.Dim,
+		Queries:   queries.N,
+		Kappa:     cfg.Kappa,
+		Xi:        cfg.Xi,
+		Tau:       cfg.Tau,
+		Seed:      cfg.Seed,
+	}
+
+	start := time.Now()
+	g, err := core.BuildGraph(data, core.GraphConfig{
+		Kappa: cfg.Kappa, Xi: cfg.Xi, Tau: cfg.Tau, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Build.GraphSeconds = time.Since(start).Seconds()
+	logf("graph built in %.2fs", rep.Build.GraphSeconds)
+
+	start = time.Now()
+	s, err := anns.NewSearcher(data, g, cfg.Entries)
+	if err != nil {
+		return nil, err
+	}
+	rep.Build.SearcherSeconds = time.Since(start).Seconds()
+	rep.Build.GraphEdges = s.Edges()
+	rep.Build.EntryPoints = s.Entries()
+
+	maxK := 0
+	for _, k := range cfg.TopKs {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	truth := anns.ExactTruth(data, queries, maxK)
+
+	for _, topK := range cfg.TopKs {
+		for _, ef := range cfg.Efs {
+			pt := SearchPoint{TopK: topK, Ef: ef}
+			lat := make([]time.Duration, queries.N)
+			var recall float64
+			var dist, expanded int
+			for qi := 0; qi < queries.N; qi++ {
+				q := queries.Row(qi)
+				t0 := time.Now()
+				res, st := s.SearchWithStats(q, topK, ef)
+				lat[qi] = time.Since(t0)
+				dist += st.Dist
+				expanded += st.Expanded
+				recall += recallOf(res, truth[qi], topK)
+			}
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			var total time.Duration
+			for _, l := range lat {
+				total += l
+			}
+			nq := float64(queries.N)
+			pt.Recall = recall / nq
+			pt.MeanUS = total.Seconds() * 1e6 / nq
+			pt.P50US = quantileUS(lat, 0.50)
+			pt.P90US = quantileUS(lat, 0.90)
+			pt.P99US = quantileUS(lat, 0.99)
+			pt.AvgDistComps = float64(dist) / nq
+			pt.AvgExpanded = float64(expanded) / nq
+			rep.Search = append(rep.Search, pt)
+			logf("search topK=%-3d ef=%-4d recall=%.3f p50=%.0fµs p99=%.0fµs dist=%.0f exp=%.1f",
+				topK, ef, pt.Recall, pt.P50US, pt.P99US, pt.AvgDistComps, pt.AvgExpanded)
+
+			t0 := time.Now()
+			anns.BatchSearch(s, queries, topK, ef, cfg.Workers)
+			wall := time.Since(t0)
+			bp := BatchPoint{TopK: topK, Ef: ef, QPS: nq / wall.Seconds(), WallMS: wall.Seconds() * 1e3}
+			rep.Batch = append(rep.Batch, bp)
+			logf("batch  topK=%-3d ef=%-4d %.0f qps", topK, ef, bp.QPS)
+		}
+	}
+	return rep, nil
+}
+
+// splitCorpus holds out nQueries evenly spread rows as the query set and
+// returns the remaining rows as the searchable data — the protocol of the
+// anns test suite and of SIFT1M's own query set.
+func splitCorpus(m *vec.Matrix, nQueries int) (data, queries *vec.Matrix) {
+	stride := m.N / nQueries
+	dataIdx := make([]int, 0, m.N-nQueries)
+	queryIdx := make([]int, 0, nQueries)
+	for i := 0; i < m.N; i++ {
+		if i%stride == 0 && len(queryIdx) < nQueries {
+			queryIdx = append(queryIdx, i)
+		} else {
+			dataIdx = append(dataIdx, i)
+		}
+	}
+	return m.SubsetRows(dataIdx), m.SubsetRows(queryIdx)
+}
+
+// recallOf returns the fraction of the true top-k found in res.
+func recallOf(res []knngraph.Neighbor, truth []int32, k int) float64 {
+	if len(truth) > k {
+		truth = truth[:k]
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	got := make(map[int32]bool, len(res))
+	for _, nb := range res {
+		got[nb.ID] = true
+	}
+	hit := 0
+	for _, id := range truth {
+		if got[id] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth))
+}
+
+// quantileUS reads quantile q from an ascending-sorted latency slice, in
+// microseconds (nearest-rank).
+func quantileUS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Seconds() * 1e6
+}
+
+// Summary renders the report as an aligned table for terminal output.
+func (r *SearchReport) Summary() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("search benchmark — %s %d×%d, κ=%d τ=%d", r.Dataset, r.N, r.Dim, r.Kappa, r.Tau),
+		Header: []string{"topK", "ef", "recall", "mean µs", "p50 µs", "p99 µs", "dist/q", "exp/q", "batch qps"},
+	}
+	for i, pt := range r.Search {
+		qps := ""
+		if i < len(r.Batch) {
+			qps = fmt.Sprintf("%.0f", r.Batch[i].QPS)
+		}
+		t.AddRow(d(pt.TopK), d(pt.Ef), f3(pt.Recall), f(pt.MeanUS), f(pt.P50US), f(pt.P99US),
+			f(pt.AvgDistComps), f(pt.AvgExpanded), qps)
+	}
+	return t
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+
+	"gkmeans/internal/dataset"
+)
+
+func TestRunSearchBenchProducesFullReport(t *testing.T) {
+	cfg := SearchBenchConfig{
+		Dataset: "sift", N: 400, Queries: 25,
+		Kappa: 6, Xi: 15, Tau: 2, Seed: 7,
+		TopKs: []int{5}, Efs: []int{16, 32},
+	}
+	rep, err := RunSearchBench(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != 1 || rep.Dataset != "sift" || rep.N != 375 || rep.Queries != 25 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.Build.GraphSeconds <= 0 || rep.Build.GraphEdges <= 0 || rep.Build.EntryPoints <= 0 {
+		t.Fatalf("build section not populated: %+v", rep.Build)
+	}
+	if len(rep.Search) != 2 || len(rep.Batch) != 2 {
+		t.Fatalf("grid sizes: %d search, %d batch points", len(rep.Search), len(rep.Batch))
+	}
+	for _, pt := range rep.Search {
+		if pt.Recall < 0 || pt.Recall > 1 {
+			t.Fatalf("recall out of range: %+v", pt)
+		}
+		if pt.MeanUS <= 0 || pt.P50US < 0 || pt.P99US < pt.P50US {
+			t.Fatalf("latency summary inconsistent: %+v", pt)
+		}
+		if pt.AvgDistComps <= 0 || pt.AvgExpanded <= 0 {
+			t.Fatalf("work counters not populated: %+v", pt)
+		}
+	}
+	for _, bp := range rep.Batch {
+		if bp.QPS <= 0 || bp.WallMS <= 0 {
+			t.Fatalf("batch point not populated: %+v", bp)
+		}
+	}
+
+	// The report is the BENCH_search.json payload: it must round-trip.
+	blob, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SearchReport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != rep.N || len(back.Search) != len(rep.Search) || back.Search[0].Recall != rep.Search[0].Recall {
+		t.Fatal("report did not survive a JSON round trip")
+	}
+
+	if rows := rep.Summary().Render(); rows == "" {
+		t.Fatal("empty summary table")
+	}
+}
+
+func TestRunSearchBenchOnPreloadedData(t *testing.T) {
+	// The -data path of cmd/gkbench: a pre-loaded matrix instead of a
+	// synthetic corpus name.
+	m := dataset.GloVeLike(300, 9)
+	rep, err := RunSearchBench(SearchBenchConfig{
+		Data: m, Queries: 20, Kappa: 5, Xi: 12, Tau: 2, Seed: 3,
+		TopKs: []int{3}, Efs: []int{16},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dataset != "file" || rep.N != 280 || rep.Dim != 100 {
+		t.Fatalf("preloaded corpus mishandled: %+v", rep)
+	}
+}
+
+func TestRunSearchBenchRejectsBadConfig(t *testing.T) {
+	if _, err := RunSearchBench(SearchBenchConfig{Dataset: "sift", N: 100, Queries: 0,
+		Kappa: 5, TopKs: []int{5}, Efs: []int{16}}, nil); err == nil {
+		t.Fatal("zero queries accepted")
+	}
+	if _, err := RunSearchBench(SearchBenchConfig{Dataset: "nosuch", N: 100, Queries: 10,
+		Kappa: 5, TopKs: []int{5}, Efs: []int{16}}, nil); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := RunSearchBench(SearchBenchConfig{Dataset: "sift", N: 100, Queries: 10,
+		Kappa: 5}, nil); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}

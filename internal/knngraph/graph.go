@@ -267,7 +267,16 @@ func (g *Graph) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserialises a graph written by Write.
+// readChunk bounds how many neighbours Read materialises per binary.Read:
+// allocation grows with bytes actually present in the stream, so a corrupt
+// header advertising billions of entries fails with a read error after a
+// few kilobytes instead of attempting a runaway allocation.
+const readChunk = 4096
+
+// Read deserialises a graph written by Write. The node count and list
+// lengths in the header are untrusted: every allocation is bounded by the
+// bytes actually read, so truncated or bit-flipped inputs return an error —
+// never a panic or an out-of-memory crash.
 func Read(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	var hdr [3]uint32
@@ -281,7 +290,12 @@ func Read(r io.Reader) (*Graph, error) {
 	if kappa <= 0 || n < 0 {
 		return nil, fmt.Errorf("knngraph: invalid header n=%d kappa=%d", n, kappa)
 	}
-	g := New(n, kappa)
+	listsCap := n
+	if listsCap > readChunk {
+		listsCap = readChunk // grow by appending; don't trust n up front
+	}
+	g := &Graph{Lists: make([][]Neighbor, 0, listsCap), Kappa: kappa}
+	var buf []Neighbor
 	for i := 0; i < n; i++ {
 		var l uint32
 		if err := binary.Read(br, binary.LittleEndian, &l); err != nil {
@@ -290,11 +304,31 @@ func Read(r io.Reader) (*Graph, error) {
 		if int(l) > kappa {
 			return nil, fmt.Errorf("knngraph: list %d has %d entries, cap %d", i, l, kappa)
 		}
-		list := make([]Neighbor, l)
-		if err := binary.Read(br, binary.LittleEndian, list); err != nil {
-			return nil, fmt.Errorf("knngraph: reading list %d: %w", i, err)
+		if l <= readChunk {
+			list := make([]Neighbor, l)
+			if err := binary.Read(br, binary.LittleEndian, list); err != nil {
+				return nil, fmt.Errorf("knngraph: reading list %d: %w", i, err)
+			}
+			g.Lists = append(g.Lists, list)
+			continue
 		}
-		g.Lists[i] = list
+		// Oversized list (kappa is untrusted too): stream it chunk by chunk.
+		if buf == nil {
+			buf = make([]Neighbor, readChunk)
+		}
+		list := make([]Neighbor, 0, readChunk)
+		for remaining := int(l); remaining > 0; {
+			c := remaining
+			if c > readChunk {
+				c = readChunk
+			}
+			if err := binary.Read(br, binary.LittleEndian, buf[:c]); err != nil {
+				return nil, fmt.Errorf("knngraph: reading list %d: %w", i, err)
+			}
+			list = append(list, buf[:c]...)
+			remaining -= c
+		}
+		g.Lists = append(g.Lists, list)
 	}
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("knngraph: corrupt graph: %w", err)

@@ -43,18 +43,23 @@ func (e *entry) info() client.IndexInfo {
 	}
 }
 
-// stats snapshots the entry's serving counters.
+// stats snapshots the entry's serving counters, including the index's own
+// hot-path totals so operators can see the per-query search work (distance
+// computations, candidate expansions) the early-termination rule bounds.
 func (e *entry) stats(window time.Duration) client.IndexStats {
 	queries, batches, maxBatch := e.coal.Stats()
+	hot := e.idx.SearchStats()
 	return client.IndexStats{
-		IndexInfo:        e.info(),
-		Path:             e.path,
-		Queries:          queries + e.batchQueries.Load(),
-		Batches:          batches,
-		MaxBatch:         maxBatch,
-		BatchRequests:    e.batchRequests.Load(),
-		ClusterRequests:  e.clusterRequests.Load(),
-		CoalesceWindowNS: int64(window),
+		IndexInfo:          e.info(),
+		Path:               e.path,
+		Queries:            queries + e.batchQueries.Load(),
+		Batches:            batches,
+		MaxBatch:           maxBatch,
+		BatchRequests:      e.batchRequests.Load(),
+		ClusterRequests:    e.clusterRequests.Load(),
+		CoalesceWindowNS:   int64(window),
+		DistanceComps:      hot.DistanceComps,
+		ExpandedCandidates: hot.ExpandedCandidates,
 	}
 }
 

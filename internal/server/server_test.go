@@ -202,6 +202,14 @@ func TestServerListAndStats(t *testing.T) {
 	if stats.CoalesceWindowNS != int64(time.Millisecond) {
 		t.Fatalf("stats window %d, want %d", stats.CoalesceWindowNS, time.Millisecond)
 	}
+	// The index's hot-path totals flow through: at least one search ran, so
+	// work counters are live and expansions never exceed distance evals.
+	if stats.DistanceComps == 0 || stats.ExpandedCandidates == 0 {
+		t.Fatalf("hot-path counters missing from stats: %+v", stats)
+	}
+	if stats.ExpandedCandidates > stats.DistanceComps {
+		t.Fatalf("expanded %d > distance comps %d", stats.ExpandedCandidates, stats.DistanceComps)
+	}
 }
 
 func TestServerClusterEndpoint(t *testing.T) {

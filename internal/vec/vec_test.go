@@ -242,3 +242,49 @@ func TestNormalize(t *testing.T) {
 		t.Fatal("zero vector should be unchanged")
 	}
 }
+
+// L2SqrBound must return exactly L2Sqr's value (bit-identical: same
+// accumulation order) whenever the true distance is below the bound, and a
+// value >= bound when it abandons.
+func TestL2SqrBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 31, 32, 33, 63, 64, 65, 100, 128, 960} {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = rng.Float32() * 10
+			b[i] = rng.Float32() * 10
+		}
+		exact := L2Sqr(a, b)
+		if got := L2SqrBound(a, b, math.MaxFloat32); got != exact {
+			t.Fatalf("n=%d: unbounded L2SqrBound %v != L2Sqr %v", n, got, exact)
+		}
+		if got := L2SqrBound(a, b, exact*2+1); got != exact {
+			t.Fatalf("n=%d: loose bound changed result: %v != %v", n, got, exact)
+		}
+		if got := L2SqrBound(a, b, exact/2); n >= 4 && got < exact/2 {
+			t.Fatalf("n=%d: abandoned computation returned %v, below bound %v", n, got, exact/2)
+		}
+	}
+}
+
+// An abandoned computation must actually stop early: time is hard to assert,
+// but a bound of zero must return after at most one block regardless of
+// dimensionality, and the partial sum it reports must never exceed the
+// exact distance is not required — only >= bound.
+func TestL2SqrBoundAbandons(t *testing.T) {
+	a := make([]float32, 960)
+	b := make([]float32, 960)
+	for i := range a {
+		a[i] = 1
+	}
+	got := L2SqrBound(a, b, 1)
+	if got < 1 {
+		t.Fatalf("abandoned sum %v below bound", got)
+	}
+	// The first check fires after one block: the partial sum is far below
+	// the 960 full distance.
+	if got >= 960 {
+		t.Fatalf("bound 1 over 960 dims returned %v; abandoning should stop after one block", got)
+	}
+}

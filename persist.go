@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"gkmeans/internal/knngraph"
 	"gkmeans/internal/vec"
@@ -140,17 +141,49 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 	return x, nil
 }
 
-// SaveIndex writes the index to a file on disk.
-func SaveIndex(path string, x *Index) error {
-	f, err := os.Create(path)
+// writeFileAtomic writes through a temporary file in path's directory and
+// renames it into place only after every byte is down and the file is
+// closed. A failed or interrupted write therefore never leaves a truncated
+// file at path (which a later gkserved -index would refuse to load) — the
+// previous contents, if any, survive intact and the temporary is removed.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
-	if _, err := x.WriteTo(f); err != nil {
+	tmp := f.Name()
+	if err := write(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// CreateTemp opens 0600; widen to the 0644 a plain os.Create would
+	// typically produce, so an index saved by a build pipeline stays
+	// readable by a separate serving user.
+	if err := os.Chmod(tmp, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// SaveIndex writes the index to a file on disk, atomically: the index is
+// serialised to a temporary file next to path and renamed into place, so a
+// mid-write failure cannot leave a truncated index behind.
+func SaveIndex(path string, x *Index) error {
+	return writeFileAtomic(path, func(w io.Writer) error {
+		_, err := x.WriteTo(w)
+		return err
+	})
 }
 
 // LoadIndex reads an index from a file written by SaveIndex.

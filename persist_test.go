@@ -1,0 +1,210 @@
+package gkmeans
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gkmeans/internal/dataset"
+)
+
+// smallClusteredIndex builds a compact index with a clustering section so
+// corruption tests cover every section of the .gkx container.
+func smallClusteredIndex(t *testing.T) *Index {
+	t.Helper()
+	data := dataset.GloVeLike(80, 31)
+	idx, err := Build(context.Background(), data,
+		WithKappa(5), WithXi(15), WithTau(3), WithSeed(32),
+		WithMaxIter(5), WithClusters(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// A write failure partway through SaveIndex must leave the previous file
+// untouched and no temporary behind — a truncated .gkx at the target path
+// would make a later gkserved -index refuse to start.
+func TestWriteFileAtomicPreservesOldFileOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.gkx")
+	const sentinel = "previous good index bytes"
+	if err := os.WriteFile(path, []byte(sentinel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk full")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		// Write some bytes first so a non-atomic implementation would have
+		// already truncated the target.
+		if _, err := w.Write(make([]byte, 1024)); err != nil {
+			return err
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected write failure not propagated: %v", err)
+	}
+
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("target file gone after failed save: %v", err)
+	}
+	if string(got) != sentinel {
+		t.Fatalf("target file clobbered by failed save: %q", got)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestWriteFileAtomicNoFileOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.gkx")
+	err := writeFileAtomic(path, func(w io.Writer) error {
+		_, _ = w.Write([]byte("partial"))
+		return errors.New("interrupted")
+	})
+	if err == nil {
+		t.Fatal("injected failure not propagated")
+	}
+	if _, serr := os.Stat(path); !os.IsNotExist(serr) {
+		t.Fatalf("failed save left a file at the target path: %v", serr)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temporary file %s left behind", e.Name())
+		}
+	}
+}
+
+// SaveIndex over an existing (possibly corrupt) file must replace it whole:
+// afterwards LoadIndex sees only the new, complete index.
+func TestSaveIndexReplacesExistingFile(t *testing.T) {
+	idx := smallClusteredIndex(t)
+	path := filepath.Join(t.TempDir(), "idx.gkx")
+	if err := os.WriteFile(path, []byte("garbage that is not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveIndex(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(path)
+	if err != nil {
+		t.Fatalf("load after overwrite: %v", err)
+	}
+	if loaded.N() != idx.N() || loaded.Clusters() == nil {
+		t.Fatal("overwritten index incomplete")
+	}
+}
+
+// Corrupt container inputs — truncations and targeted bit flips in every
+// section — must always produce an error: never a panic, never a runaway
+// allocation from an untrusted header.
+func TestReadIndexFromCorruptInputs(t *testing.T) {
+	idx := smallClusteredIndex(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Section offsets, from the container layout (persist.go): 16-byte
+	// header, matrix (8-byte shape + payload), length-prefixed graph
+	// section, clustering.
+	const hdrEnd = 16
+	matrixPayload := 4 * idx.N() * idx.Dim()
+	graphSection := hdrEnd + 8 + matrixPayload
+	graphSize := binary.LittleEndian.Uint64(whole[graphSection:])
+	clustering := graphSection + 8 + int(graphSize)
+	if clustering >= len(whole) {
+		t.Fatalf("layout arithmetic wrong: clustering offset %d, file %d bytes", clustering, len(whole))
+	}
+
+	mustErr := func(t *testing.T, name string, b []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: ReadIndexFrom panicked: %v", name, r)
+			}
+		}()
+		if _, err := ReadIndexFrom(bytes.NewReader(b)); err == nil {
+			t.Fatalf("%s: corrupt input accepted", name)
+		}
+	}
+
+	// Every strict prefix must fail cleanly, whichever section the cut
+	// lands in.
+	t.Run("truncations", func(t *testing.T) {
+		stride := len(whole) / 150
+		if stride < 1 {
+			stride = 1
+		}
+		for cut := 0; cut < len(whole); cut += stride {
+			mustErr(t, fmt.Sprintf("cut at %d/%d", cut, len(whole)), whole[:cut])
+		}
+		// Exact section boundaries are the interesting edge cases.
+		for _, cut := range []int{hdrEnd, hdrEnd + 8, graphSection, graphSection + 8, clustering, len(whole) - 1} {
+			mustErr(t, fmt.Sprintf("boundary cut at %d", cut), whole[:cut])
+		}
+	})
+
+	t.Run("bitflips", func(t *testing.T) {
+		flip := func(mutate func(b []byte)) []byte {
+			b := bytes.Clone(whole)
+			mutate(b)
+			return b
+		}
+		cases := []struct {
+			name   string
+			mutate func(b []byte)
+		}{
+			{"magic", func(b []byte) { b[0] ^= 0xFF }},
+			{"version", func(b []byte) { b[4] = 99 }},
+			{"matrix rows huge", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[hdrEnd:], 0xFFFFFF00) // allocation-guard territory
+			}},
+			{"matrix dim zero", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[hdrEnd+4:], 0)
+			}},
+			{"graph section size huge", func(b []byte) {
+				binary.LittleEndian.PutUint64(b[graphSection:], 1<<50)
+			}},
+			{"graph magic", func(b []byte) { b[graphSection+8] ^= 0xFF }},
+			{"graph node count huge", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[graphSection+12:], 0xFFFFFF00)
+			}},
+			{"graph kappa zero", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[graphSection+16:], 0)
+			}},
+			{"first list length over kappa", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[graphSection+20:], 0xFFFF)
+			}},
+			{"label out of range", func(b []byte) {
+				// First label of the clustering section (after k and iters).
+				binary.LittleEndian.PutUint32(b[clustering+8:], 0x7FFFFFFF)
+			}},
+			{"centroid dim zero", func(b []byte) {
+				centroids := clustering + 8 + 4*idx.N()
+				binary.LittleEndian.PutUint32(b[centroids+4:], 0)
+			}},
+		}
+		for _, c := range cases {
+			mustErr(t, c.name, flip(c.mutate))
+		}
+	})
+}

@@ -6,7 +6,7 @@ import (
 	"gkmeans/internal/anns"
 )
 
-// ensureSearcher builds the search structures (symmetrised adjacency, entry
+// ensureSearcher builds the search structures (flat CSR adjacency, entry
 // points) on first use. It cannot fail: Build/NewIndex already validated
 // the only invariants anns.NewSearcher checks.
 func (x *Index) ensureSearcher() *anns.Searcher {
@@ -16,9 +16,9 @@ func (x *Index) ensureSearcher() *anns.Searcher {
 			// Unreachable by construction; keep the invariant loud.
 			panic("gkmeans: index searcher: " + err.Error())
 		}
-		x.searcher = s
+		x.searcher.Store(s)
 	})
-	return x.searcher
+	return x.searcher.Load()
 }
 
 // defaultEf resolves the candidate pool size: a non-positive ef selects
@@ -47,14 +47,44 @@ func (x *Index) checkQueryDim(dim int) {
 }
 
 // Search returns the approximately closest topK samples to q, sorted by
-// ascending squared distance. ef bounds the candidate pool (larger ef =
-// higher recall, more distance computations); ef <= 0 selects
-// max(4·topK, 32), and ef < topK is raised to topK. topK larger than the
-// index returns all indexed samples. q must have the index's
-// dimensionality; a mismatch panics. Safe to call from any goroutine.
+// ascending squared distance. ef bounds the candidate pool and the
+// worst-case work per query (larger ef = higher recall, more distance
+// computations); ef <= 0 selects max(4·topK, 32), and ef < topK is raised
+// to topK. The search terminates early: expansion stops once the best
+// unexpanded candidate can no longer improve the current top-topK results
+// and a further patience window of expansions has not improved them
+// either, so easy queries finish well below the ef budget while hard ones
+// use all of it. topK larger than the index returns all indexed samples.
+// q must have the index's dimensionality; a mismatch panics. Safe to call
+// from any goroutine.
 func (x *Index) Search(q []float32, topK, ef int) []Neighbor {
 	x.checkQueryDim(len(q))
 	return x.ensureSearcher().Search(q, topK, defaultEf(topK, ef))
+}
+
+// SearchStats are the cumulative hot-path counters of an index's searcher,
+// accumulated across every Search, SearchBatch and Recall call since the
+// searcher was first used. DistanceComps counts distance-kernel
+// evaluations (the dominant cost of a query) and ExpandedCandidates counts
+// pool entries expanded through their graph neighbours — the quantity the
+// early-termination rule bounds. Serving layers export them to make the
+// per-query work visible in production.
+type SearchStats struct {
+	Queries            uint64
+	DistanceComps      uint64
+	ExpandedCandidates uint64
+}
+
+// SearchStats returns the index's cumulative search counters. It reports
+// zeros before the first search (the searcher is built lazily and the
+// accessor does not force it). Safe to call from any goroutine.
+func (x *Index) SearchStats() SearchStats {
+	s := x.searcher.Load()
+	if s == nil {
+		return SearchStats{}
+	}
+	q, d, e := s.Totals()
+	return SearchStats{Queries: q, DistanceComps: d, ExpandedCandidates: e}
 }
 
 // SearchBatch answers every query concurrently and returns one sorted
