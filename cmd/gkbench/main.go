@@ -1,15 +1,23 @@
-// Command gkbench benchmarks the search hot path and records the result as
-// a JSON perf trajectory. It builds a k-NN graph over a corpus (synthetic
-// or fvecs/bvecs), holds out a query set, then measures Build time,
-// single-query Search latency percentiles with per-query work counters,
-// SearchBatch throughput and recall@k against exact ground truth across a
-// topK×ef grid. The report is printed as a table and written to
-// BENCH_search.json (see -out) so successive PRs leave comparable numbers.
+// Command gkbench benchmarks the build and search hot paths and records the
+// result as a JSON perf trajectory. It builds a k-NN graph over a corpus
+// (synthetic or fvecs/bvecs), holds out a query set, then measures graph
+// build time (optionally swept over worker counts, with speedup, rounds and
+// distance-computation counters), single-query Search latency percentiles
+// with per-query work counters, SearchBatch throughput and recall@k against
+// exact ground truth across a topK×ef grid. The report is printed as a
+// table and written to BENCH_search.json (see -out) so successive PRs leave
+// comparable numbers.
+//
+// With -compare OLD.json the fresh run is additionally diffed against a
+// committed baseline and the process exits non-zero when p50 latency or
+// build time regress beyond -max-p50-regress/-max-build-regress or recall
+// drops more than -max-recall-drop — the CI perf-regression gate.
 //
 // Examples:
 //
 //	gkbench -quick                            # CI smoke preset, ~seconds
-//	gkbench -synth sift -n 50000 -queries 500
+//	gkbench -quick -compare BENCH_search.json # CI perf gate
+//	gkbench -synth sift -n 50000 -queries 500 -builder nndescent
 //	gkbench -data sift1m.fvecs -n 100000 -topk 1,10,100 -ef 32,64,128,256
 package main
 
@@ -25,9 +33,21 @@ import (
 	"gkmeans/internal/bench"
 )
 
+// options collects the parsed flag set for one gkbench run.
+type options struct {
+	cfg         bench.SearchBenchConfig
+	quick       bool
+	dataPath    string
+	out         string
+	quiet       bool
+	comparePath string
+	thresholds  bench.CompareThresholds
+}
+
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "small fixed preset for CI: sift 2000×128, topK 10, ef 16/32/64")
+		opt      options
+		quick    = flag.Bool("quick", false, "small fixed preset for CI: sift 2000×128, topK 10, ef 16/32/64, build sweep 1/2/4")
 		synth    = flag.String("synth", "sift", "synthetic corpus: sift, gist, glove or vlad")
 		dataPath = flag.String("data", "", "fvecs or bvecs input file (overrides -synth)")
 		n        = flag.Int("n", 20000, "corpus size (synthetic count or file row cap)")
@@ -37,54 +57,85 @@ func main() {
 		tau      = flag.Int("tau", 8, "graph construction rounds (τ)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		entries  = flag.Int("entries", 0, "search entry points (0 = default)")
-		workers  = flag.Int("workers", 0, "SearchBatch workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "build + SearchBatch workers (0 = GOMAXPROCS)")
+		builder  = flag.String("builder", "gkmeans", "graph builder: gkmeans (Alg. 3) or nndescent")
+		bworkers = flag.String("build-workers", "1,2,4", "comma-separated worker counts for the build sweep ('' disables)")
 		topks    = flag.String("topk", "1,10", "comma-separated topK grid")
 		efs      = flag.String("ef", "16,32,64,128", "comma-separated ef grid")
 		out      = flag.String("out", "BENCH_search.json", "JSON report path ('' disables)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+
+		compare   = flag.String("compare", "", "baseline report to diff against; regressions fail the run")
+		maxP50    = flag.Float64("max-p50-regress", 0.25, "allowed fractional p50 latency increase per cell")
+		maxBuild  = flag.Float64("max-build-regress", 0.25, "allowed fractional graph build-time increase")
+		maxRecall = flag.Float64("max-recall-drop", 0.01, "allowed absolute recall@k decrease per cell")
+		latSlack  = flag.Float64("latency-slack-us", 10, "absolute µs below which p50 increases are never flagged (negative disables)")
+		bldSlack  = flag.Float64("build-slack-s", 0.25, "absolute seconds below which build-time increases are never flagged (negative disables)")
 	)
 	flag.Parse()
 
-	if err := run(*quick, *synth, *dataPath, *n, *queries, *kappa, *xi, *tau, *seed,
-		*entries, *workers, *topks, *efs, *out, *quiet); err != nil {
-		fmt.Fprintln(os.Stderr, "gkbench:", err)
-		os.Exit(1)
+	opt.quick, opt.dataPath, opt.out, opt.quiet = *quick, *dataPath, *out, *quiet
+	opt.comparePath = *compare
+	opt.thresholds = bench.CompareThresholds{
+		MaxLatencyRegress: *maxP50,
+		MaxBuildRegress:   *maxBuild,
+		MaxRecallDrop:     *maxRecall,
+		LatencySlackUS:    *latSlack,
+		BuildSlackSeconds: *bldSlack,
+	}
+	opt.cfg = bench.SearchBenchConfig{
+		Dataset: *synth, N: *n, Queries: *queries,
+		Kappa: *kappa, Xi: *xi, Tau: *tau, Seed: *seed,
+		Entries: *entries, Workers: *workers, Builder: *builder,
+	}
+	var err error
+	if opt.cfg.TopKs, err = parseGrid(*topks); err != nil {
+		fatal(fmt.Errorf("-topk: %w", err))
+	}
+	if opt.cfg.Efs, err = parseGrid(*efs); err != nil {
+		fatal(fmt.Errorf("-ef: %w", err))
+	}
+	if *bworkers != "" {
+		if opt.cfg.BuildWorkers, err = parseGrid(*bworkers); err != nil {
+			fatal(fmt.Errorf("-build-workers: %w", err))
+		}
+	}
+	if err := run(opt); err != nil {
+		fatal(err)
 	}
 }
 
-func run(quick bool, synth, dataPath string, n, queries, kappa, xi, tau int, seed int64,
-	entries, workers int, topks, efs, out string, quiet bool) error {
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gkbench:", err)
+	os.Exit(1)
+}
 
-	cfg := bench.SearchBenchConfig{
-		Dataset: synth, N: n, Queries: queries,
-		Kappa: kappa, Xi: xi, Tau: tau, Seed: seed,
-		Entries: entries, Workers: workers,
-	}
-	var err error
-	if cfg.TopKs, err = parseGrid(topks); err != nil {
-		return fmt.Errorf("-topk: %w", err)
-	}
-	if cfg.Efs, err = parseGrid(efs); err != nil {
-		return fmt.Errorf("-ef: %w", err)
-	}
-	if quick {
+func run(opt options) error {
+	cfg := opt.cfg
+	if opt.quick {
 		// The CI smoke preset: small enough for seconds, large enough that
-		// recall and the early-exit savings are visible in the trajectory.
+		// recall, the early-exit savings and the build-sweep speedup are
+		// visible in the trajectory. The builder and seed are kept from the
+		// flags so the preset can still exercise nndescent.
 		cfg.Dataset, cfg.Data = "sift", nil
 		cfg.N, cfg.Queries = 2000, 100
 		cfg.Kappa, cfg.Xi, cfg.Tau = 10, 25, 4
 		cfg.TopKs, cfg.Efs = []int{10}, []int{16, 32, 64}
-	} else if dataPath != "" {
-		if cfg.Data, err = gkmeans.LoadVectors(dataPath, n); err != nil {
-			return fmt.Errorf("loading %s: %w", dataPath, err)
+		// cfg.BuildWorkers is left alone: the -build-workers default is
+		// already the preset's 1/2/4 sweep, and an explicit flag (including
+		// '' to disable) must win over the preset.
+	} else if opt.dataPath != "" {
+		var err error
+		if cfg.Data, err = gkmeans.LoadVectors(opt.dataPath, cfg.N); err != nil {
+			return fmt.Errorf("loading %s: %w", opt.dataPath, err)
 		}
-		cfg.Dataset = dataPath
+		cfg.Dataset = opt.dataPath
 	}
 
 	logf := func(format string, args ...any) {
 		fmt.Printf("  "+format+"\n", args...)
 	}
-	if quiet {
+	if opt.quiet {
 		logf = nil
 	}
 	rep, err := bench.RunSearchBench(cfg, logf)
@@ -94,21 +145,47 @@ func run(quick bool, synth, dataPath string, n, queries, kappa, xi, tau int, see
 
 	fmt.Println()
 	fmt.Print(rep.Summary().Render())
-	fmt.Printf("build: graph %.2fs, searcher %.3fs, %d edges, %d entry points\n",
-		rep.Build.GraphSeconds, rep.Build.SearcherSeconds, rep.Build.GraphEdges, rep.Build.EntryPoints)
+	fmt.Printf("build: %s, graph %.2fs (%d rounds, %d dist comps), searcher %.3fs, %d edges, %d entry points\n",
+		rep.Build.Builder, rep.Build.GraphSeconds, rep.Build.Rounds, rep.Build.DistComps,
+		rep.Build.SearcherSeconds, rep.Build.GraphEdges, rep.Build.EntryPoints)
+	for _, pt := range rep.Build.Sweep {
+		fmt.Printf("build sweep: workers=%-2d %.3fs  speedup %.2fx  graph recall %.3f\n",
+			pt.Workers, pt.Seconds, pt.Speedup, pt.GraphRecall)
+	}
+	if len(rep.Build.Sweep) > 0 && !rep.Build.Deterministic {
+		fmt.Println("WARNING: graphs differed across the build sweep — determinism regression")
+	}
 
-	if out == "" {
+	if opt.out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(opt.out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("report written to", opt.out)
+	}
+
+	if opt.comparePath == "" {
 		return nil
 	}
-	blob, err := json.MarshalIndent(rep, "", "  ")
+	old, err := bench.LoadReport(opt.comparePath)
+	if err != nil {
+		return fmt.Errorf("loading baseline: %w", err)
+	}
+	regs, err := bench.CompareReports(old, rep, opt.thresholds)
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
-		return err
+	if len(regs) == 0 {
+		fmt.Printf("compare: no regressions vs %s\n", opt.comparePath)
+		return nil
 	}
-	fmt.Println("report written to", out)
-	return nil
+	for _, r := range regs {
+		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+	}
+	return fmt.Errorf("%d perf regression(s) vs %s — investigate, or refresh the baseline if the change is intentional", len(regs), opt.comparePath)
 }
 
 // parseGrid parses a comma-separated list of positive ints.

@@ -1,11 +1,12 @@
 // Command knngraph builds, inspects and evaluates approximate k-NN graphs
-// from the command line. The gkmeans builder goes through the public Index
-// API (so builds are Ctrl-C cancellable and can emit a whole search-ready
-// index); nndescent remains as a baseline builder.
+// from the command line. Both builders (gkmeans, Alg. 3, and the
+// nndescent/KGraph baseline) go through the public Index API, so builds are
+// Ctrl-C cancellable, run across -workers goroutines and can emit a whole
+// search-ready index.
 //
 //	knngraph build -synth sift -n 20000 -kappa 50 -tau 10 -out g.knn
 //	knngraph build -synth sift -n 20000 -index sift.gkx
-//	knngraph build -data sift1m.fvecs -builder nndescent -out g.knn
+//	knngraph build -data sift1m.fvecs -builder nndescent -workers 8 -out g.knn
 //	knngraph stats -graph g.knn
 //	knngraph recall -graph g.knn -synth sift -n 20000 -sample 200
 //	knngraph merge -graph a.knn -with b.knn -out merged.knn
@@ -22,7 +23,6 @@ import (
 	"gkmeans"
 	"gkmeans/internal/dataset"
 	"gkmeans/internal/knngraph"
-	"gkmeans/internal/nndescent"
 	"gkmeans/internal/vec"
 )
 
@@ -78,8 +78,9 @@ func cmdBuild(args []string) error {
 	n := fs.Int("n", 10000, "sample count / fvecs cap")
 	kappa := fs.Int("kappa", 50, "neighbours per node")
 	xi := fs.Int("xi", 50, "refinement cluster size (gkmeans builder)")
-	tau := fs.Int("tau", 10, "construction rounds (gkmeans builder)")
+	tau := fs.Int("tau", 0, "construction rounds (0 = builder default: 10 gkmeans, 30-round nndescent cap)")
 	builder := fs.String("builder", "gkmeans", "gkmeans (Alg. 3) or nndescent")
+	workers := fs.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	out := fs.String("out", "graph.knn", "output file")
 	indexOut := fs.String("index", "", "also write a search-ready index (gkmeans builder only)")
@@ -94,32 +95,19 @@ func cmdBuild(args []string) error {
 	}
 	fmt.Printf("data: %d × %d\n", data.N, data.Dim)
 	start := time.Now()
-	var g *knngraph.Graph
-	switch *builder {
-	case "gkmeans":
-		idx, err := gkmeans.Build(ctx, data,
-			gkmeans.WithKappa(*kappa), gkmeans.WithXi(*xi), gkmeans.WithTau(*tau),
-			gkmeans.WithSeed(*seed))
-		if err != nil {
+	idx, err := gkmeans.Build(ctx, data,
+		gkmeans.WithKappa(*kappa), gkmeans.WithXi(*xi), gkmeans.WithTau(*tau),
+		gkmeans.WithSeed(*seed), gkmeans.WithWorkers(*workers),
+		gkmeans.WithGraphBuilder(*builder))
+	if err != nil {
+		return err
+	}
+	g := idx.Graph()
+	if *indexOut != "" {
+		if err := gkmeans.SaveIndex(*indexOut, idx); err != nil {
 			return err
 		}
-		g = idx.Graph()
-		if *indexOut != "" {
-			if err := gkmeans.SaveIndex(*indexOut, idx); err != nil {
-				return err
-			}
-			fmt.Println("index written to", *indexOut)
-		}
-	case "nndescent":
-		if *indexOut != "" {
-			return fmt.Errorf("-index requires the gkmeans builder")
-		}
-		g, err = nndescent.Build(data, nndescent.Config{Kappa: *kappa, Seed: *seed})
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown builder %q", *builder)
+		fmt.Println("index written to", *indexOut)
 	}
 	fmt.Printf("built with %s in %v (%d edges)\n",
 		*builder, time.Since(start).Round(time.Millisecond), g.EdgeCount())

@@ -69,6 +69,31 @@
 // Wrap a graph built elsewhere (a loaded file, NN-Descent, …) with NewIndex
 // to search or cluster over it.
 //
+// # Build parallelism and determinism
+//
+// WithWorkers bounds the goroutines used by the whole build pipeline —
+// random graph initialisation, NN-Descent local joins, the per-round
+// in-cluster refinement of the intertwined process, and the exact
+// ground-truth scans behind ExactNeighbors — as well as SearchBatch.
+// Builds are worker-count deterministic: every random draw comes from a
+// per-node stream derived from (seed, round, node) and cross-node updates
+// merge in a fixed order, so the same WithSeed yields the bit-identical
+// graph at any worker count. WithGraphBuilder selects between the paper's
+// intertwined construction (BuilderGKMeans, the default) and the parallel
+// NN-Descent baseline (BuilderNNDescent):
+//
+//	idx, err := gkmeans.Build(ctx, data,
+//	        gkmeans.WithWorkers(8),
+//	        gkmeans.WithGraphBuilder(gkmeans.BuilderNNDescent),
+//	)
+//
+// cmd/gkbench records the build side of the perf trajectory (wall-clock
+// swept over worker counts, speedup, rounds, distance computations) in
+// BENCH_search.json, and its -compare flag turns the committed baseline
+// into a CI perf-regression gate: the job fails when p50 latency or build
+// time regress beyond noise-tolerant thresholds or recall@k drops. See the
+// README for the thresholds and the baseline-refresh procedure.
+//
 // # Serving an index
 //
 // A persisted index can be served over HTTP without linking this library:

@@ -247,9 +247,10 @@ func NewSearcher(data *Matrix, g *Graph, entries int) (*Searcher, error) {
 }
 
 // ExactNeighbors computes exact top-k neighbour ids for each query by brute
-// force — ground truth for recall measurements.
+// force — ground truth for recall measurements. The scan runs on all
+// available cores.
 func ExactNeighbors(data, queries *Matrix, k int) [][]int32 {
-	return anns.ExactTruth(data, queries, k)
+	return anns.ExactTruth(data, queries, k, 0)
 }
 
 // SearchBatch answers every query concurrently (workers <= 0 selects

@@ -62,6 +62,7 @@ func Build(ctx context.Context, data *Matrix, opts ...Option) (*Index, error) {
 		Tau:       cfg.tau,
 		Seed:      cfg.seed,
 		Workers:   cfg.workers,
+		Builder:   cfg.builder,
 		Interrupt: ctx.Err,
 	}
 	if cfg.progress != nil {

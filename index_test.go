@@ -56,6 +56,114 @@ func TestBuildProducesWorkingIndex(t *testing.T) {
 	}
 }
 
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	// WithWorkers trades wall-clock only: for both builders the same seed
+	// yields the bit-identical graph at every worker count.
+	data := dataset.SIFTLike(500, 31)
+	for _, builder := range []string{BuilderGKMeans, BuilderNNDescent} {
+		var ref *Graph
+		for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS
+			idx, err := Build(context.Background(), data,
+				WithKappa(8), WithXi(20), WithTau(3), WithSeed(5),
+				WithWorkers(workers), WithGraphBuilder(builder))
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", builder, workers, err)
+			}
+			g := idx.Graph()
+			if ref == nil {
+				ref = g
+				continue
+			}
+			for i := range ref.Lists {
+				if len(g.Lists[i]) != len(ref.Lists[i]) {
+					t.Fatalf("%s workers=%d node %d list length differs", builder, workers, i)
+				}
+				for j := range ref.Lists[i] {
+					if g.Lists[i][j] != ref.Lists[i][j] {
+						t.Fatalf("%s workers=%d node %d entry %d differs", builder, workers, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildNNDescentBuilderEndToEnd(t *testing.T) {
+	all := dataset.SIFTLike(540, 17)
+	data, queries := Split(all, 40)
+	idx, err := Build(context.Background(), data,
+		WithKappa(10), WithSeed(9), WithGraphBuilder(BuilderNNDescent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := ExactNeighbors(data, queries, 5)
+	hits, total := 0, 0
+	for qi := 0; qi < queries.N; qi++ {
+		res := idx.Search(queries.Row(qi), 5, 64)
+		got := map[int32]bool{}
+		for _, nb := range res {
+			got[nb.ID] = true
+		}
+		for _, id := range truth[qi] {
+			total++
+			if got[id] {
+				hits++
+			}
+		}
+	}
+	if recall := float64(hits) / float64(total); recall < 0.8 {
+		t.Fatalf("KGraph-built index recall %.3f, want >= 0.8", recall)
+	}
+	if _, err := Build(context.Background(), data, WithGraphBuilder("nosuch")); err == nil {
+		t.Fatal("unknown builder accepted")
+	}
+}
+
+func TestConcurrentBuildsRace(t *testing.T) {
+	// Hammer Build on separate Index values over a shared read-only
+	// dataset — the determinism satellite's race test (CI runs it with
+	// -race). Both builders participate.
+	data := dataset.SIFTLike(400, 41)
+	var wg sync.WaitGroup
+	idxs := make([]*Index, 8)
+	errs := make([]error, 8)
+	for i := range idxs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			builder := BuilderGKMeans
+			if i%2 == 1 {
+				builder = BuilderNNDescent
+			}
+			// (builder, seed) repeats with period 4, so idxs[i] and
+			// idxs[i+4] run identical configurations concurrently.
+			idxs[i], errs[i] = Build(context.Background(), data,
+				WithKappa(6), WithXi(20), WithTau(3), WithSeed(int64((i%4)/2)),
+				WithWorkers(2), WithGraphBuilder(builder))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("build %d: %v", i, err)
+		}
+		if got := idxs[i].Search(data.Row(3), 3, 32); len(got) != 3 {
+			t.Fatalf("build %d produced a broken index", i)
+		}
+	}
+	// Same (builder, seed) pairs must agree even when built concurrently.
+	for i := 4; i < 8; i++ {
+		a, b := idxs[i-4].Graph(), idxs[i].Graph()
+		for v := range a.Lists {
+			for j := range a.Lists[v] {
+				if a.Lists[v][j] != b.Lists[v][j] {
+					t.Fatalf("concurrent same-seed builds %d and %d diverged", i-4, i)
+				}
+			}
+		}
+	}
+}
+
 func TestBuildWithClusters(t *testing.T) {
 	data := dataset.GloVeLike(600, 23)
 	idx, err := Build(context.Background(), data,

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"gkmeans/internal/knngraph"
+	"gkmeans/internal/parallel"
 	"gkmeans/internal/vec"
 )
 
@@ -429,33 +430,37 @@ func RecallAt(s *Searcher, queries *vec.Matrix, truth [][]int32, k, ef int) floa
 }
 
 // ExactTruth computes exact top-k ids for each query by brute force —
-// ground truth for recall evaluation.
-func ExactTruth(data, queries *vec.Matrix, k int) [][]int32 {
+// ground truth for recall evaluation. Queries are independent, so the scan
+// fans out across up to workers goroutines (<=0 selects GOMAXPROCS); the
+// result is identical for every worker count.
+func ExactTruth(data, queries *vec.Matrix, k, workers int) [][]int32 {
 	truth := make([][]int32, queries.N)
-	for qi := 0; qi < queries.N; qi++ {
-		q := queries.Row(qi)
-		type pair struct {
-			id int32
-			d  float32
-		}
-		best := make([]pair, 0, k+1)
-		for i := 0; i < data.N; i++ {
-			d := vec.L2Sqr(q, data.Row(i))
-			if len(best) == k && d >= best[len(best)-1].d {
-				continue
+	parallel.For(queries.N, workers, func(lo, hi int) {
+		for qi := lo; qi < hi; qi++ {
+			q := queries.Row(qi)
+			type pair struct {
+				id int32
+				d  float32
 			}
-			pos := sort.Search(len(best), func(j int) bool { return best[j].d >= d })
-			if len(best) < k {
-				best = append(best, pair{})
+			best := make([]pair, 0, k+1)
+			for i := 0; i < data.N; i++ {
+				d := vec.L2Sqr(q, data.Row(i))
+				if len(best) == k && d >= best[len(best)-1].d {
+					continue
+				}
+				pos := sort.Search(len(best), func(j int) bool { return best[j].d >= d })
+				if len(best) < k {
+					best = append(best, pair{})
+				}
+				copy(best[pos+1:], best[pos:len(best)-1])
+				best[pos] = pair{int32(i), d}
 			}
-			copy(best[pos+1:], best[pos:len(best)-1])
-			best[pos] = pair{int32(i), d}
+			ids := make([]int32, len(best))
+			for i, p := range best {
+				ids[i] = p.id
+			}
+			truth[qi] = ids
 		}
-		ids := make([]int32, len(best))
-		for i, p := range best {
-			ids[i] = p.id
-		}
-		truth[qi] = ids
-	}
+	})
 	return truth
 }

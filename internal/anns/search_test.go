@@ -33,7 +33,7 @@ func TestSearchOnExactGraphFindsTrueNeighbors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth := ExactTruth(data, queries, 1)
+	truth := ExactTruth(data, queries, 1, 0)
 	if r := RecallAt(s, queries, truth, 1, 32); r < 0.9 {
 		t.Fatalf("recall@1 on exact graph %.3f, want >= 0.9", r)
 	}
@@ -51,7 +51,7 @@ func TestSearchOnConstructedGraph(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	truth := ExactTruth(data, queries, 10)
+	truth := ExactTruth(data, queries, 10, 0)
 	if r := RecallAt(s, queries, truth, 10, 64); r < 0.8 {
 		t.Fatalf("recall@10 %.3f, want >= 0.8", r)
 	}
@@ -129,7 +129,7 @@ func TestNewSearcherErrors(t *testing.T) {
 func TestExactTruth(t *testing.T) {
 	data := vec.FromRows([][]float32{{0, 0}, {1, 0}, {5, 0}, {6, 0}})
 	queries := vec.FromRows([][]float32{{0.1, 0}})
-	truth := ExactTruth(data, queries, 2)
+	truth := ExactTruth(data, queries, 2, 0)
 	if truth[0][0] != 0 || truth[0][1] != 1 {
 		t.Fatalf("truth %v", truth[0])
 	}
@@ -151,7 +151,7 @@ func TestRecallAtSkipsEmptyTruth(t *testing.T) {
 	g := knngraph.BruteForce(data, 8, 0)
 	s, _ := NewSearcher(data, g, 8)
 	queries := data.SubsetRows([]int{1, 7, 13, 21})
-	truth := ExactTruth(data, queries, 3)
+	truth := ExactTruth(data, queries, 3, 0)
 	truth[1] = nil       // no ground truth for this query
 	truth[3] = []int32{} // nor this one
 	r := RecallAt(s, queries, truth, 3, 32)
@@ -181,7 +181,7 @@ func TestEarlyTerminationBoundsWork(t *testing.T) {
 		t.Fatal(err)
 	}
 	const topK, ef = 10, 128
-	truth := ExactTruth(data, queries, topK)
+	truth := ExactTruth(data, queries, topK, 0)
 	measure := func(exhaust bool) (recall float64, dist, expanded int) {
 		var sum float64
 		for qi := 0; qi < queries.N; qi++ {
@@ -235,7 +235,7 @@ func TestEarlyTerminationParityOnFvecsData(t *testing.T) {
 		t.Fatal(err)
 	}
 	const topK, ef = 10, 64
-	truth := ExactTruth(data, queries, topK)
+	truth := ExactTruth(data, queries, topK, 0)
 	recall := func(exhaust bool) float64 {
 		var sum float64
 		for qi := 0; qi < queries.N; qi++ {

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The CI perf-regression gate: gkbench -compare diffs a fresh SearchReport
+// against the committed baseline (BENCH_search.json) and fails the job when
+// the hot numbers regress beyond noise-tolerant thresholds. Wall-clock on
+// shared runners jitters, so latency and build-time checks are relative
+// (default 25%) with an absolute latency slack floor, while recall — which
+// is deterministic for a fixed seed — gets a tight absolute budget.
+
+// CompareThresholds bounds how much a fresh run may regress before
+// CompareReports flags it. Zero values select the CI defaults.
+type CompareThresholds struct {
+	// MaxLatencyRegress is the allowed fractional p50 latency increase per
+	// (topK, ef) cell; <=0 selects 0.25 (i.e. +25%).
+	MaxLatencyRegress float64
+	// MaxBuildRegress is the allowed fractional graph build-time increase;
+	// <=0 selects 0.25.
+	MaxBuildRegress float64
+	// MaxRecallDrop is the allowed absolute recall@k decrease per cell;
+	// <=0 selects 0.01.
+	MaxRecallDrop float64
+	// LatencySlackUS is an absolute floor under the latency check: a p50
+	// increase smaller than this many microseconds is never flagged, which
+	// keeps sub-noise cells (a 20µs p50 jittering by 30%) from failing CI;
+	// 0 selects 10, <0 disables the floor.
+	LatencySlackUS float64
+	// BuildSlackSeconds is the same absolute floor for the build check: a
+	// build-time increase smaller than this is never flagged, which keeps
+	// the quick preset's ~0.1s build — where +25% is runner noise and the
+	// baseline may come from different hardware — from failing CI while
+	// still catching serialisation-scale disasters; 0 selects 0.25, <0
+	// disables the floor.
+	BuildSlackSeconds float64
+}
+
+func (t CompareThresholds) resolved() CompareThresholds {
+	if t.MaxLatencyRegress <= 0 {
+		t.MaxLatencyRegress = 0.25
+	}
+	if t.MaxBuildRegress <= 0 {
+		t.MaxBuildRegress = 0.25
+	}
+	if t.MaxRecallDrop <= 0 {
+		t.MaxRecallDrop = 0.01
+	}
+	if t.LatencySlackUS == 0 {
+		t.LatencySlackUS = 10
+	} else if t.LatencySlackUS < 0 {
+		t.LatencySlackUS = 0
+	}
+	if t.BuildSlackSeconds == 0 {
+		t.BuildSlackSeconds = 0.25
+	} else if t.BuildSlackSeconds < 0 {
+		t.BuildSlackSeconds = 0
+	}
+	return t
+}
+
+// Regression is one threshold violation found by CompareReports.
+type Regression struct {
+	Metric string  // "p50_us", "recall", "build_seconds"
+	Where  string  // which cell, e.g. "topK=10 ef=32"
+	Old    float64 // baseline value
+	New    float64 // fresh value
+	Limit  float64 // the value the fresh run was allowed to reach
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (limit %.4g)", r.Metric, r.Where, r.Old, r.New, r.Limit)
+}
+
+// CompareReports diffs fresh against the old baseline and returns every
+// threshold violation. Cells present in only one report are skipped (grid
+// changes need a baseline refresh, not a failure); incomparable
+// configurations (different dataset, size or graph parameters) return an
+// error because their numbers measure different work.
+func CompareReports(old, fresh *SearchReport, th CompareThresholds) ([]Regression, error) {
+	if err := sameMeasurement(old, fresh); err != nil {
+		return nil, err
+	}
+	th = th.resolved()
+	var regs []Regression
+
+	if old.Build.GraphSeconds > 0 {
+		limit := old.Build.GraphSeconds * (1 + th.MaxBuildRegress)
+		if fresh.Build.GraphSeconds > limit &&
+			fresh.Build.GraphSeconds-old.Build.GraphSeconds > th.BuildSlackSeconds {
+			regs = append(regs, Regression{
+				Metric: "build_seconds", Where: "graph",
+				Old: old.Build.GraphSeconds, New: fresh.Build.GraphSeconds, Limit: limit,
+			})
+		}
+	}
+
+	baseline := make(map[[2]int]SearchPoint, len(old.Search))
+	for _, pt := range old.Search {
+		baseline[[2]int{pt.TopK, pt.Ef}] = pt
+	}
+	for _, pt := range fresh.Search {
+		ref, ok := baseline[[2]int{pt.TopK, pt.Ef}]
+		if !ok {
+			continue
+		}
+		where := fmt.Sprintf("topK=%d ef=%d", pt.TopK, pt.Ef)
+		latLimit := ref.P50US * (1 + th.MaxLatencyRegress)
+		if pt.P50US > latLimit && pt.P50US-ref.P50US > th.LatencySlackUS {
+			regs = append(regs, Regression{
+				Metric: "p50_us", Where: where,
+				Old: ref.P50US, New: pt.P50US, Limit: latLimit,
+			})
+		}
+		recallLimit := ref.Recall - th.MaxRecallDrop
+		if pt.Recall < recallLimit {
+			regs = append(regs, Regression{
+				Metric: "recall", Where: where,
+				Old: ref.Recall, New: pt.Recall, Limit: recallLimit,
+			})
+		}
+	}
+	return regs, nil
+}
+
+// sameMeasurement rejects baselines that measured different work than the fresh
+// run: their numbers cannot be diffed, only refreshed.
+func sameMeasurement(old, fresh *SearchReport) error {
+	type key struct {
+		field string
+		o, f  any
+	}
+	for _, k := range []key{
+		{"dataset", old.Dataset, fresh.Dataset},
+		{"n", old.N, fresh.N},
+		{"dim", old.Dim, fresh.Dim},
+		{"queries", old.Queries, fresh.Queries},
+		{"kappa", old.Kappa, fresh.Kappa},
+		{"xi", old.Xi, fresh.Xi},
+		{"tau", old.Tau, fresh.Tau},
+		{"seed", old.Seed, fresh.Seed},
+	} {
+		if k.o != k.f {
+			return fmt.Errorf("bench: baseline measured %s=%v but this run measured %v — refresh the committed baseline instead of comparing", k.field, k.o, k.f)
+		}
+	}
+	// Builders measure different construction work; "" and "gkmeans" are
+	// the same builder (schema-1 baselines predate the field).
+	ob, fb := old.Build.Builder, fresh.Build.Builder
+	if ob == "" {
+		ob = "gkmeans"
+	}
+	if fb == "" {
+		fb = "gkmeans"
+	}
+	if ob != fb {
+		return fmt.Errorf("bench: baseline built with %s but this run with %s — refresh the committed baseline instead of comparing", ob, fb)
+	}
+	return nil
+}
+
+// LoadReport reads a SearchReport JSON file (a committed baseline).
+func LoadReport(path string) (*SearchReport, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep SearchReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if rep.Schema < 1 {
+		return nil, fmt.Errorf("bench: %s does not look like a gkbench report (schema %d)", path, rep.Schema)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baselineReport() *SearchReport {
+	return &SearchReport{
+		Schema: 2, Dataset: "sift", N: 1900, Dim: 128, Queries: 100,
+		Kappa: 10, Xi: 25, Tau: 4, Seed: 1,
+		Build: BuildResult{Builder: "gkmeans", GraphSeconds: 1.0},
+		Search: []SearchPoint{
+			{TopK: 10, Ef: 16, Recall: 0.95, P50US: 100},
+			{TopK: 10, Ef: 32, Recall: 0.99, P50US: 120},
+		},
+	}
+}
+
+func cloneReport(r *SearchReport) *SearchReport {
+	c := *r
+	c.Search = append([]SearchPoint(nil), r.Search...)
+	return &c
+}
+
+func TestCompareReportsPassesWithinNoise(t *testing.T) {
+	old := baselineReport()
+	fresh := cloneReport(old)
+	fresh.Build.GraphSeconds = 1.2 // +20% < 25%
+	fresh.Search[0].P50US = 115    // +15% < 25%
+	fresh.Search[0].Recall = 0.945 // -0.005 < 0.01
+	fresh.Search[1].P50US = 132    // +10%
+	regs, err := CompareReports(old, fresh, CompareThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %v", regs)
+	}
+}
+
+func TestCompareReportsFlagsLatencyRegression(t *testing.T) {
+	old := baselineReport()
+	fresh := cloneReport(old)
+	fresh.Search[1].P50US = 160 // +33% and +40µs over slack
+	regs, err := CompareReports(old, fresh, CompareThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "p50_us" || regs[0].Where != "topK=10 ef=32" {
+		t.Fatalf("got %v, want one p50 regression at ef=32", regs)
+	}
+}
+
+func TestCompareReportsLatencySlackFloor(t *testing.T) {
+	// A 50% jump that is only 6µs absolute must stay under the 10µs slack.
+	old := baselineReport()
+	old.Search[0].P50US = 12
+	fresh := cloneReport(old)
+	fresh.Search[0].P50US = 18
+	regs, err := CompareReports(old, fresh, CompareThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-slack jitter flagged: %v", regs)
+	}
+	// Disabling the floor (negative) flags it.
+	regs, err = CompareReports(old, fresh, CompareThresholds{LatencySlackUS: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("got %v, want one regression with slack disabled", regs)
+	}
+}
+
+func TestCompareReportsFlagsRecallDrop(t *testing.T) {
+	old := baselineReport()
+	fresh := cloneReport(old)
+	fresh.Search[0].Recall = 0.93 // -0.02 > 0.01
+	regs, err := CompareReports(old, fresh, CompareThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "recall" {
+		t.Fatalf("got %v, want one recall regression", regs)
+	}
+}
+
+func TestCompareReportsFlagsBuildRegression(t *testing.T) {
+	old := baselineReport()
+	fresh := cloneReport(old)
+	fresh.Build.GraphSeconds = 1.5
+	regs, err := CompareReports(old, fresh, CompareThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "build_seconds" {
+		t.Fatalf("got %v, want one build regression", regs)
+	}
+	// A looser explicit threshold passes the same pair.
+	regs, err = CompareReports(old, fresh, CompareThresholds{MaxBuildRegress: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("loose threshold still flagged: %v", regs)
+	}
+}
+
+func TestCompareReportsBuildSlackFloor(t *testing.T) {
+	// A 2x jump that is only 0.1s absolute (a quick-preset build on a
+	// noisy runner) must stay under the 0.25s default slack.
+	old := baselineReport()
+	old.Build.GraphSeconds = 0.1
+	fresh := cloneReport(old)
+	fresh.Build.GraphSeconds = 0.2
+	regs, err := CompareReports(old, fresh, CompareThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("sub-slack build jitter flagged: %v", regs)
+	}
+	// Disabling the floor (negative) flags it.
+	regs, err = CompareReports(old, fresh, CompareThresholds{BuildSlackSeconds: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "build_seconds" {
+		t.Fatalf("got %v, want one build regression with slack disabled", regs)
+	}
+}
+
+func TestCompareReportsSkipsUnmatchedCells(t *testing.T) {
+	old := baselineReport()
+	fresh := cloneReport(old)
+	fresh.Search = append(fresh.Search, SearchPoint{TopK: 10, Ef: 64, Recall: 0.1, P50US: 9999})
+	regs, err := CompareReports(old, fresh, CompareThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("new grid cell should be skipped, got %v", regs)
+	}
+}
+
+func TestCompareReportsRejectsIncomparableConfigs(t *testing.T) {
+	old := baselineReport()
+	fresh := cloneReport(old)
+	fresh.N = 4000
+	if _, err := CompareReports(old, fresh, CompareThresholds{}); err == nil {
+		t.Fatal("different corpus size must not be comparable")
+	}
+	fresh = cloneReport(old)
+	fresh.Build.Builder = "nndescent"
+	if _, err := CompareReports(old, fresh, CompareThresholds{}); err == nil {
+		t.Fatal("different builder must not be comparable")
+	}
+	// Schema-1 baselines have no builder field; treat "" as gkmeans.
+	fresh = cloneReport(old)
+	old.Build.Builder = ""
+	if _, err := CompareReports(old, fresh, CompareThresholds{}); err != nil {
+		t.Fatalf("empty baseline builder should match gkmeans: %v", err)
+	}
+}
+
+func TestLoadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	if err := os.WriteFile(path, []byte(`{"schema":2,"dataset":"sift","n":10}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dataset != "sift" || rep.N != 10 {
+		t.Fatalf("loaded %+v", rep)
+	}
+	if _, err := LoadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if err := os.WriteFile(path, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("corrupt file error = %v", err)
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil {
+		t.Fatal("schema 0 must error")
+	}
+}

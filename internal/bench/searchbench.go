@@ -32,10 +32,18 @@ type SearchBenchConfig struct {
 	Xi      int         // refinement cluster size
 	Tau     int         // graph construction rounds
 	Seed    int64
-	Entries int   // search entry points (<=0 selects the searcher default)
-	TopKs   []int // grid: requested neighbours per query
-	Efs     []int // grid: candidate pool sizes
-	Workers int   // SearchBatch parallelism (<=0 selects GOMAXPROCS)
+	Entries int    // search entry points (<=0 selects the searcher default)
+	TopKs   []int  // grid: requested neighbours per query
+	Efs     []int  // grid: candidate pool sizes
+	Workers int    // build + SearchBatch parallelism (<=0 selects GOMAXPROCS)
+	Builder string // graph builder: core.BuilderGKMeans ("" default) or core.BuilderNNDescent
+
+	// BuildWorkers, when non-empty, additionally rebuilds the graph once
+	// per listed worker count and records wall-clock, speedup, rounds and
+	// distance computations — the build half of the perf trajectory. The
+	// builders are worker-count deterministic, so the sweep also
+	// cross-checks that every rebuild produced the identical graph.
+	BuildWorkers []int
 }
 
 // SearchPoint is one (topK, ef) cell of the single-query grid.
@@ -59,12 +67,29 @@ type BatchPoint struct {
 	WallMS float64 `json:"wall_ms"`
 }
 
+// BuildSweepPoint is one worker count of the build sweep.
+type BuildSweepPoint struct {
+	Workers     int     `json:"workers"`
+	Seconds     float64 `json:"seconds"`
+	Speedup     float64 `json:"speedup"` // vs the workers=1 point (1.0 when absent)
+	Rounds      int     `json:"rounds"`
+	DistComps   int64   `json:"dist_comps"`
+	GraphRecall float64 `json:"graph_recall"` // sampled recall@top1 vs exact NN
+}
+
 // BuildResult times index construction.
 type BuildResult struct {
+	Builder         string  `json:"builder"`
 	GraphSeconds    float64 `json:"graph_seconds"`
 	SearcherSeconds float64 `json:"searcher_seconds"` // CSR + entry points
 	GraphEdges      int     `json:"graph_edges"`      // symmetrised, directed
 	EntryPoints     int     `json:"entry_points"`
+	Rounds          int     `json:"rounds"`
+	DistComps       int64   `json:"dist_comps"`
+	// Sweep and the fields below are populated when BuildWorkers is set.
+	Sweep         []BuildSweepPoint `json:"worker_sweep,omitempty"`
+	Speedup       float64           `json:"speedup,omitempty"`    // best sweep speedup vs workers=1
+	Deterministic bool              `json:"worker_deterministic"` // all sweep graphs identical
 }
 
 // SearchReport is the full harness output; it marshals to BENCH_search.json.
@@ -117,7 +142,7 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 	logf("corpus %s: %d×%d data, %d held-out queries", name, data.N, data.Dim, queries.N)
 
 	rep := &SearchReport{
-		Schema:    1,
+		Schema:    2,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
@@ -131,15 +156,27 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 		Seed:      cfg.Seed,
 	}
 
+	gc := core.GraphConfig{
+		Kappa: cfg.Kappa, Xi: cfg.Xi, Tau: cfg.Tau, Seed: cfg.Seed,
+		Workers: cfg.Workers, Builder: cfg.Builder,
+	}
 	start := time.Now()
-	g, err := core.BuildGraph(data, core.GraphConfig{
-		Kappa: cfg.Kappa, Xi: cfg.Xi, Tau: cfg.Tau, Seed: cfg.Seed, Workers: cfg.Workers,
-	})
+	g, gs, err := core.BuildGraphWithStats(data, gc)
 	if err != nil {
 		return nil, err
 	}
 	rep.Build.GraphSeconds = time.Since(start).Seconds()
-	logf("graph built in %.2fs", rep.Build.GraphSeconds)
+	rep.Build.Builder = gs.Builder
+	rep.Build.Rounds = gs.Rounds
+	rep.Build.DistComps = gs.DistComps
+	logf("graph built with %s in %.2fs (%d rounds, %d dist comps)",
+		gs.Builder, rep.Build.GraphSeconds, gs.Rounds, gs.DistComps)
+
+	if len(cfg.BuildWorkers) > 0 {
+		if err := runBuildSweep(data, gc, cfg.BuildWorkers, &rep.Build, logf); err != nil {
+			return nil, err
+		}
+	}
 
 	start = time.Now()
 	s, err := anns.NewSearcher(data, g, cfg.Entries)
@@ -156,7 +193,7 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 			maxK = k
 		}
 	}
-	truth := anns.ExactTruth(data, queries, maxK)
+	truth := anns.ExactTruth(data, queries, maxK, cfg.Workers)
 
 	for _, topK := range cfg.TopKs {
 		for _, ef := range cfg.Efs {
@@ -199,6 +236,85 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 		}
 	}
 	return rep, nil
+}
+
+// graphRecallSample bounds the per-sweep-point recall estimate: 200 nodes
+// keeps the exact-NN scans cheap while the ±0.005 tolerance the CI gate
+// cares about stays resolvable.
+const graphRecallSample = 200
+
+// runBuildSweep rebuilds the graph once per worker count, recording
+// wall-clock, speedup vs the workers=1 point, per-build work counters and
+// sampled graph recall, and verifies the builds are worker-count
+// deterministic (bit-identical graphs).
+func runBuildSweep(data *vec.Matrix, gc core.GraphConfig, workerGrid []int,
+	out *BuildResult, logf func(format string, args ...any)) error {
+
+	out.Deterministic = true
+	var ref *knngraph.Graph
+	for _, w := range workerGrid {
+		wgc := gc
+		wgc.Workers = w
+		t0 := time.Now()
+		gw, st, err := core.BuildGraphWithStats(data, wgc)
+		if err != nil {
+			return err
+		}
+		pt := BuildSweepPoint{
+			Workers: w, Seconds: time.Since(t0).Seconds(),
+			Rounds: st.Rounds, DistComps: st.DistComps,
+			GraphRecall: sampledGraphRecall(data, gw, graphRecallSample, gc.Seed),
+		}
+		if ref == nil {
+			ref = gw
+		} else if !graphsEqual(ref, gw) {
+			out.Deterministic = false
+		}
+		out.Sweep = append(out.Sweep, pt)
+		logf("build workers=%-2d %.3fs (%d rounds, %d dist comps, graph recall %.3f)",
+			pt.Workers, pt.Seconds, pt.Rounds, pt.DistComps, pt.GraphRecall)
+	}
+	// Speedups are relative to the workers=1 point; without one the sweep
+	// still records absolute times but every speedup stays 1.0.
+	base := 0.0
+	for _, pt := range out.Sweep {
+		if pt.Workers == 1 {
+			base = pt.Seconds
+			break
+		}
+	}
+	for i := range out.Sweep {
+		out.Sweep[i].Speedup = 1
+		if base > 0 && out.Sweep[i].Seconds > 0 {
+			out.Sweep[i].Speedup = base / out.Sweep[i].Seconds
+		}
+		if out.Sweep[i].Speedup > out.Speedup {
+			out.Speedup = out.Sweep[i].Speedup
+		}
+	}
+	if !out.Deterministic {
+		logf("WARNING: build sweep produced differing graphs across worker counts")
+	}
+	return nil
+}
+
+// graphsEqual reports whether two graphs store exactly the same neighbour
+// lists — the determinism check of the build sweep.
+func graphsEqual(a, b *knngraph.Graph) bool {
+	if a.N() != b.N() || a.Kappa != b.Kappa {
+		return false
+	}
+	for i := range a.Lists {
+		if len(a.Lists[i]) != len(b.Lists[i]) {
+			return false
+		}
+		for j := range a.Lists[i] {
+			if a.Lists[i][j] != b.Lists[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // splitCorpus holds out nQueries evenly spread rows as the query set and

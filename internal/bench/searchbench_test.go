@@ -12,16 +12,34 @@ func TestRunSearchBenchProducesFullReport(t *testing.T) {
 		Dataset: "sift", N: 400, Queries: 25,
 		Kappa: 6, Xi: 15, Tau: 2, Seed: 7,
 		TopKs: []int{5}, Efs: []int{16, 32},
+		BuildWorkers: []int{1, 2},
 	}
 	rep, err := RunSearchBench(cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != 1 || rep.Dataset != "sift" || rep.N != 375 || rep.Queries != 25 {
+	if rep.Schema != 2 || rep.Dataset != "sift" || rep.N != 375 || rep.Queries != 25 {
 		t.Fatalf("report header wrong: %+v", rep)
 	}
 	if rep.Build.GraphSeconds <= 0 || rep.Build.GraphEdges <= 0 || rep.Build.EntryPoints <= 0 {
 		t.Fatalf("build section not populated: %+v", rep.Build)
+	}
+	if rep.Build.Builder != "gkmeans" || rep.Build.Rounds != 2 || rep.Build.DistComps <= 0 {
+		t.Fatalf("build stats not populated: %+v", rep.Build)
+	}
+	if len(rep.Build.Sweep) != 2 {
+		t.Fatalf("sweep has %d points, want 2: %+v", len(rep.Build.Sweep), rep.Build.Sweep)
+	}
+	if !rep.Build.Deterministic {
+		t.Fatal("worker sweep produced differing graphs")
+	}
+	for _, pt := range rep.Build.Sweep {
+		if pt.Seconds <= 0 || pt.Speedup <= 0 || pt.Rounds != 2 || pt.DistComps <= 0 {
+			t.Fatalf("sweep point not populated: %+v", pt)
+		}
+		if pt.GraphRecall != rep.Build.Sweep[0].GraphRecall {
+			t.Fatalf("identical graphs with different recall: %+v", rep.Build.Sweep)
+		}
 	}
 	if len(rep.Search) != 2 || len(rep.Batch) != 2 {
 		t.Fatalf("grid sizes: %d search, %d batch points", len(rep.Search), len(rep.Batch))
@@ -74,6 +92,30 @@ func TestRunSearchBenchOnPreloadedData(t *testing.T) {
 	}
 	if rep.Dataset != "file" || rep.N != 280 || rep.Dim != 100 {
 		t.Fatalf("preloaded corpus mishandled: %+v", rep)
+	}
+}
+
+func TestRunSearchBenchNNDescentBuilder(t *testing.T) {
+	rep, err := RunSearchBench(SearchBenchConfig{
+		Dataset: "sift", N: 400, Queries: 20,
+		Kappa: 8, Tau: 6, Seed: 5, Builder: "nndescent",
+		TopKs: []int{5}, Efs: []int{32},
+		BuildWorkers: []int{1, 3},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Build.Builder != "nndescent" || rep.Build.Rounds <= 0 || rep.Build.DistComps <= 0 {
+		t.Fatalf("nndescent build stats not populated: %+v", rep.Build)
+	}
+	if !rep.Build.Deterministic {
+		t.Fatal("nndescent sweep produced differing graphs")
+	}
+	if _, err := RunSearchBench(SearchBenchConfig{
+		Dataset: "sift", N: 400, Queries: 20, Kappa: 8, Builder: "nosuch",
+		TopKs: []int{5}, Efs: []int{32},
+	}, nil); err == nil {
+		t.Fatal("unknown builder accepted")
 	}
 }
 

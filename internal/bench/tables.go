@@ -132,7 +132,7 @@ func ANNS(cfg ANNSConfig) (*Table, error) {
 		return nil, err
 	}
 	start := time.Now()
-	truth := anns.ExactTruth(data, queries, 1)
+	truth := anns.ExactTruth(data, queries, 1, 1)
 	brutePer := time.Since(start) / time.Duration(queries.N)
 
 	t := &Table{

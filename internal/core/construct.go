@@ -3,10 +3,18 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"gkmeans/internal/knngraph"
+	"gkmeans/internal/nndescent"
 	"gkmeans/internal/parallel"
 	"gkmeans/internal/vec"
+)
+
+// Graph builder names accepted by GraphConfig.Builder.
+const (
+	BuilderGKMeans   = "gkmeans"   // the paper's intertwined process (Alg. 3); the default
+	BuilderNNDescent = "nndescent" // the KGraph baseline (Dong et al., WWW 2011)
 )
 
 // GraphConfig controls the intertwined k-NN graph construction (Alg. 3).
@@ -15,13 +23,21 @@ import (
 type GraphConfig struct {
 	Kappa   int // neighbours per node (κ); <=0 selects 50
 	Xi      int // target cluster size for the refinement clusters (ξ); <=0 selects 50
-	Tau     int // construction rounds (τ); <=0 selects 10
+	Tau     int // construction rounds (τ); <=0 selects 10 (nndescent: its own 30-round cap)
 	Seed    int64
-	Workers int // parallel workers for in-cluster refinement; <=0 selects GOMAXPROCS
+	Workers int // parallel workers for init, refinement and NN-Descent joins; <=0 selects GOMAXPROCS
+
+	// Builder selects the construction algorithm: BuilderGKMeans (also the
+	// "" default) or BuilderNNDescent. Both honour Seed, Kappa, Tau and
+	// Workers and produce worker-count-independent output; Xi only applies
+	// to the gkmeans builder.
+	Builder string
 
 	// OnRound, when non-nil, observes each round: the round number t
 	// (1-based), the graph after refinement, and the clustering used for
-	// the round. Fig. 2 of the paper is generated from this hook.
+	// the round. Fig. 2 of the paper is generated from this hook. The
+	// nndescent builder keeps its neighbour lists private until the build
+	// finishes, so it invokes the hook with a nil graph and nil labels.
 	OnRound func(t int, g *knngraph.Graph, labels []int)
 
 	// Interrupt, when non-nil, is polled before every construction round;
@@ -30,16 +46,49 @@ type GraphConfig struct {
 	Interrupt func() error
 }
 
+// GraphStats reports the work a graph build performed, for benchmarks and
+// the CI perf trajectory.
+type GraphStats struct {
+	Builder string // resolved builder name
+	Rounds  int    // construction rounds actually run
+	// DistComps counts the distance computations spent updating the graph:
+	// random initialisation plus in-cluster refinement for the gkmeans
+	// builder (the per-round clustering passes keep their own economy and
+	// are excluded), initialisation plus local joins for nndescent.
+	DistComps int64
+}
+
 // BuildGraph constructs an approximate k-NN graph by the paper's
 // self-evolving process (Alg. 3): starting from a random graph, each round
 // (1) runs one GK-means pass that partitions the data into clusters of
 // roughly ξ members using the current graph, then (2) exhaustively compares
 // samples *within* each cluster and feeds closer pairs back into the graph.
 // Cluster structure and graph quality improve alternately (Fig. 3).
+// GraphConfig.Builder swaps in the NN-Descent baseline instead.
 func BuildGraph(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, error) {
+	g, _, err := BuildGraphWithStats(data, cfg)
+	return g, err
+}
+
+// BuildGraphWithStats is BuildGraph plus work counters.
+func BuildGraphWithStats(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, GraphStats, error) {
+	switch cfg.Builder {
+	case "", BuilderGKMeans:
+		return buildIntertwined(data, cfg)
+	case BuilderNNDescent:
+		return buildNNDescent(data, cfg)
+	default:
+		return nil, GraphStats{}, fmt.Errorf("core: unknown graph builder %q (want %q or %q)",
+			cfg.Builder, BuilderGKMeans, BuilderNNDescent)
+	}
+}
+
+// buildIntertwined is Alg. 3, the paper's standard configuration.
+func buildIntertwined(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, GraphStats, error) {
+	stats := GraphStats{Builder: BuilderGKMeans}
 	n := data.N
 	if n < 2 {
-		return nil, fmt.Errorf("core: BuildGraph needs at least 2 samples, got %d", n)
+		return nil, stats, fmt.Errorf("core: BuildGraph needs at least 2 samples, got %d", n)
 	}
 	kappa := cfg.Kappa
 	if kappa <= 0 {
@@ -61,13 +110,14 @@ func BuildGraph(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, error) {
 		k0 = 1
 	}
 
-	// Alg. 3 line 4: random initial graph.
-	g := knngraph.Random(data, kappa, cfg.Seed)
+	// Alg. 3 line 4: random initial graph, built across the worker pool.
+	g, initComps := knngraph.RandomN(data, kappa, cfg.Seed, cfg.Workers)
+	var refineComps atomic.Int64
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	for t := 0; t < tau; t++ {
 		if cfg.Interrupt != nil {
 			if err := cfg.Interrupt(); err != nil {
-				return nil, err
+				return nil, stats, err
 			}
 		}
 		// Line 7: one GK-means pass (the inner iteration count is fixed to
@@ -76,25 +126,60 @@ func BuildGraph(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, error) {
 		// the union of in-cluster comparisons cover true neighbourhoods.
 		res, err := Cluster(data, g, Config{K: k0, MaxIter: 1, Seed: rng.Int63()})
 		if err != nil {
-			return nil, fmt.Errorf("core: BuildGraph round %d: %w", t+1, err)
+			return nil, stats, fmt.Errorf("core: BuildGraph round %d: %w", t+1, err)
 		}
-		refine(data, g, res.Labels, k0, cfg.Workers)
+		refine(data, g, res.Labels, k0, cfg.Workers, &refineComps)
+		stats.Rounds = t + 1
 		if cfg.OnRound != nil {
 			cfg.OnRound(t+1, g, res.Labels)
 		}
 	}
-	return g, nil
+	stats.DistComps = initComps + refineComps.Load()
+	return g, stats, nil
+}
+
+// buildNNDescent dispatches to the KGraph baseline builder, mapping the
+// shared knobs: Tau, when set, caps the NN-Descent rounds (its own
+// δ-termination usually stops earlier); Xi has no meaning there.
+func buildNNDescent(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, GraphStats, error) {
+	stats := GraphStats{Builder: BuilderNNDescent}
+	kappa := cfg.Kappa
+	if kappa <= 0 {
+		kappa = 50
+	}
+	var onRound func(round, updates int)
+	if cfg.OnRound != nil {
+		hook := cfg.OnRound
+		onRound = func(round, _ int) { hook(round, nil, nil) }
+	}
+	g, ns, err := nndescent.BuildWithStats(data, nndescent.Config{
+		Kappa:     kappa,
+		MaxRounds: cfg.Tau,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		OnRound:   onRound,
+		Interrupt: cfg.Interrupt,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Rounds = ns.Rounds
+	stats.DistComps = ns.DistComps
+	return g, stats, nil
 }
 
 // refine performs Alg. 3 lines 8–14: exhaustive pairwise comparison within
 // each cluster, updating both endpoints' k-NN lists. Each sample belongs to
 // exactly one cluster, so refinement parallelises safely across clusters.
-func refine(data *vec.Matrix, g *knngraph.Graph, labels []int, k int, workers int) {
+// distComps, when non-nil, accumulates the distances actually computed
+// (lookups served from either endpoint's list are free).
+func refine(data *vec.Matrix, g *knngraph.Graph, labels []int, k int, workers int, distComps *atomic.Int64) {
 	clusters := make([][]int32, k)
 	for i, l := range labels {
 		clusters[l] = append(clusters[l], int32(i))
 	}
 	parallel.For(k, workers, func(lo, hi int) {
+		var comps int64
 		for c := lo; c < hi; c++ {
 			members := clusters[c]
 			for a := 0; a < len(members); a++ {
@@ -118,6 +203,7 @@ func refine(data *vec.Matrix, g *knngraph.Graph, labels []int, k int, workers in
 					}
 					if !inA && !inB {
 						d = vec.L2Sqr(rowA, data.Row(int(ib)))
+						comps++
 					}
 					if !inA {
 						g.Insert(int(ia), ib, d)
@@ -127,6 +213,9 @@ func refine(data *vec.Matrix, g *knngraph.Graph, labels []int, k int, workers in
 					}
 				}
 			}
+		}
+		if distComps != nil {
+			distComps.Add(comps)
 		}
 	})
 }

@@ -9,10 +9,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
+	"sync/atomic"
 
 	"gkmeans/internal/parallel"
+	"gkmeans/internal/splitmix"
 	"gkmeans/internal/vec"
 )
 
@@ -170,9 +171,23 @@ func (g *Graph) RecallAtK(exact *Graph, k int) float64 {
 	return float64(sum) / float64(total)
 }
 
+// saltRandom tags the per-node splitmix streams of Random so they never
+// collide with other derivations from the same seed.
+const saltRandom uint64 = 0x52414e44 // "RAND"
+
 // Random fills a graph with kappa random distinct neighbours per node and
-// their true distances — the initial graph of Alg. 3 (line 4).
+// their true distances — the initial graph of Alg. 3 (line 4). It runs on
+// GOMAXPROCS workers; use RandomN to bound parallelism.
 func Random(data *vec.Matrix, kappa int, seed int64) *Graph {
+	g, _ := RandomN(data, kappa, seed, 0)
+	return g
+}
+
+// RandomN is Random on up to workers goroutines (<=0 selects GOMAXPROCS),
+// also returning the number of distance computations performed. Each node
+// draws its neighbours from its own splitmix stream derived from (seed,
+// node), so the result is identical for every worker count.
+func RandomN(data *vec.Matrix, kappa int, seed int64, workers int) (*Graph, int64) {
 	n := data.N
 	if kappa >= n {
 		kappa = n - 1
@@ -181,17 +196,25 @@ func Random(data *vec.Matrix, kappa int, seed int64) *Graph {
 		panic("knngraph: Random needs at least 2 samples")
 	}
 	g := New(n, kappa)
-	rng := rand.New(rand.NewSource(seed))
-	for i := 0; i < n; i++ {
-		for len(g.Lists[i]) < kappa {
-			j := int32(rng.Intn(n))
-			if int(j) == i {
-				continue
+	var distComps atomic.Int64
+	parallel.For(n, workers, func(lo, hi int) {
+		var comps int64
+		for i := lo; i < hi; i++ {
+			rng := splitmix.New(seed, saltRandom, uint64(i))
+			for len(g.Lists[i]) < kappa {
+				j := int32(rng.Intn(n))
+				if int(j) == i {
+					continue
+				}
+				// A duplicate draw is rejected by Insert, but the distance
+				// was computed either way.
+				g.Insert(i, j, vec.L2Sqr(data.Row(i), data.Row(int(j))))
+				comps++
 			}
-			g.Insert(i, j, vec.L2Sqr(data.Row(i), data.Row(int(j))))
 		}
-	}
-	return g
+		distComps.Add(comps)
+	})
+	return g, distComps.Load()
 }
 
 // BruteForce builds the exact k-NN graph by exhaustive pairwise comparison,

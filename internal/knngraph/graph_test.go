@@ -158,6 +158,32 @@ func TestRandomKappaClamped(t *testing.T) {
 	}
 }
 
+func TestRandomWorkerCountInvariant(t *testing.T) {
+	// Per-node streams make the random initial graph identical for every
+	// worker count — the property Alg. 3 builds inherit.
+	data := dataset.Uniform(200, 8, 5)
+	ref, refComps := RandomN(data, 7, 3, 1)
+	if refComps < int64(200*7) {
+		t.Fatalf("comps %d below the n·κ floor", refComps)
+	}
+	for _, workers := range []int{2, 4, 9} {
+		g, comps := RandomN(data, 7, 3, workers)
+		if comps != refComps {
+			t.Fatalf("workers=%d comps %d vs %d", workers, comps, refComps)
+		}
+		for i := range ref.Lists {
+			if len(g.Lists[i]) != len(ref.Lists[i]) {
+				t.Fatalf("workers=%d node %d length differs", workers, i)
+			}
+			for j := range ref.Lists[i] {
+				if g.Lists[i][j] != ref.Lists[i][j] {
+					t.Fatalf("workers=%d node %d entry %d differs", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
 func TestRecallSampled(t *testing.T) {
 	data := dataset.Uniform(40, 4, 2)
 	exact := BruteForce(data, 3, 0)

@@ -8,13 +8,33 @@
 // The paper uses NN-Descent in the "KGraph+GK-means" configuration of the
 // evaluation (Fig. 4, Fig. 5, Table 2) — same clustering speed-up, roughly
 // 2× slower graph construction and slightly different distortion.
+//
+// # Parallelism and determinism
+//
+// Build runs the two hot phases — random initialisation and the per-round
+// local joins, which together account for every distance computation — on
+// a parallel.For worker pool. All randomness is drawn from per-node
+// splitmix streams derived from (Seed, round, node), and cross-node list
+// updates are buffered as per-chunk proposals that a single deterministic
+// merge pass applies in fixed chunk order. The result: the same Seed
+// produces the bit-identical graph for every worker count, so tests,
+// benchmarks and persisted indexes never depend on GOMAXPROCS.
+//
+// Compared to the classic sequential formulation this is the synchronous
+// variant of NN-Descent: comparisons within a round all see the lists as
+// they stood at the start of the round, and accepted updates land between
+// rounds. Convergence behaviour is equivalent (the δ-termination rule
+// applies unchanged); only the in-round update interleaving differs.
 package nndescent
 
 import (
 	"fmt"
-	"math/rand"
+	"runtime"
+	"sync/atomic"
 
 	"gkmeans/internal/knngraph"
+	"gkmeans/internal/parallel"
+	"gkmeans/internal/splitmix"
 	"gkmeans/internal/vec"
 )
 
@@ -25,7 +45,16 @@ type Config struct {
 	Delta     float64 // termination threshold on update rate; <=0 selects 0.001
 	MaxRounds int     // hard cap on rounds; <=0 selects 30
 	Seed      int64
+	Workers   int                      // parallel workers; <=0 selects GOMAXPROCS
 	OnRound   func(round, updates int) // optional progress hook (used by experiments)
+	Interrupt func() error             // polled before every round; non-nil return aborts
+}
+
+// Stats reports the work a Build performed.
+type Stats struct {
+	Rounds    int   // rounds actually run (≤ MaxRounds)
+	Updates   int64 // accepted neighbour-list updates across all rounds
+	DistComps int64 // distance computations (initialisation + local joins)
 }
 
 // entry is a neighbour with the NN-Descent "new" flag.
@@ -35,18 +64,48 @@ type entry struct {
 	new  bool
 }
 
+// proposal is one scored pair from a local join, pending the merge pass.
+// The distance is offered to both endpoints' lists.
+type proposal struct {
+	a, b int32
+	d    float32
+}
+
+// joinChunk is the fixed node-block size of the local-join phase. Proposals
+// are bucketed by chunk and merged in chunk order, which is what keeps the
+// output independent of the worker count; the size must therefore never
+// depend on Workers. 64 nodes keeps buckets small while amortising the
+// scheduling cost.
+const joinChunk = 64
+
+// Per-phase stream salts: each (round, node) pair owns one independent
+// stream per randomised phase.
+const (
+	saltInit uint64 = iota + 1
+	saltSample
+	saltJoin
+)
+
 // Build constructs an approximate k-NN graph with NN-Descent.
 func Build(data *vec.Matrix, cfg Config) (*knngraph.Graph, error) {
+	g, _, err := BuildWithStats(data, cfg)
+	return g, err
+}
+
+// BuildWithStats is Build plus work counters for benchmarks and the CI
+// perf trajectory.
+func BuildWithStats(data *vec.Matrix, cfg Config) (*knngraph.Graph, Stats, error) {
+	var stats Stats
 	n := data.N
 	if n < 2 {
-		return nil, fmt.Errorf("nndescent: need at least 2 samples, got %d", n)
+		return nil, stats, fmt.Errorf("nndescent: need at least 2 samples, got %d", n)
 	}
 	kappa := cfg.Kappa
 	if kappa >= n {
 		kappa = n - 1
 	}
 	if kappa <= 0 {
-		return nil, fmt.Errorf("nndescent: kappa must be positive, got %d", cfg.Kappa)
+		return nil, stats, fmt.Errorf("nndescent: kappa must be positive, got %d", cfg.Kappa)
 	}
 	rho := cfg.Rho
 	if rho <= 0 || rho > 1 {
@@ -60,45 +119,79 @@ func Build(data *vec.Matrix, cfg Config) (*knngraph.Graph, error) {
 	if maxRounds <= 0 {
 		maxRounds = 30
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	// B[v]: the current neighbour list with flags, kept sorted by distance.
+	// Initialisation is parallel and per-node deterministic: node i's
+	// neighbours come from its own stream, whatever worker runs it.
 	lists := make([][]entry, n)
-	for i := 0; i < n; i++ {
-		lists[i] = make([]entry, 0, kappa)
-		for len(lists[i]) < kappa {
-			j := int32(rng.Intn(n))
-			if int(j) == i || containsEntry(lists[i], j) {
-				continue
+	var distComps atomic.Int64
+	parallel.For(n, workers, func(lo, hi int) {
+		var comps int64
+		for i := lo; i < hi; i++ {
+			rng := splitmix.New(cfg.Seed, saltInit, uint64(i))
+			list := make([]entry, 0, kappa)
+			for len(list) < kappa {
+				j := int32(rng.Intn(n))
+				if int(j) == i || containsEntry(list, j) {
+					continue
+				}
+				insertEntry(&list, kappa, entry{j, vec.L2Sqr(data.Row(i), data.Row(int(j))), true})
+				comps++
 			}
-			insertEntry(&lists[i], kappa, entry{j, vec.L2Sqr(data.Row(i), data.Row(int(j))), true})
+			lists[i] = list
 		}
-	}
+		distComps.Add(comps)
+	})
 
 	sampleCap := int(rho * float64(kappa))
 	if sampleCap < 1 {
 		sampleCap = 1
 	}
+	newF := make([][]int32, n)
+	oldF := make([][]int32, n)
+	newR := make([][]int32, n)
+	oldR := make([][]int32, n)
+	nChunks := (n + joinChunk - 1) / joinChunk
+	proposals := make([][]proposal, nChunks)
+	var totalUpdates int64
 	for round := 0; round < maxRounds; round++ {
-		// Forward new/old sets; sampling new entries caps per-round work.
-		newF := make([][]int32, n)
-		oldF := make([][]int32, n)
-		for v := 0; v < n; v++ {
-			for idx := range lists[v] {
-				e := &lists[v][idx]
-				if e.new {
-					if len(newF[v]) < sampleCap || rng.Float64() < rho {
-						newF[v] = append(newF[v], e.id)
-						e.new = false
-					}
-				} else {
-					oldF[v] = append(oldF[v], e.id)
-				}
+		if cfg.Interrupt != nil {
+			if err := cfg.Interrupt(); err != nil {
+				return nil, stats, err
 			}
 		}
-		// Reverse sets, sampled to the same cap.
-		newR := make([][]int32, n)
-		oldR := make([][]int32, n)
+		// Phase 1 — forward sampling (parallel, writes only node-local
+		// state): split each list into sampled-new and old, clearing the
+		// "new" flag on sampled entries so they are joined once.
+		parallel.For(n, workers, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				rng := splitmix.New(cfg.Seed, saltSample, uint64(round), uint64(v))
+				nf, of := newF[v][:0], oldF[v][:0]
+				for idx := range lists[v] {
+					e := &lists[v][idx]
+					if e.new {
+						if len(nf) < sampleCap || rng.Float64() < rho {
+							nf = append(nf, e.id)
+							e.new = false
+						}
+					} else {
+						of = append(of, e.id)
+					}
+				}
+				newF[v], oldF[v] = nf, of
+			}
+		})
+		// Phase 2 — reverse sets. Sequential on purpose: it performs no
+		// distance computations (a vanishing share of round cost) and the
+		// ascending-v append order is what makes the reverse lists — and
+		// hence their reservoir sampling below — worker-count independent.
+		for v := 0; v < n; v++ {
+			newR[v], oldR[v] = newR[v][:0], oldR[v][:0]
+		}
 		for v := 0; v < n; v++ {
 			for _, id := range newF[v] {
 				newR[id] = append(newR[id], int32(v))
@@ -107,22 +200,68 @@ func Build(data *vec.Matrix, cfg Config) (*knngraph.Graph, error) {
 				oldR[id] = append(oldR[id], int32(v))
 			}
 		}
-		updates := 0
-		for v := 0; v < n; v++ {
-			newSet := mergeSampled(newF[v], newR[v], sampleCap, rng)
-			oldSet := mergeSampled(oldF[v], oldR[v], sampleCap, rng)
-			// Compare new×new and new×old pairs; each comparison may update
-			// both endpoints' lists.
-			for a := 0; a < len(newSet); a++ {
-				ia := newSet[a]
-				for b := a + 1; b < len(newSet); b++ {
-					updates += tryPair(data, lists, kappa, ia, newSet[b])
+		// Phase 3 — local joins (parallel over fixed-size chunks): score
+		// new×new and new×old pairs against the round-start lists, which
+		// are read-only until the merge. A pair is proposed only if the
+		// snapshot says at least one endpoint could still accept it; since
+		// merge passes only shrink a full list's worst distance, the prune
+		// never drops a pair the merge would have taken.
+		parallel.ForEach(nChunks, workers, func(c int) {
+			buf := proposals[c][:0]
+			var comps int64
+			hi := (c + 1) * joinChunk
+			if hi > n {
+				hi = n
+			}
+			for v := c * joinChunk; v < hi; v++ {
+				rng := splitmix.New(cfg.Seed, saltJoin, uint64(round), uint64(v))
+				newSet := mergeSampled(newF[v], newR[v], sampleCap, &rng)
+				oldSet := mergeSampled(oldF[v], oldR[v], sampleCap, &rng)
+				for a := 0; a < len(newSet); a++ {
+					ia := newSet[a]
+					rowA := data.Row(int(ia))
+					for b := a + 1; b < len(newSet); b++ {
+						ib := newSet[b]
+						if ia == ib {
+							continue
+						}
+						d := vec.L2Sqr(rowA, data.Row(int(ib)))
+						comps++
+						if mayAccept(lists[ia], kappa, ib, d) || mayAccept(lists[ib], kappa, ia, d) {
+							buf = append(buf, proposal{ia, ib, d})
+						}
+					}
+					for _, ib := range oldSet {
+						if ia == ib {
+							continue
+						}
+						d := vec.L2Sqr(rowA, data.Row(int(ib)))
+						comps++
+						if mayAccept(lists[ia], kappa, ib, d) || mayAccept(lists[ib], kappa, ia, d) {
+							buf = append(buf, proposal{ia, ib, d})
+						}
+					}
 				}
-				for _, ib := range oldSet {
-					updates += tryPair(data, lists, kappa, ia, ib)
+			}
+			proposals[c] = buf
+			distComps.Add(comps)
+		})
+		// Phase 4 — merge (sequential, deterministic): apply proposals in
+		// chunk order. Both endpoints are offered the pair, as in the
+		// sequential algorithm; the update count drives δ-termination.
+		updates := 0
+		for c := range proposals {
+			for _, p := range proposals[c] {
+				if insertEntry(&lists[p.a], kappa, entry{p.b, p.d, true}) {
+					updates++
+				}
+				if insertEntry(&lists[p.b], kappa, entry{p.a, p.d, true}) {
+					updates++
 				}
 			}
 		}
+		totalUpdates += int64(updates)
+		stats.Rounds = round + 1
 		if cfg.OnRound != nil {
 			cfg.OnRound(round+1, updates)
 		}
@@ -130,31 +269,38 @@ func Build(data *vec.Matrix, cfg Config) (*knngraph.Graph, error) {
 			break
 		}
 	}
+	stats.Updates = totalUpdates
+	stats.DistComps = distComps.Load()
 
+	// Lists are sorted, unique, self-free and ≤ κ by construction — copy
+	// them into the graph directly (in parallel) instead of re-inserting.
 	g := knngraph.New(n, kappa)
-	for i := 0; i < n; i++ {
-		for _, e := range lists[i] {
-			g.Insert(i, e.id, e.dist)
+	parallel.For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for _, e := range lists[i] {
+				g.Lists[i] = append(g.Lists[i], knngraph.Neighbor{ID: e.id, Dist: e.dist})
+			}
 		}
-	}
-	return g, nil
+	})
+	return g, stats, nil
 }
 
-// tryPair scores the pair (a,b) once and offers the distance to both lists;
-// returns the number of list updates (0–2).
-func tryPair(data *vec.Matrix, lists [][]entry, kappa int, a, b int32) int {
-	if a == b {
-		return 0
+// mayAccept reports whether offering (id, d) to list could change it —
+// the read-only prune of the join phase. It is conservative against the
+// merge-time list state: lists only improve between the snapshot and the
+// merge (a full list's worst distance never grows, and an evicted id can
+// only have been displaced by closer entries), so a pair rejected here
+// would also be rejected by insertEntry at merge time.
+func mayAccept(list []entry, kappa int, id int32, d float32) bool {
+	if len(list) == kappa && d >= list[len(list)-1].dist {
+		return false
 	}
-	d := vec.L2Sqr(data.Row(int(a)), data.Row(int(b)))
-	u := 0
-	if insertEntry(&lists[a], kappa, entry{b, d, true}) {
-		u++
+	for i := range list {
+		if list[i].id == id {
+			return false
+		}
 	}
-	if insertEntry(&lists[b], kappa, entry{a, d, true}) {
-		u++
-	}
-	return u
+	return true
 }
 
 // insertEntry offers e to a bounded sorted list, rejecting duplicates and
@@ -198,7 +344,7 @@ func containsEntry(list []entry, id int32) bool {
 
 // mergeSampled unions two id lists, deduplicates, and reservoir-samples the
 // reverse part down to cap to bound the quadratic comparison cost.
-func mergeSampled(fwd, rev []int32, cap_ int, rng *rand.Rand) []int32 {
+func mergeSampled(fwd, rev []int32, cap_ int, rng *splitmix.Stream) []int32 {
 	if len(rev) > cap_ {
 		rng.Shuffle(len(rev), func(a, b int) { rev[a], rev[b] = rev[b], rev[a] })
 		rev = rev[:cap_]

@@ -1,6 +1,10 @@
 package nndescent
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"gkmeans/internal/dataset"
@@ -73,6 +77,112 @@ func TestBuildDeterministic(t *testing.T) {
 		for j := range a.Lists[i] {
 			if a.Lists[i][j] != b.Lists[i][j] {
 				t.Fatal("same seed produced different graphs")
+			}
+		}
+	}
+}
+
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	// The determinism contract of the parallel rewrite: the same seed
+	// produces the bit-identical graph for every worker count, including
+	// the inline single-worker path.
+	data := dataset.SIFTLike(600, 11)
+	var ref *knngraph.Graph
+	var refStats Stats
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0), 13} {
+		g, st, err := BuildWithStats(data, Config{Kappa: 8, Seed: 21, MaxRounds: 6, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref, refStats = g, st
+			continue
+		}
+		if st != refStats {
+			t.Fatalf("workers=%d stats %+v differ from workers=1 %+v", workers, st, refStats)
+		}
+		for i := range ref.Lists {
+			if len(g.Lists[i]) != len(ref.Lists[i]) {
+				t.Fatalf("workers=%d node %d list length differs", workers, i)
+			}
+			for j := range ref.Lists[i] {
+				if g.Lists[i][j] != ref.Lists[i][j] {
+					t.Fatalf("workers=%d node %d entry %d: %v vs %v",
+						workers, i, j, g.Lists[i][j], ref.Lists[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildWithStatsCounters(t *testing.T) {
+	data := dataset.SIFTLike(300, 2)
+	g, st, err := BuildWithStats(data, Config{Kappa: 8, Seed: 3, MaxRounds: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds <= 0 || st.Rounds > 10 {
+		t.Fatalf("rounds %d out of range", st.Rounds)
+	}
+	// Initialisation alone costs ≥ n·κ distance computations.
+	if st.DistComps < int64(data.N*8) {
+		t.Fatalf("dist comps %d below the initialisation floor %d", st.DistComps, data.N*8)
+	}
+	// Every edge in the final graph was accepted by at least one update.
+	if st.Updates <= 0 {
+		t.Fatalf("updates %d", st.Updates)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildInterrupt(t *testing.T) {
+	data := dataset.SIFTLike(300, 4)
+	calls := 0
+	wantErr := fmt.Errorf("stop now")
+	_, _, err := BuildWithStats(data, Config{Kappa: 8, Seed: 1, MaxRounds: 20,
+		Interrupt: func() error {
+			calls++
+			if calls > 2 {
+				return wantErr
+			}
+			return nil
+		}})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the interrupt error", err)
+	}
+}
+
+func TestBuildConcurrentUse(t *testing.T) {
+	// Separate Build calls over the same read-only dataset must not
+	// interfere — the shape gkserved and test suites rely on. Run under
+	// -race in CI.
+	data := dataset.SIFTLike(300, 6)
+	var wg sync.WaitGroup
+	graphs := make([]*knngraph.Graph, 6)
+	for i := range graphs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := Build(data, Config{Kappa: 6, Seed: 7, MaxRounds: 4, Workers: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			graphs[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(graphs); i++ {
+		if graphs[i] == nil || graphs[0] == nil {
+			t.Fatal("missing graph")
+		}
+		for v := range graphs[0].Lists {
+			for j := range graphs[0].Lists[v] {
+				if graphs[i].Lists[v][j] != graphs[0].Lists[v][j] {
+					t.Fatalf("concurrent builds diverged at node %d", v)
+				}
 			}
 		}
 	}

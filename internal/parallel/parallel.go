@@ -1,19 +1,36 @@
 // Package parallel provides a minimal data-parallel loop helper. The
 // clustering inner loops (Lloyd assignment, brute-force k-NN ground truth,
-// per-cluster graph refinement) are embarrassingly parallel across disjoint
-// index ranges, which is exactly the shape For covers.
+// NN-Descent local joins, per-cluster graph refinement) are embarrassingly
+// parallel across disjoint index ranges, which is exactly the shape For
+// covers.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// For splits [0,n) into contiguous chunks and runs body(lo, hi) on up to
+// chunksPerWorker sets the scheduling granularity of For: the index space
+// is cut into roughly chunksPerWorker chunks per worker, claimed
+// dynamically. More chunks means better balance under skewed per-index
+// costs (an NN-Descent hub node, an oversized refinement cluster) at the
+// price of one atomic add per chunk.
+const chunksPerWorker = 8
+
+// For runs body(lo, hi) over disjoint subranges covering [0,n) on up to
 // workers goroutines. workers <= 0 selects GOMAXPROCS. body must only write
 // to state owned by its own index range. For n == 0 it returns immediately;
-// with a single worker it runs body inline, which keeps small inputs and
-// single-core machines free of goroutine overhead.
+// with a single worker it runs body(0, n) inline, which keeps small inputs
+// and single-core machines free of goroutine overhead.
+//
+// Work is divided into fixed-size chunks claimed from a shared atomic
+// cursor rather than one contiguous block per worker: a worker that
+// finishes its chunk early steals the next unclaimed one, so a run of
+// expensive indices cannot serialise the loop on the slowest worker. Every
+// index is passed to body exactly once; the assignment of chunks to
+// workers is scheduling-dependent, so body must not derive logic from
+// worker identity.
 func For(n, workers int, body func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -28,18 +45,28 @@ func For(n, workers int, body func(lo, hi int)) {
 		body(0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
+	chunk := n / (workers * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
 			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+			for {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
 	}
 	wg.Wait()
 }

@@ -6,19 +6,60 @@ import (
 )
 
 func TestForCoversAllIndicesOnce(t *testing.T) {
-	for _, workers := range []int{0, 1, 2, 3, 7, 100} {
-		n := 137
-		hits := make([]int32, n)
-		For(n, workers, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				atomic.AddInt32(&hits[i], 1)
-			}
-		})
-		for i, h := range hits {
-			if h != 1 {
-				t.Fatalf("workers=%d index %d hit %d times", workers, i, h)
+	// Exact-once coverage must hold for every chunking the atomic cursor
+	// can produce: n smaller/larger than workers·chunksPerWorker, chunk
+	// sizes that don't divide n, and degenerate single-index inputs.
+	for _, n := range []int{1, 2, 3, 17, 64, 137, 1000, 4096, 4099} {
+		for _, workers := range []int{0, 1, 2, 3, 7, 16, 100} {
+			hits := make([]int32, n)
+			For(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d workers=%d invalid range [%d,%d)", n, workers, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d index %d hit %d times", n, workers, i, h)
+				}
 			}
 		}
+	}
+}
+
+func TestForBalancesSkewedCosts(t *testing.T) {
+	// A contiguous-split schedule hands the single expensive run of
+	// indices to one worker; chunked claiming must still cover everything
+	// exactly once when early indices are much slower than late ones.
+	const n = 256
+	hits := make([]int32, n)
+	For(n, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if i < n/8 { // simulate skew: the first stripe is "slow"
+				for s := 0; s < 1000; s++ {
+					_ = s * s
+				}
+			}
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+	}
+}
+
+func TestForUsesMultipleChunksPerWorker(t *testing.T) {
+	// The scheduling point of striding: with skew-prone inputs the loop
+	// must be cut finer than one block per worker.
+	var calls int64
+	For(1000, 4, func(lo, hi int) { atomic.AddInt64(&calls, 1) })
+	if calls <= 4 {
+		t.Fatalf("got %d chunks for 4 workers, want more than one per worker", calls)
 	}
 }
 

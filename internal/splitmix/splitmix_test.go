@@ -1,0 +1,91 @@
+package splitmix
+
+import "testing"
+
+func TestDeterministic(t *testing.T) {
+	a, b := New(42, 7, 3), New(42, 7, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("identical streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSaltsDecorrelate(t *testing.T) {
+	// Streams that differ in seed or any salt must not produce the same
+	// prefix. (Equality of one draw is possible in principle but has
+	// probability 2^-64 per pair.)
+	variants := []Stream{
+		New(1), New(2), New(1, 0), New(1, 1), New(1, 0, 0), New(1, 0, 1), New(1, 1, 0),
+	}
+	seen := map[uint64]int{}
+	for vi := range variants {
+		v := variants[vi]
+		first := v.Uint64()
+		if prev, dup := seen[first]; dup {
+			t.Fatalf("variants %d and %d share first draw %#x", prev, vi, first)
+		}
+		seen[first] = vi
+	}
+}
+
+func TestIntnRangeAndUniformity(t *testing.T) {
+	s := New(9)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	// Each bucket expects 10000; allow ±5% which is >16 sigma.
+	for b, c := range counts {
+		if c < draws/n*95/100 || c > draws/n*105/100 {
+			t.Fatalf("bucket %d has %d draws, expected ~%d", b, c, draws/n)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; mean < 0.47 || mean > 0.53 {
+		t.Fatalf("mean %v too far from 0.5", mean)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(13)
+	perm := make([]int, 50)
+	for i := range perm {
+		perm[i] = i
+	}
+	s.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	seen := make([]bool, len(perm))
+	for _, v := range perm {
+		if v < 0 || v >= len(perm) || seen[v] {
+			t.Fatalf("not a permutation: %v", perm)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	s := New(1)
+	s.Intn(0)
+}

@@ -1,5 +1,7 @@
 package gkmeans
 
+import "gkmeans/internal/core"
+
 // Option is a functional option for Build, NewIndex and Index.Cluster. The
 // zero configuration reproduces the paper's standard setup (§4.4): κ=50,
 // ξ=50, τ=10, 50 optimisation epochs, GOMAXPROCS workers.
@@ -15,6 +17,7 @@ type config struct {
 	seed    int64
 	workers int
 	entries int
+	builder string
 
 	maxIter     int
 	trace       bool
@@ -48,9 +51,32 @@ func WithTau(tau int) Option { return func(c *config) { c.tau = tau } }
 // WithSeed makes graph construction and clustering deterministic.
 func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
 
-// WithWorkers bounds parallelism during graph construction and batch
-// search; <=0 uses GOMAXPROCS.
+// WithWorkers bounds parallelism across the whole build-and-serve
+// pipeline: random graph initialisation, NN-Descent local joins,
+// in-cluster refinement and batch search all run on at most this many
+// goroutines; <=0 uses GOMAXPROCS. The built graph is bit-identical for
+// every worker count — randomness is derived per node, never per worker —
+// so changing WithWorkers trades only wall-clock, never results.
 func WithWorkers(workers int) Option { return func(c *config) { c.workers = workers } }
+
+// Graph builder names for WithGraphBuilder, aliased from the core layer
+// that dispatches on them so the public names can never drift from what
+// Build accepts.
+const (
+	// BuilderGKMeans is the paper's intertwined construction (Alg. 3):
+	// alternate graph-supported clustering and in-cluster refinement.
+	BuilderGKMeans = core.BuilderGKMeans
+	// BuilderNNDescent is the KGraph baseline (Dong et al., WWW 2011):
+	// parallel local joins over sampled neighbours of neighbours.
+	BuilderNNDescent = core.BuilderNNDescent
+)
+
+// WithGraphBuilder selects the graph construction algorithm used by Build:
+// BuilderGKMeans (the default) or BuilderNNDescent. Both honour WithSeed,
+// WithKappa, WithTau and WithWorkers; WithXi only affects BuilderGKMeans.
+// For BuilderNNDescent, WithTau caps the NN-Descent rounds (its update-rate
+// termination usually stops earlier; <=0 keeps its 30-round default).
+func WithGraphBuilder(builder string) Option { return func(c *config) { c.builder = builder } }
 
 // WithEntryPoints sets the number of ANN search entry points (<=0 selects
 // 16; raise it for data with many well-separated clusters).
@@ -81,11 +107,15 @@ func WithProgress(fn func(stage string, done, total int)) Option {
 	return func(c *config) { c.progress = fn }
 }
 
-// resolvedTau mirrors core.BuildGraph's default so progress totals match
-// the number of rounds actually run.
+// resolvedTau mirrors the builders' round-cap defaults so progress totals
+// match the number of rounds actually run (NN-Descent may stop earlier via
+// its update-rate termination).
 func (c config) resolvedTau() int {
-	if c.tau <= 0 {
-		return 10
+	if c.tau > 0 {
+		return c.tau
 	}
-	return c.tau
+	if c.builder == BuilderNNDescent {
+		return 30
+	}
+	return 10
 }
