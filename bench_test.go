@@ -1,4 +1,4 @@
-package gkmeans
+package gkmeans_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation
 // (each invokes the same runner as cmd/experiments at a reduced size so
@@ -8,6 +8,8 @@ package gkmeans
 
 import (
 	"testing"
+
+	"gkmeans"
 
 	"gkmeans/internal/bench"
 	"gkmeans/internal/bkm"
@@ -207,7 +209,7 @@ func BenchmarkSearcherQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := NewSearcher(data, g, 32)
+	s, err := gkmeans.NewSearcher(data, g, 32)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -222,8 +224,8 @@ func BenchmarkTwoMeansInit(b *testing.B) {
 	data := dataset.SIFTLike(2000, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := ClusterWithGraph(data, 40, knngraph.Random(data, 5, 1),
-			Options{MaxIter: 1, Seed: int64(i)})
+		res, err := gkmeans.ClusterWithGraph(data, 40, knngraph.Random(data, 5, 1),
+			gkmeans.Options{MaxIter: 1, Seed: int64(i)})
 		if err != nil {
 			b.Fatal(err)
 		}

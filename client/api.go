@@ -58,11 +58,15 @@ type RegisterRequest struct {
 	Path string `json:"path"`
 }
 
-// IndexInfo describes one served index (GET /v1/indexes).
+// IndexInfo describes one served index (GET /v1/indexes). Shards is 1 for
+// a monolithic index and the shard count for one built with
+// gkmeans.WithShards — sharded indexes serve searches like any other, but
+// refuse clustering.
 type IndexInfo struct {
 	Name        string `json:"name"`
 	N           int    `json:"n"`
 	Dim         int    `json:"dim"`
+	Shards      int    `json:"shards"`
 	HasClusters bool   `json:"has_clusters"`
 }
 

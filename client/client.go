@@ -1,7 +1,17 @@
 // Package client is a typed Go client for gkserved, the HTTP serving
 // daemon of the gkmeans library. It speaks the /v1 JSON API: single and
 // batched approximate nearest-neighbour search, graph-supported clustering,
-// index listing/registration and serving stats.
+// index listing/registration and serving stats. Sharded indexes
+// (gkmeans.WithShards) serve transparently — search requests and results
+// look exactly like a monolithic index's, IndexInfo.Shards reports the
+// shard count, and only clustering is refused.
+//
+// Stats returns the per-index serving counters (IndexStats): request-level
+// counts — queries, coalesced batches, explicit batch and cluster requests
+// — plus the index's own hot-path totals, distance_comps and
+// expanded_candidates, whose per-query averages make the search work the
+// early-termination rule bounds observable in production (summed across
+// shards for a sharded index).
 //
 // Every call takes a context and honours its cancellation. Transient
 // failures — connection errors and 502/503/504 responses — are retried

@@ -1,5 +1,6 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation section at laptop scale (see DESIGN.md for the scale mapping).
+// evaluation section at laptop scale (problem sizes are scaled down so the
+// full suite finishes in minutes; -scale multiplies them back up).
 //
 //	experiments -run all            # everything (can take ~20 min)
 //	experiments -run fig2,table2    # selected experiments

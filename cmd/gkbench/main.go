@@ -13,11 +13,18 @@
 // build time regress beyond -max-p50-regress/-max-build-regress or recall
 // drops more than -max-recall-drop — the CI perf-regression gate.
 //
+// With -shards N the corpus is indexed as N independently built shards
+// (gkmeans.WithShards) and the same grid is measured through the fan-out
+// search path, so sharded and monolithic recall/latency can be compared on
+// identical data. A sharded report records its shard count and is only
+// -compare-able against a baseline with the same one.
+//
 // Examples:
 //
 //	gkbench -quick                            # CI smoke preset, ~seconds
 //	gkbench -quick -compare BENCH_search.json # CI perf gate
 //	gkbench -synth sift -n 50000 -queries 500 -builder nndescent
+//	gkbench -synth sift -n 50000 -shards 4    # sharded index, same grid
 //	gkbench -data sift1m.fvecs -n 100000 -topk 1,10,100 -ef 32,64,128,256
 package main
 
@@ -59,6 +66,7 @@ func main() {
 		entries  = flag.Int("entries", 0, "search entry points (0 = default)")
 		workers  = flag.Int("workers", 0, "build + SearchBatch workers (0 = GOMAXPROCS)")
 		builder  = flag.String("builder", "gkmeans", "graph builder: gkmeans (Alg. 3) or nndescent")
+		shards   = flag.Int("shards", 0, "build a sharded index with this many shards (<=1 = monolithic)")
 		bworkers = flag.String("build-workers", "1,2,4", "comma-separated worker counts for the build sweep ('' disables)")
 		topks    = flag.String("topk", "1,10", "comma-separated topK grid")
 		efs      = flag.String("ef", "16,32,64,128", "comma-separated ef grid")
@@ -86,7 +94,7 @@ func main() {
 	opt.cfg = bench.SearchBenchConfig{
 		Dataset: *synth, N: *n, Queries: *queries,
 		Kappa: *kappa, Xi: *xi, Tau: *tau, Seed: *seed,
-		Entries: *entries, Workers: *workers, Builder: *builder,
+		Entries: *entries, Workers: *workers, Builder: *builder, Shards: *shards,
 	}
 	var err error
 	if opt.cfg.TopKs, err = parseGrid(*topks); err != nil {
@@ -145,9 +153,14 @@ func run(opt options) error {
 
 	fmt.Println()
 	fmt.Print(rep.Summary().Render())
-	fmt.Printf("build: %s, graph %.2fs (%d rounds, %d dist comps), searcher %.3fs, %d edges, %d entry points\n",
-		rep.Build.Builder, rep.Build.GraphSeconds, rep.Build.Rounds, rep.Build.DistComps,
-		rep.Build.SearcherSeconds, rep.Build.GraphEdges, rep.Build.EntryPoints)
+	if rep.Shards > 1 {
+		fmt.Printf("build: %s, %d shards in %.2fs (sequential shard builds, WithWorkers each)\n",
+			rep.Build.Builder, rep.Shards, rep.Build.GraphSeconds)
+	} else {
+		fmt.Printf("build: %s, graph %.2fs (%d rounds, %d dist comps), searcher %.3fs, %d edges, %d entry points\n",
+			rep.Build.Builder, rep.Build.GraphSeconds, rep.Build.Rounds, rep.Build.DistComps,
+			rep.Build.SearcherSeconds, rep.Build.GraphEdges, rep.Build.EntryPoints)
+	}
 	for _, pt := range rep.Build.Sweep {
 		fmt.Printf("build sweep: workers=%-2d %.3fs  speedup %.2fx  graph recall %.3f\n",
 			pt.Workers, pt.Seconds, pt.Speedup, pt.GraphRecall)

@@ -3,12 +3,16 @@
 // or the whole search-ready index. Ctrl-C cancels a run cleanly between
 // graph rounds / optimisation epochs.
 //
-// Input is either an fvecs file (-data) or a named synthetic corpus
-// (-synth sift|gist|glove|vlad with -n). Examples:
+// Input is either an fvecs or bvecs file (-data, dispatching on the
+// extension) or a named synthetic corpus (-synth sift|gist|glove|vlad with
+// -n). With -shards N the tool skips clustering and instead builds a
+// sharded search index (N independently built sub-indexes, searched by
+// fan-out; see gkmeans.WithShards), which requires -index. Examples:
 //
 //	gkmeans -synth sift -n 10000 -k 500
 //	gkmeans -data sift1m.fvecs -k 10000 -labels out.ivecs -centroids c.fvecs
 //	gkmeans -synth sift -n 50000 -k 1000 -index sift.gkx -progress
+//	gkmeans -data sift1m.bvecs -shards 8 -index sift-sharded.gkx
 package main
 
 import (
@@ -41,6 +45,7 @@ func main() {
 		centsOut  = flag.String("centroids", "", "write centroids to this fvecs file")
 		graphOut  = flag.String("graph", "", "write the k-NN graph to this file")
 		indexOut  = flag.String("index", "", "write the whole search-ready index to this file")
+		shards    = flag.Int("shards", 0, "build a sharded search index instead of clustering (requires -index)")
 	)
 	flag.Parse()
 
@@ -48,16 +53,23 @@ func main() {
 	defer stop()
 
 	if err := run(ctx, *dataPath, *synth, *n, *k, *kappa, *xi, *tau, *maxIter, *seed, *trad,
-		*progress, *labelsOut, *centsOut, *graphOut, *indexOut); err != nil {
+		*progress, *labelsOut, *centsOut, *graphOut, *indexOut, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "gkmeans:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxIter int,
-	seed int64, trad, progress bool, labelsOut, centsOut, graphOut, indexOut string) error {
+	seed int64, trad, progress bool, labelsOut, centsOut, graphOut, indexOut string, shards int) error {
 
-	if k <= 0 {
+	if shards > 1 {
+		switch {
+		case indexOut == "":
+			return fmt.Errorf("-shards needs -index: a sharded build produces a search index, nothing else")
+		case labelsOut != "" || centsOut != "" || graphOut != "":
+			return fmt.Errorf("-shards cannot emit labels, centroids or a single graph (sharded indexes have no global clustering or graph)")
+		}
+	} else if k <= 0 {
 		return fmt.Errorf("-k must be positive, got %d", k)
 	}
 	var data *gkmeans.Matrix
@@ -81,7 +93,12 @@ func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxI
 
 	opts := []gkmeans.Option{
 		gkmeans.WithKappa(kappa), gkmeans.WithXi(xi), gkmeans.WithTau(tau),
-		gkmeans.WithMaxIter(maxIter), gkmeans.WithSeed(seed), gkmeans.WithClusters(k),
+		gkmeans.WithMaxIter(maxIter), gkmeans.WithSeed(seed),
+	}
+	if shards > 1 {
+		opts = append(opts, gkmeans.WithShards(shards))
+	} else {
+		opts = append(opts, gkmeans.WithClusters(k))
 	}
 	if trad {
 		opts = append(opts, gkmeans.WithTraditional())
@@ -104,6 +121,16 @@ func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxI
 	}
 	if err != nil {
 		return err
+	}
+	if shards > 1 {
+		fmt.Printf("built %d-shard index in %v (graph time %v)\n",
+			idx.Shards(), time.Since(start).Round(time.Millisecond),
+			idx.GraphTime().Round(time.Millisecond))
+		if err := gkmeans.SaveIndex(indexOut, idx); err != nil {
+			return err
+		}
+		fmt.Println("index written to", indexOut)
+		return nil
 	}
 	res := idx.Clusters()
 	fmt.Printf("clustered into %d clusters in %v\n", k, time.Since(start).Round(time.Millisecond))

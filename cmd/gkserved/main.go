@@ -2,7 +2,10 @@
 // gkmeans.SaveIndex or `gkmeans -index`) over HTTP: approximate
 // nearest-neighbour search — with concurrent single-query requests
 // micro-batched through SearchBatch — graph-supported clustering, index
-// listing/registration, per-endpoint metrics and health checking.
+// listing/registration, per-endpoint metrics and health checking. Sharded
+// indexes (gkmeans.WithShards / `gkmeans -shards`) load and serve
+// transparently: searches fan out across the shards, /v1/indexes reports
+// the shard count, and only the clustering endpoint is refused for them.
 //
 //	gkserved -listen :8080 -index sift=sift.gkx -index glove=glove.gkx
 //

@@ -59,7 +59,7 @@ func usage() {
 func loadData(dataPath, synth string, n int, seed int64) (*vec.Matrix, error) {
 	switch {
 	case dataPath != "":
-		return dataset.LoadFvecsFile(dataPath, n)
+		return gkmeans.LoadVectors(dataPath, n)
 	case synth != "":
 		info, err := dataset.ByName(synth)
 		if err != nil {
@@ -73,7 +73,7 @@ func loadData(dataPath, synth string, n int, seed int64) (*vec.Matrix, error) {
 
 func cmdBuild(args []string) error {
 	fs := flag.NewFlagSet("build", flag.ExitOnError)
-	dataPath := fs.String("data", "", "fvecs input file")
+	dataPath := fs.String("data", "", "fvecs or bvecs input file")
 	synth := fs.String("synth", "", "synthetic corpus: sift, gist, glove, vlad")
 	n := fs.Int("n", 10000, "sample count / fvecs cap")
 	kappa := fs.Int("kappa", 50, "neighbours per node")
@@ -83,7 +83,7 @@ func cmdBuild(args []string) error {
 	workers := fs.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", 1, "RNG seed")
 	out := fs.String("out", "graph.knn", "output file")
-	indexOut := fs.String("index", "", "also write a search-ready index (gkmeans builder only)")
+	indexOut := fs.String("index", "", "also write the whole search-ready index (.gkx) to this file")
 	fs.Parse(args)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -141,7 +141,7 @@ func cmdStats(args []string) error {
 func cmdRecall(args []string) error {
 	fs := flag.NewFlagSet("recall", flag.ExitOnError)
 	graphPath := fs.String("graph", "", "graph file")
-	dataPath := fs.String("data", "", "fvecs input file the graph was built on")
+	dataPath := fs.String("data", "", "fvecs or bvecs input file the graph was built on")
 	synth := fs.String("synth", "", "synthetic corpus the graph was built on")
 	n := fs.Int("n", 10000, "sample count / fvecs cap")
 	sample := fs.Int("sample", 200, "nodes sampled for ground truth")

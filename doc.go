@@ -57,9 +57,12 @@
 // throughput and recall across a topK/ef grid, recording the trajectory in
 // BENCH_search.json.
 //
-// A built index persists as a single binary blob (versioned container for
-// the dataset, graph and clustering) and loads back ready to serve, with
-// search results identical to the saved index:
+// A built index persists as a versioned binary container (".gkx", holding
+// the dataset, graph(s) and clustering) and loads back ready to serve,
+// with search results identical to the saved index. Monolithic indexes
+// write the v1 single-segment layout; sharded indexes write the v2
+// multi-segment layout with a segment table; loaders accept both. See
+// ARCHITECTURE.md for the byte-level format reference.
 //
 //	err = gkmeans.SaveIndex("sift.gkx", idx)
 //	idx, err = gkmeans.LoadIndex("sift.gkx")
@@ -68,6 +71,26 @@
 //
 // Wrap a graph built elsewhere (a loaded file, NN-Descent, …) with NewIndex
 // to search or cluster over it.
+//
+// # Sharding
+//
+// WithShards(n) scales an index past what one graph build can hold: Build
+// partitions the dataset into n contiguous shards (zero-copy views), runs
+// the full build pipeline once per shard — so peak build memory is one
+// shard's, not the corpus's — and returns an index whose Search fans out
+// across the shards concurrently, merging the per-shard top-k into one
+// global top-k with global ids:
+//
+//	idx, err := gkmeans.Build(ctx, data, gkmeans.WithShards(4))
+//	nbs := idx.Search(q, 10, 64)            // one goroutine per shard
+//
+// Sharded search is deterministic (distance ties merge by id), stats
+// aggregate across shards, persistence uses the multi-segment layout, and
+// gkserved serves sharded indexes transparently. The one restriction:
+// clustering needs a global graph, so WithShards excludes WithClusters
+// and Index.Cluster. Every shard is searched with the full ef budget and
+// brings its own entry points, so recall tracks the monolithic index on
+// the same data (gkbench -shards records the comparison).
 //
 // # Build parallelism and determinism
 //
@@ -129,5 +152,7 @@
 //	Options{Kappa: 50, Tau: 10, ...}   ->  WithKappa(50), WithTau(10), ...
 //
 // BoostKMeans (the exhaustive quality yardstick) is not graph-based and
-// stays a free function. See examples/quickstart for a full walkthrough.
+// stays a free function. See examples/quickstart for a full walkthrough,
+// the Example functions in this package for runnable snippets that CI
+// executes, and ARCHITECTURE.md for the layer map and on-disk formats.
 package gkmeans

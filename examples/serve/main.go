@@ -4,14 +4,16 @@
 // starts the gkserved server on a random local port and talks to it with
 // the typed Go client: health check, index listing, micro-batched
 // single-query searches fired from many goroutines, one explicit batch
-// search, a clustering call, and the serving stats that show how many
-// SearchBatch executions the coalescer compressed the query stream into.
+// search, the clustering refusal a sharded index answers with, and the
+// serving stats that show how many SearchBatch executions the coalescer
+// compressed the query stream into.
 //
 // Run with: go run ./examples/serve
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -31,10 +33,14 @@ func main() {
 	ctx := context.Background()
 
 	// Build and persist an index, exactly as an offline pipeline would.
+	// WithShards splits the build into two independently constructed
+	// sub-indexes; serving, search and stats below are oblivious to it —
+	// drop the option and everything behaves identically.
 	all := dataset.SIFTLike(5200, 41)
 	data, queries := gkmeans.Split(all, 200)
 	idx, err := gkmeans.Build(ctx, data,
-		gkmeans.WithKappa(20), gkmeans.WithTau(8), gkmeans.WithSeed(41))
+		gkmeans.WithKappa(20), gkmeans.WithTau(8), gkmeans.WithSeed(41),
+		gkmeans.WithShards(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +99,7 @@ func main() {
 	fmt.Printf("256 concurrent single-query searches in %v\n",
 		time.Since(start).Round(time.Millisecond))
 
-	// One explicit batch, and a server-side clustering over the same graph.
+	// One explicit batch search (bypasses the coalescer).
 	rows := make([][]float32, 32)
 	for i := range rows {
 		rows[i] = queries.Row(i)
@@ -105,12 +111,15 @@ func main() {
 	fmt.Printf("batch search: %d result lists, first hit id=%d dist=%.1f\n",
 		len(batch), batch[0][0].ID, batch[0][0].Dist)
 
-	clu, err := cl.Cluster(ctx, "sift", client.ClusterRequest{K: 64, Seed: 41})
-	if err != nil {
+	// Clustering needs a global k-NN graph, which a sharded index does not
+	// have: the server refuses with a 400 the typed client surfaces as an
+	// *client.APIError. Serve a monolithic index to cluster server-side.
+	var apiErr *client.APIError
+	if _, err := cl.Cluster(ctx, "sift", client.ClusterRequest{K: 64, Seed: 41}); errors.As(err, &apiErr) {
+		fmt.Printf("clustering a sharded index: HTTP %d (%s)\n", apiErr.Status, apiErr.Message)
+	} else if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("clustered into k=%d in %d epochs, distortion %.1f\n",
-		clu.K, clu.Iters, clu.Distortion)
 
 	stats, err := cl.Stats(ctx, "sift")
 	if err != nil {

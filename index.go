@@ -20,9 +20,20 @@ import (
 //
 // The dataset and graph are shared, not copied; callers must not mutate
 // them after handing them to Build or NewIndex.
+//
+// With WithShards(n), n > 1, the Index is a thin fan-out shell instead: it
+// holds the full dataset plus n independently built sub-indexes over
+// contiguous row ranges, and Search/SearchBatch merge the per-shard results
+// (see shard.go). A sharded index has no global graph and no clustering.
 type Index struct {
 	data  *Matrix
-	graph *Graph
+	graph *Graph // nil when sharded
+
+	// shards holds the per-shard sub-indexes of a sharded index (nil for a
+	// monolithic one); shardBase[s] is the global id of shard s's first row,
+	// so global id = shardBase[s] + local id.
+	shards    []*Index
+	shardBase []int32
 
 	// clusters is the Build-time clustering (WithClusters), if any.
 	clusters *Result
@@ -55,7 +66,21 @@ func Build(ctx context.Context, data *Matrix, opts ...Option) (*Index, error) {
 		return nil, fmt.Errorf("gkmeans: Build needs a non-empty dataset")
 	}
 	cfg := applyOptions(config{}, opts)
+	// Checked before the shard-count clamp: the option conflict must error
+	// even when a tiny dataset would clamp the request down to one shard.
+	if cfg.shards > 1 && cfg.clusterK > 0 {
+		return nil, fmt.Errorf("gkmeans: WithClusters needs a global k-NN graph; it cannot be combined with WithShards")
+	}
+	if n := clampShards(cfg.shards, data.N); n > 1 {
+		return buildSharded(ctx, data, cfg, n)
+	}
+	return buildMono(ctx, data, cfg)
+}
 
+// buildMono is Build's monolithic path: one graph over the whole dataset,
+// plus the optional Build-time clustering. The sharded path builds one of
+// these per shard.
+func buildMono(ctx context.Context, data *Matrix, cfg config) (*Index, error) {
 	gc := core.GraphConfig{
 		Kappa:     cfg.kappa,
 		Xi:        cfg.xi,
@@ -107,11 +132,25 @@ func NewIndex(data *Matrix, g *Graph, opts ...Option) (*Index, error) {
 	return &Index{data: data, graph: g, cfg: applyOptions(config{}, opts)}, nil
 }
 
-// Data returns the indexed dataset. Treat it as read-only.
+// Data returns the indexed dataset. Treat it as read-only. For a sharded
+// index this is the full dataset; the shards hold row-range views of it.
 func (x *Index) Data() *Matrix { return x.data }
 
-// Graph returns the underlying k-NN graph. Treat it as read-only.
+// Graph returns the underlying k-NN graph, or nil for a sharded index
+// (each shard has its own graph over its own rows; there is no global one).
+// Treat it as read-only.
 func (x *Index) Graph() *Graph { return x.graph }
+
+// Sharded reports whether the index was built with WithShards(n), n > 1.
+func (x *Index) Sharded() bool { return len(x.shards) > 0 }
+
+// Shards returns the number of shards: 1 for a monolithic index.
+func (x *Index) Shards() int {
+	if !x.Sharded() {
+		return 1
+	}
+	return len(x.shards)
+}
 
 // N returns the number of indexed samples.
 func (x *Index) N() int { return x.data.N }
@@ -123,8 +162,9 @@ func (x *Index) Dim() int { return x.data.Dim }
 // or nil when none was requested.
 func (x *Index) Clusters() *Result { return x.clusters }
 
-// GraphTime returns the wall clock spent on graph construction; zero for
-// indexes over pre-built or loaded graphs.
+// GraphTime returns the wall clock spent on graph construction (summed
+// across shards for a sharded build); zero for indexes over pre-built or
+// loaded graphs.
 func (x *Index) GraphTime() time.Duration { return x.graphTime }
 
 // Cluster partitions the indexed dataset into k clusters with
@@ -132,10 +172,14 @@ func (x *Index) GraphTime() time.Duration { return x.graphTime }
 // Build-time options (seed, epoch cap, trace, traditional, progress). The
 // call only reads the index, so any number of clusterings — at the same or
 // different k — may run concurrently with each other and with searches.
-// ctx cancellation is honoured between epochs.
+// ctx cancellation is honoured between epochs. A sharded index has no
+// global graph to cluster over and returns an error.
 func (x *Index) Cluster(ctx context.Context, k int, opts ...Option) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if x.Sharded() {
+		return nil, fmt.Errorf("gkmeans: clustering needs a global k-NN graph; a sharded index has none (build without WithShards to cluster)")
 	}
 	cfg := applyOptions(x.cfg, opts)
 	cc := core.Config{

@@ -246,12 +246,6 @@ func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 	return res
 }
 
-// SearchWithStats is Search plus the work counters for this query —
-// benchmark harnesses and serving metrics read them.
-func (s *Searcher) SearchWithStats(q []float32, topK, ef int) ([]knngraph.Neighbor, Stats) {
-	return s.search(q, topK, ef, false)
-}
-
 // Totals returns the cumulative counters across every search answered by
 // this Searcher: queries, distance-kernel evaluations and candidate
 // expansions.
@@ -392,13 +386,23 @@ func (s *Searcher) search(q []float32, topK, ef int, exhaust bool) ([]knngraph.N
 }
 
 // RecallAt evaluates the searcher on a query set against exact ground truth
-// (one exact top-k list per query) and returns the average recall@k — the
-// fraction of each true top-k found among the returned top-k — over the
-// queries that have a non-empty ground-truth list. Queries with no ground
-// truth are excluded from the average entirely (counting them in the
-// denominator would bias recall downward); if no query has ground truth the
-// recall is 0.
+// (one exact top-k list per query) and returns the average recall@k at
+// pool size ef. See RecallAtFunc for the scoring protocol.
 func RecallAt(s *Searcher, queries *vec.Matrix, truth [][]int32, k, ef int) float64 {
+	return RecallAtFunc(s.Search, queries, truth, k, ef)
+}
+
+// RecallAtFunc is the recall@k scoring protocol over an arbitrary search
+// function — the single definition shared by RecallAt and the sharded
+// fan-out path, so the two recall numbers can never diverge in protocol.
+// It returns the average fraction of each true top-k found among the
+// returned top-k, over the queries that have a non-empty ground-truth
+// list. Queries with no ground truth are excluded from the average
+// entirely (counting them in the denominator would bias recall downward);
+// if no query has ground truth the recall is 0.
+func RecallAtFunc(search func(q []float32, k, ef int) []knngraph.Neighbor,
+	queries *vec.Matrix, truth [][]int32, k, ef int) float64 {
+
 	var sum float64
 	evaluated := 0
 	for qi := 0; qi < queries.N; qi++ {
@@ -409,7 +413,7 @@ func RecallAt(s *Searcher, queries *vec.Matrix, truth [][]int32, k, ef int) floa
 		if len(t) == 0 {
 			continue
 		}
-		res := s.Search(queries.Row(qi), k, ef)
+		res := search(queries.Row(qi), k, ef)
 		got := make(map[int32]bool, len(res))
 		for _, nb := range res {
 			got[nb.ID] = true

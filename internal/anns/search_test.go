@@ -263,7 +263,7 @@ func TestSearchStatsCounters(t *testing.T) {
 	data := dataset.SIFTLike(400, 5)
 	g := knngraph.BruteForce(data, 8, 0)
 	s, _ := NewSearcher(data, g, 8)
-	res, st := s.SearchWithStats(data.Row(3), 5, 32)
+	res, st := s.search(data.Row(3), 5, 32, false)
 	if len(res) != 5 {
 		t.Fatalf("got %d results", len(res))
 	}
@@ -273,7 +273,7 @@ func TestSearchStatsCounters(t *testing.T) {
 	if st.Expanded > st.Dist {
 		t.Fatalf("expanded %d candidates with only %d distance evaluations", st.Expanded, st.Dist)
 	}
-	_, st2 := s.SearchWithStats(data.Row(9), 5, 32)
+	_, st2 := s.search(data.Row(9), 5, 32, false)
 	q, dist, exp := s.Totals()
 	if q != 2 || dist != uint64(st.Dist+st2.Dist) || exp != uint64(st.Expanded+st2.Expanded) {
 		t.Fatalf("totals (%d, %d, %d) do not accumulate per-query stats %+v %+v", q, dist, exp, st, st2)

@@ -142,6 +142,7 @@ func sameMeasurement(old, fresh *SearchReport) error {
 		{"xi", old.Xi, fresh.Xi},
 		{"tau", old.Tau, fresh.Tau},
 		{"seed", old.Seed, fresh.Seed},
+		{"shards", old.Shards, fresh.Shards},
 	} {
 		if k.o != k.f {
 			return fmt.Errorf("bench: baseline measured %s=%v but this run measured %v — refresh the committed baseline instead of comparing", k.field, k.o, k.f)

@@ -1,11 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"time"
 
+	"gkmeans"
 	"gkmeans/internal/anns"
 	"gkmeans/internal/core"
 	"gkmeans/internal/dataset"
@@ -37,6 +39,12 @@ type SearchBenchConfig struct {
 	Efs     []int  // grid: candidate pool sizes
 	Workers int    // build + SearchBatch parallelism (<=0 selects GOMAXPROCS)
 	Builder string // graph builder: core.BuilderGKMeans ("" default) or core.BuilderNNDescent
+
+	// Shards > 1 benchmarks a sharded index (gkmeans.WithShards) through
+	// the public fan-out path instead of the single searcher: same grid,
+	// same recall protocol, per-query work read from the aggregated
+	// SearchStats. The build sweep does not apply to a sharded run.
+	Shards int
 
 	// BuildWorkers, when non-empty, additionally rebuilds the graph once
 	// per listed worker count and records wall-clock, speedup, rounds and
@@ -106,6 +114,7 @@ type SearchReport struct {
 	Xi        int           `json:"xi"`
 	Tau       int           `json:"tau"`
 	Seed      int64         `json:"seed"`
+	Shards    int           `json:"shards,omitempty"` // 0/absent = monolithic
 	Build     BuildResult   `json:"build"`
 	Search    []SearchPoint `json:"search"`
 	Batch     []BatchPoint  `json:"search_batch"`
@@ -141,20 +150,11 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 	data, queries := splitCorpus(corpus, cfg.Queries)
 	logf("corpus %s: %d×%d data, %d held-out queries", name, data.N, data.Dim, queries.N)
 
-	rep := &SearchReport{
-		Schema:    2,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		MaxProcs:  runtime.GOMAXPROCS(0),
-		Dataset:   name,
-		N:         data.N,
-		Dim:       data.Dim,
-		Queries:   queries.N,
-		Kappa:     cfg.Kappa,
-		Xi:        cfg.Xi,
-		Tau:       cfg.Tau,
-		Seed:      cfg.Seed,
+	if cfg.Shards > 1 {
+		return runShardedSearchBench(cfg, name, data, queries, logf)
 	}
+
+	rep := newReport(cfg, name, data, queries)
 
 	gc := core.GraphConfig{
 		Kappa: cfg.Kappa, Xi: cfg.Xi, Tau: cfg.Tau, Seed: cfg.Seed,
@@ -187,29 +187,56 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 	rep.Build.GraphEdges = s.Edges()
 	rep.Build.EntryPoints = s.Entries()
 
+	measureGrid(rep, cfg, queries, exactTruthFor(cfg, data, queries),
+		s.Search,
+		func() (dist, expanded uint64) {
+			_, d, e := s.Totals()
+			return d, e
+		},
+		func(topK, ef int) { anns.BatchSearch(s, queries, topK, ef, cfg.Workers) },
+		logf)
+	return rep, nil
+}
+
+// exactTruthFor computes the ground truth once, at the largest requested
+// topK, shared by both harness paths.
+func exactTruthFor(cfg SearchBenchConfig, data, queries *vec.Matrix) [][]int32 {
 	maxK := 0
 	for _, k := range cfg.TopKs {
 		if k > maxK {
 			maxK = k
 		}
 	}
-	truth := anns.ExactTruth(data, queries, maxK, cfg.Workers)
+	return anns.ExactTruth(data, queries, maxK, cfg.Workers)
+}
+
+// measureGrid runs the topK×ef measurement protocol shared by the
+// monolithic and sharded harness paths: per cell, every query is timed
+// through search and scored against truth, per-query work comes from the
+// delta of the cumulative totals (the grid loop is sequential, so the
+// delta is exact), and one batch run records throughput. Changing the
+// protocol — percentiles, recall scoring, new counters — happens here,
+// once, for every path.
+func measureGrid(rep *SearchReport, cfg SearchBenchConfig, queries *vec.Matrix, truth [][]int32,
+	search func(q []float32, topK, ef int) []knngraph.Neighbor,
+	totals func() (dist, expanded uint64),
+	batch func(topK, ef int),
+	logf func(format string, args ...any)) {
 
 	for _, topK := range cfg.TopKs {
 		for _, ef := range cfg.Efs {
 			pt := SearchPoint{TopK: topK, Ef: ef}
 			lat := make([]time.Duration, queries.N)
 			var recall float64
-			var dist, expanded int
+			dist0, expanded0 := totals()
 			for qi := 0; qi < queries.N; qi++ {
 				q := queries.Row(qi)
 				t0 := time.Now()
-				res, st := s.SearchWithStats(q, topK, ef)
+				res := search(q, topK, ef)
 				lat[qi] = time.Since(t0)
-				dist += st.Dist
-				expanded += st.Expanded
 				recall += recallOf(res, truth[qi], topK)
 			}
+			dist1, expanded1 := totals()
 			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 			var total time.Duration
 			for _, l := range lat {
@@ -221,20 +248,93 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 			pt.P50US = quantileUS(lat, 0.50)
 			pt.P90US = quantileUS(lat, 0.90)
 			pt.P99US = quantileUS(lat, 0.99)
-			pt.AvgDistComps = float64(dist) / nq
-			pt.AvgExpanded = float64(expanded) / nq
+			pt.AvgDistComps = float64(dist1-dist0) / nq
+			pt.AvgExpanded = float64(expanded1-expanded0) / nq
 			rep.Search = append(rep.Search, pt)
 			logf("search topK=%-3d ef=%-4d recall=%.3f p50=%.0fµs p99=%.0fµs dist=%.0f exp=%.1f",
 				topK, ef, pt.Recall, pt.P50US, pt.P99US, pt.AvgDistComps, pt.AvgExpanded)
 
 			t0 := time.Now()
-			anns.BatchSearch(s, queries, topK, ef, cfg.Workers)
+			batch(topK, ef)
 			wall := time.Since(t0)
 			bp := BatchPoint{TopK: topK, Ef: ef, QPS: nq / wall.Seconds(), WallMS: wall.Seconds() * 1e3}
 			rep.Batch = append(rep.Batch, bp)
 			logf("batch  topK=%-3d ef=%-4d %.0f qps", topK, ef, bp.QPS)
 		}
 	}
+}
+
+// newReport fills in the measurement metadata every harness path shares.
+func newReport(cfg SearchBenchConfig, name string, data, queries *vec.Matrix) *SearchReport {
+	return &SearchReport{
+		Schema:    2,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Dataset:   name,
+		N:         data.N,
+		Dim:       data.Dim,
+		Queries:   queries.N,
+		Kappa:     cfg.Kappa,
+		Xi:        cfg.Xi,
+		Tau:       cfg.Tau,
+		Seed:      cfg.Seed,
+	}
+}
+
+// runShardedSearchBench is the cfg.Shards > 1 harness path: it builds a
+// sharded index through the public API and measures the same grid over the
+// fan-out search. Per-query work counters come from deltas of the
+// aggregated SearchStats; the build sweep is skipped (per-shard builds
+// already reuse the parallel pipeline, and the monolithic sweep is the
+// worker-scaling record).
+func runShardedSearchBench(cfg SearchBenchConfig, name string, data, queries *vec.Matrix,
+	logf func(format string, args ...any)) (*SearchReport, error) {
+
+	rep := newReport(cfg, name, data, queries)
+
+	opts := []gkmeans.Option{
+		gkmeans.WithShards(cfg.Shards),
+		gkmeans.WithKappa(cfg.Kappa), gkmeans.WithXi(cfg.Xi), gkmeans.WithTau(cfg.Tau),
+		gkmeans.WithSeed(cfg.Seed), gkmeans.WithWorkers(cfg.Workers),
+		gkmeans.WithEntryPoints(cfg.Entries),
+	}
+	if cfg.Builder != "" {
+		opts = append(opts, gkmeans.WithGraphBuilder(cfg.Builder))
+	}
+	start := time.Now()
+	idx, err := gkmeans.Build(context.Background(), data, opts...)
+	if err != nil {
+		return nil, err
+	}
+	buildSeconds := time.Since(start).Seconds()
+	rep.Shards = idx.Shards()
+	logf("index built: %d shard(s) in %.2fs", idx.Shards(), buildSeconds)
+	if rep.Shards == 1 {
+		// Build clamped the request down to one shard (dataset too small):
+		// the run measured the monolithic configuration, so leave the
+		// report's shards field 0/absent to keep it comparable with a
+		// monolithic baseline.
+		rep.Shards = 0
+		logf("requested %d shards, but the corpus only supports a monolithic build", cfg.Shards)
+	}
+	rep.Build.Builder = cfg.Builder
+	if rep.Build.Builder == "" {
+		rep.Build.Builder = core.BuilderGKMeans
+	}
+	rep.Build.GraphSeconds = buildSeconds
+	if len(cfg.BuildWorkers) > 0 {
+		logf("build sweep skipped: not applicable to a sharded run")
+	}
+
+	measureGrid(rep, cfg, queries, exactTruthFor(cfg, data, queries),
+		idx.Search,
+		func() (dist, expanded uint64) {
+			st := idx.SearchStats()
+			return st.DistanceComps, st.ExpandedCandidates
+		},
+		func(topK, ef int) { idx.SearchBatch(queries, topK, ef) },
+		logf)
 	return rep, nil
 }
 
@@ -367,8 +467,12 @@ func quantileUS(sorted []time.Duration, q float64) float64 {
 
 // Summary renders the report as an aligned table for terminal output.
 func (r *SearchReport) Summary() *Table {
+	shards := ""
+	if r.Shards > 1 {
+		shards = fmt.Sprintf(", %d shards", r.Shards)
+	}
 	t := &Table{
-		Title:  fmt.Sprintf("search benchmark — %s %d×%d, κ=%d τ=%d", r.Dataset, r.N, r.Dim, r.Kappa, r.Tau),
+		Title:  fmt.Sprintf("search benchmark — %s %d×%d, κ=%d τ=%d%s", r.Dataset, r.N, r.Dim, r.Kappa, r.Tau, shards),
 		Header: []string{"topK", "ef", "recall", "mean µs", "p50 µs", "p99 µs", "dist/q", "exp/q", "batch qps"},
 	}
 	for i, pt := range r.Search {

@@ -133,3 +133,47 @@ func TestRunSearchBenchRejectsBadConfig(t *testing.T) {
 		t.Fatal("empty grid accepted")
 	}
 }
+
+// The cfg.Shards > 1 path must produce the same report shape through the
+// public fan-out API, record the shard count, and refuse comparison
+// against a baseline with a different one.
+func TestRunSearchBenchSharded(t *testing.T) {
+	cfg := SearchBenchConfig{
+		Dataset: "sift", N: 400, Queries: 25,
+		Kappa: 6, Xi: 15, Tau: 2, Seed: 7,
+		TopKs: []int{5}, Efs: []int{16, 32},
+		Shards: 3,
+	}
+	rep, err := RunSearchBench(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 3 {
+		t.Fatalf("report shards = %d, want 3", rep.Shards)
+	}
+	if rep.Build.GraphSeconds <= 0 || rep.Build.Builder != "gkmeans" {
+		t.Fatalf("build section not populated: %+v", rep.Build)
+	}
+	if len(rep.Search) != 2 || len(rep.Batch) != 2 {
+		t.Fatalf("grid sizes: %d search, %d batch points", len(rep.Search), len(rep.Batch))
+	}
+	for _, pt := range rep.Search {
+		if pt.Recall <= 0 || pt.MeanUS <= 0 || pt.AvgDistComps <= 0 || pt.AvgExpanded <= 0 {
+			t.Fatalf("sharded search point not populated: %+v", pt)
+		}
+	}
+	for _, bp := range rep.Batch {
+		if bp.QPS <= 0 {
+			t.Fatalf("sharded batch point not populated: %+v", bp)
+		}
+	}
+
+	mono := *rep
+	mono.Shards = 0
+	if _, err := CompareReports(&mono, rep, CompareThresholds{}); err == nil {
+		t.Fatal("comparing sharded against monolithic baseline did not error")
+	}
+	if _, err := CompareReports(rep, rep, CompareThresholds{}); err != nil {
+		t.Fatalf("self-compare errored: %v", err)
+	}
+}

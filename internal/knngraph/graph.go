@@ -369,6 +369,12 @@ func (g *Graph) encodedSize() int64 {
 	return size
 }
 
+// SectionSize returns the exact byte count WriteSection produces — the
+// 8-byte length prefix plus the Write encoding. Container formats that
+// declare segment sizes up front (the multi-segment index layout) rely on
+// it matching WriteSection exactly.
+func (g *Graph) SectionSize() int64 { return 8 + g.encodedSize() }
+
 // WriteSection serialises the graph as a length-prefixed section: a uint64
 // byte count followed by the Write format, streamed (not buffered whole).
 // Unlike Write/Read, a section can be embedded in the middle of a larger

@@ -39,6 +39,7 @@ func (e *entry) info() client.IndexInfo {
 		Name:        e.name,
 		N:           e.idx.N(),
 		Dim:         e.idx.Dim(),
+		Shards:      e.idx.Shards(),
 		HasClusters: e.idx.Clusters() != nil,
 	}
 }

@@ -324,6 +324,13 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed cluster request: %v", err)
 		return
 	}
+	if e.idx.Sharded() {
+		// Index.Cluster would refuse too, but a sharded index can never
+		// satisfy the request, so report it as a client error, not a 500.
+		writeError(w, http.StatusBadRequest,
+			"index %q is sharded (%d shards); clustering needs a monolithic index", e.name, e.idx.Shards())
+		return
+	}
 	if req.K <= 0 || req.K > e.idx.N() {
 		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", e.idx.N(), req.K)
 		return

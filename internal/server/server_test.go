@@ -15,6 +15,7 @@ import (
 
 	"gkmeans"
 	"gkmeans/client"
+	"gkmeans/internal/dataset"
 )
 
 // newTestServer serves the shared test index as "sift".
@@ -409,4 +410,81 @@ func TestServerSearchContextCancelled(t *testing.T) {
 		t.Fatalf("cancelled search: %d %s, want 408", w.Code, w.Body.String())
 	}
 	s.BeginShutdown() // release the hour-long batch for a clean test exit
+}
+
+// A sharded index must serve end-to-end exactly like a monolithic one —
+// registered from a multi-segment .gkx file, searched over HTTP with
+// results identical to in-process fan-out search, reported with its shard
+// count — while clustering is refused as a client error.
+func TestServerServesShardedIndex(t *testing.T) {
+	all := dataset.SIFTLike(400, 19)
+	data, queries := dataset.Split(all, 20)
+	idx, err := gkmeans.Build(context.Background(), data,
+		gkmeans.WithShards(3), gkmeans.WithKappa(8), gkmeans.WithTau(3), gkmeans.WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sharded.gkx")
+	if err := gkmeans.SaveIndex(path, idx); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{Window: time.Millisecond, MaxBatch: 8})
+	if err := s.RegisterFile("sharded", path); err != nil {
+		t.Fatal(err)
+	}
+
+	var list client.ListResponse
+	if w := call(t, s, "GET", "/v1/indexes", "", &list); w.Code != http.StatusOK {
+		t.Fatalf("list: %d %s", w.Code, w.Body.String())
+	}
+	if len(list.Indexes) != 1 || list.Indexes[0].Shards != 3 || list.Indexes[0].HasClusters {
+		t.Fatalf("list = %+v, want one index with 3 shards", list.Indexes)
+	}
+
+	// Single-query (through the coalescer) and batch search must both match
+	// the in-process fan-out results bit for bit.
+	for qi := 0; qi < 5; qi++ {
+		want := idx.Search(queries.Row(qi), 5, 64)
+		var out client.SearchResponse
+		if w := call(t, s, "POST", "/v1/indexes/sharded/search",
+			searchBody(queries.Row(qi), 5, 64), &out); w.Code != http.StatusOK {
+			t.Fatalf("search %d: %d %s", qi, w.Code, w.Body.String())
+		}
+		if len(out.Results) != 1 || len(out.Results[0]) != len(want) {
+			t.Fatalf("search %d returned %d lists", qi, len(out.Results))
+		}
+		for i, nb := range out.Results[0] {
+			if nb.ID != want[i].ID || nb.Dist != want[i].Dist {
+				t.Fatalf("search %d result %d = %+v, want %+v", qi, i, nb, want[i])
+			}
+		}
+	}
+	batchReq, _ := json.Marshal(client.SearchRequest{
+		Queries: [][]float32{queries.Row(0), queries.Row(1)}, TopK: 3, Ef: 32})
+	var batchOut client.SearchResponse
+	if w := call(t, s, "POST", "/v1/indexes/sharded/search", string(batchReq), &batchOut); w.Code != http.StatusOK {
+		t.Fatalf("batch search: %d %s", w.Code, w.Body.String())
+	}
+	if len(batchOut.Results) != 2 {
+		t.Fatalf("batch search returned %d lists, want 2", len(batchOut.Results))
+	}
+
+	// Clustering a sharded index is a client error, not a server failure.
+	w := call(t, s, "POST", "/v1/indexes/sharded/cluster", `{"k":3}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("cluster on sharded index: %d, want 400", w.Code)
+	}
+	if msg := errorOf(t, w); !strings.Contains(msg, "sharded") {
+		t.Fatalf("cluster error %q does not mention sharding", msg)
+	}
+
+	// Stats aggregate the per-shard hot-path counters.
+	var stats client.IndexStats
+	if w := call(t, s, "GET", "/v1/indexes/sharded/stats", "", &stats); w.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", w.Code, w.Body.String())
+	}
+	if stats.Shards != 3 || stats.DistanceComps == 0 {
+		t.Fatalf("stats = %+v, want 3 shards and non-zero distance comps", stats)
+	}
 }

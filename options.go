@@ -18,6 +18,7 @@ type config struct {
 	workers int
 	entries int
 	builder string
+	shards  int
 
 	maxIter     int
 	trace       bool
@@ -79,8 +80,25 @@ const (
 func WithGraphBuilder(builder string) Option { return func(c *config) { c.builder = builder } }
 
 // WithEntryPoints sets the number of ANN search entry points (<=0 selects
-// 16; raise it for data with many well-separated clusters).
+// 16; raise it for data with many well-separated clusters). With WithShards
+// the count applies to every shard independently.
 func WithEntryPoints(entries int) Option { return func(c *config) { c.entries = entries } }
+
+// WithShards makes Build partition the dataset into n contiguous shards and
+// build one independent sub-index per shard (each through the full parallel
+// build pipeline). Search and SearchBatch fan out across the shards and
+// merge the per-shard top-k into one global top-k, so results carry global
+// ids exactly as if the index were monolithic; SearchStats aggregates the
+// per-shard counters. Sharding bounds the peak memory of one graph build to
+// a single shard and turns idle cores into search throughput, at the price
+// of searching every shard per query.
+//
+// n <= 1 builds the usual monolithic index. Build clamps n so every shard
+// holds at least two samples. A sharded index persists in the multi-segment
+// container format (see SaveIndex) and serves through gkserved like any
+// other index; it cannot be clustered, so combining WithShards and
+// WithClusters makes Build return an error.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
 
 // WithMaxIter caps the clustering optimisation epochs. Default 50; a run
 // stops earlier at the first epoch with no accepted move.

@@ -11,13 +11,14 @@ import (
 	"gkmeans/internal/vec"
 )
 
-// Whole-index persistence: a versioned container holding the dataset, the
-// k-NN graph (reusing the knngraph wire format as an embedded section) and
-// the optional Build-time clustering. Derived search structures (adjacency,
-// entry points) are rebuilt on load from the persisted entry-point count,
-// so a loaded index answers queries identically to the saved one.
+// Whole-index persistence: a versioned container (".gkx") holding the
+// dataset, the k-NN graph(s) (reusing the knngraph wire format as embedded
+// sections) and the optional Build-time clustering. Derived search
+// structures (adjacency, entry points) are rebuilt on load from the
+// persisted entry-point count, so a loaded index answers queries
+// identically to the saved one.
 //
-// Layout (all little-endian):
+// Version 1 — single segment (all little-endian):
 //
 //	uint32  magic "GKIX"
 //	uint32  format version (1)
@@ -27,12 +28,48 @@ import (
 //	section k-NN graph         (knngraph.WriteSection)
 //	[clustering: uint32 k, uint32 iters, n×int32 labels,
 //	             matrix centroids]
+//
+// Version 2 — multi-segment, written for sharded indexes (WithShards):
+//
+//	uint32  magic "GKIX"
+//	uint32  format version (2)
+//	uint32  flags (bit 1: sharded — required in v2)
+//	uint32  requested entry points (0 = default)
+//	uint32  shard count (>= 2)
+//	uint32  reserved (0)
+//	matrix  full dataset       (vec.WriteMatrix; shards are row ranges)
+//	segment table: per shard {uint32 rows, 4 pad bytes, uint64 segment size}
+//	per shard: k-NN graph segment (knngraph.WriteSection, exactly
+//	           "segment size" bytes over "rows" contiguous dataset rows)
+//
+// The segment table states every segment's exact byte size up front, so a
+// reader can locate, skip or parallel-load segments without parsing them,
+// and a truncated or inconsistent file fails with a clear error instead of
+// a misaligned read. Loaders accept both versions; writers emit v1 for
+// monolithic indexes (older readers keep working) and v2 only when there is
+// more than one segment to describe. See ARCHITECTURE.md for the full
+// format reference.
 const (
-	indexMagic   = uint32(0x474b4958) // "GKIX"
-	indexVersion = uint32(1)
+	indexMagic          = uint32(0x474b4958) // "GKIX"
+	indexVersionSingle  = uint32(1)
+	indexVersionSharded = uint32(2)
 
 	flagClusters = uint32(1 << 0)
+	flagSharded  = uint32(1 << 1)
+
+	// maxShardSegments bounds the segment-table allocation against corrupt
+	// headers; it is far above any sane shard count (every shard needs at
+	// least minShardRows rows anyway).
+	maxShardSegments = 1 << 20
 )
+
+// segmentEntry is one row of the v2 segment table. The blank field keeps
+// the uint64 naturally aligned and the entry a round 16 bytes.
+type segmentEntry struct {
+	Rows uint32
+	_    uint32
+	Size uint64 // segment byte count (the shard's graph section)
+}
 
 // countingWriter tracks bytes written so WriteTo can satisfy io.WriterTo.
 type countingWriter struct {
@@ -46,19 +83,42 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// countingReader tracks bytes consumed so the v2 loader can verify each
+// segment used exactly the bytes its table entry declared.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// diskEntries normalises the requested entry-point count for the header:
+// any non-positive request means "default" and is stored as 0.
+func (x *Index) diskEntries() uint32 {
+	if x.cfg.entries < 0 {
+		return 0
+	}
+	return uint32(x.cfg.entries)
+}
+
 // WriteTo serialises the whole index to w and returns the number of bytes
-// written. It implements io.WriterTo.
+// written. It implements io.WriterTo. Monolithic indexes write the v1
+// single-segment layout; sharded indexes write the v2 multi-segment one.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
+	if x.Sharded() {
+		err := x.writeSharded(cw)
+		return cw.n, err
+	}
 	var flags uint32
 	if x.clusters != nil {
 		flags |= flagClusters
 	}
-	entries := x.cfg.entries
-	if entries < 0 {
-		entries = 0 // any non-positive request means "default"; keep it 0 on disk
-	}
-	hdr := []uint32{indexMagic, indexVersion, flags, uint32(entries)}
+	hdr := []uint32{indexMagic, indexVersionSingle, flags, x.diskEntries()}
 	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
 		return cw.n, err
 	}
@@ -87,9 +147,41 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	return cw.n, nil
 }
 
-// ReadIndexFrom deserialises an index written by WriteTo. The loaded index
-// is immediately ready for Search, SearchBatch and Cluster and answers
-// searches identically to the index that was saved.
+// writeSharded emits the v2 multi-segment layout: the full dataset once,
+// then one graph segment per shard, preceded by the table of exact segment
+// sizes (computable up front from the graphs' encoded sizes).
+func (x *Index) writeSharded(cw *countingWriter) error {
+	hdr := []uint32{indexMagic, indexVersionSharded, flagSharded, x.diskEntries(),
+		uint32(len(x.shards)), 0}
+	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if _, err := vec.WriteMatrix(cw, x.data); err != nil {
+		return err
+	}
+	table := make([]segmentEntry, len(x.shards))
+	for s, shard := range x.shards {
+		table[s] = segmentEntry{Rows: uint32(shard.N()), Size: uint64(shard.graph.SectionSize())}
+	}
+	if err := binary.Write(cw, binary.LittleEndian, table); err != nil {
+		return err
+	}
+	for s, shard := range x.shards {
+		before := cw.n
+		if _, err := shard.graph.WriteSection(cw); err != nil {
+			return err
+		}
+		if got := uint64(cw.n - before); got != table[s].Size {
+			return fmt.Errorf("gkmeans: internal error: shard %d segment wrote %d bytes, table says %d", s, got, table[s].Size)
+		}
+	}
+	return nil
+}
+
+// ReadIndexFrom deserialises an index written by WriteTo — either layout
+// version. The loaded index is immediately ready for Search, SearchBatch
+// and (when monolithic) Cluster, and answers searches identically to the
+// index that was saved.
 func ReadIndexFrom(r io.Reader) (*Index, error) {
 	hdr := make([]uint32, 4)
 	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
@@ -98,11 +190,19 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 	if hdr[0] != indexMagic {
 		return nil, fmt.Errorf("gkmeans: bad index magic %#x", hdr[0])
 	}
-	if hdr[1] != indexVersion {
-		return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d)", hdr[1], indexVersion)
-	}
 	flags, entries := hdr[2], int(hdr[3])
+	switch hdr[1] {
+	case indexVersionSingle:
+		return readSingle(r, flags, entries)
+	case indexVersionSharded:
+		return readSharded(r, flags, entries)
+	}
+	return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d or %d)",
+		hdr[1], indexVersionSingle, indexVersionSharded)
+}
 
+// readSingle loads the body of a v1 single-segment container.
+func readSingle(r io.Reader, flags uint32, entries int) (*Index, error) {
 	data, err := vec.ReadMatrix(r)
 	if err != nil {
 		return nil, err
@@ -139,6 +239,60 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 		x.clusters = res
 	}
 	return x, nil
+}
+
+// readSharded loads the body of a v2 multi-segment container: the full
+// dataset, the segment table, then one graph segment per shard, each
+// checked against the table's declared row count and byte size.
+func readSharded(r io.Reader, flags uint32, entries int) (*Index, error) {
+	if flags&flagSharded == 0 {
+		return nil, fmt.Errorf("gkmeans: v2 index without the sharded flag (flags %#x)", flags)
+	}
+	var tail [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, tail[:]); err != nil {
+		return nil, fmt.Errorf("gkmeans: reading sharded header: %w", err)
+	}
+	nShards := int(tail[0])
+	if nShards < 2 || nShards > maxShardSegments {
+		return nil, fmt.Errorf("gkmeans: implausible shard count %d", nShards)
+	}
+	data, err := vec.ReadMatrix(r)
+	if err != nil {
+		return nil, err
+	}
+	table := make([]segmentEntry, nShards)
+	if err := binary.Read(r, binary.LittleEndian, table); err != nil {
+		return nil, fmt.Errorf("gkmeans: reading segment table: %w", err)
+	}
+	totalRows := int64(0)
+	for _, e := range table {
+		totalRows += int64(e.Rows)
+	}
+	if totalRows != int64(data.N) {
+		return nil, fmt.Errorf("gkmeans: segment table covers %d rows, dataset has %d (shard-count mismatch or corrupt table)",
+			totalRows, data.N)
+	}
+	cr := &countingReader{r: r}
+	shards := make([]*Index, nShards)
+	row := 0
+	for s, e := range table {
+		rows := int(e.Rows)
+		before := cr.n
+		g, err := knngraph.ReadSection(cr)
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: reading shard %d segment: %w", s, err)
+		}
+		if got := uint64(cr.n - before); got != e.Size {
+			return nil, fmt.Errorf("gkmeans: shard %d segment consumed %d bytes, table says %d", s, got, e.Size)
+		}
+		shard, err := NewIndex(shardView(data, row, row+rows), g, WithEntryPoints(entries))
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: shard %d: %w", s, err)
+		}
+		shards[s] = shard
+		row += rows
+	}
+	return newShardedIndex(data, shards, config{entries: entries, shards: nShards}), nil
 }
 
 // writeFileAtomic writes through a temporary file in path's directory and

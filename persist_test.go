@@ -112,6 +112,149 @@ func TestSaveIndexReplacesExistingFile(t *testing.T) {
 	}
 }
 
+// Monolithic indexes must keep writing the v1 single-segment layout so
+// .gkx files stay loadable by pre-sharding readers, and a load/save cycle
+// must be byte-stable in both directions.
+func TestMonolithicStaysVersion1(t *testing.T) {
+	idx := smallClusteredIndex(t)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[4:]); v != 1 {
+		t.Fatalf("monolithic index wrote format version %d, want 1", v)
+	}
+	loaded, err := ReadIndexFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Sharded() {
+		t.Fatal("v1 file loaded as sharded")
+	}
+	var again bytes.Buffer
+	if _, err := loaded.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("v1 load/save round-trip changed bytes")
+	}
+}
+
+// smallShardedIndex builds a compact sharded index for the v2 corruption
+// tests.
+func smallShardedIndex(t *testing.T) *Index {
+	t.Helper()
+	data := dataset.SIFTLike(120, 13)
+	idx, err := Build(context.Background(), data,
+		WithShards(3), WithKappa(5), WithXi(15), WithTau(3), WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// shardedBlob serialises the index and returns the bytes plus the offsets
+// of the v2 layout landmarks used by the corruption tests.
+func shardedBlob(t *testing.T, idx *Index) (whole []byte, tableOff, segmentsOff int) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole = buf.Bytes()
+	// v2 layout: 24-byte header, matrix (8-byte shape + payload), segment
+	// table (16 bytes per shard), then the segments.
+	tableOff = 24 + 8 + 4*idx.N()*idx.Dim()
+	segmentsOff = tableOff + 16*len(idx.shards)
+	return whole, tableOff, segmentsOff
+}
+
+// Corrupt multi-segment containers — truncations (in the header, the
+// segment table and the segments), a lying shard count and inconsistent
+// table entries — must always produce an error: never a panic, never a
+// misaligned read that "succeeds".
+func TestReadShardedCorruptInputs(t *testing.T) {
+	idx := smallShardedIndex(t)
+	whole, tableOff, segmentsOff := shardedBlob(t, idx)
+	if v := binary.LittleEndian.Uint32(whole[4:]); v != 2 {
+		t.Fatalf("sharded index wrote format version %d, want 2", v)
+	}
+
+	mustErr := func(t *testing.T, name string, b []byte) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: ReadIndexFrom panicked: %v", name, r)
+			}
+		}()
+		if _, err := ReadIndexFrom(bytes.NewReader(b)); err == nil {
+			t.Fatalf("%s: corrupt input accepted", name)
+		}
+	}
+
+	t.Run("truncations", func(t *testing.T) {
+		stride := len(whole) / 120
+		if stride < 1 {
+			stride = 1
+		}
+		for cut := 0; cut < len(whole); cut += stride {
+			mustErr(t, fmt.Sprintf("cut at %d/%d", cut, len(whole)), whole[:cut])
+		}
+		// Boundary cuts: mid-header, table start, mid-table (the "truncated
+		// segment table" case), segments start, mid-segment.
+		for _, cut := range []int{4, 16, 20, tableOff, tableOff + 7, tableOff + 16, segmentsOff, segmentsOff + 3, len(whole) - 1} {
+			mustErr(t, fmt.Sprintf("boundary cut at %d", cut), whole[:cut])
+		}
+	})
+
+	t.Run("mutations", func(t *testing.T) {
+		flip := func(mutate func(b []byte)) []byte {
+			b := bytes.Clone(whole)
+			mutate(b)
+			return b
+		}
+		cases := []struct {
+			name   string
+			mutate func(b []byte)
+		}{
+			{"version 99", func(b []byte) { b[4] = 99 }},
+			{"sharded flag missing", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[8:], 0)
+			}},
+			{"shard count zero", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[16:], 0)
+			}},
+			{"shard count one", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[16:], 1)
+			}},
+			{"shard count huge", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[16:], 0xFFFFFFFF)
+			}},
+			// The header says 4 shards but the table and segments hold 3:
+			// the row sum no longer covers the dataset.
+			{"shard count mismatch", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[16:], 4)
+			}},
+			{"table rows inflated", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[tableOff:], 9999)
+			}},
+			{"table rows zeroed", func(b []byte) {
+				binary.LittleEndian.PutUint32(b[tableOff:], 0)
+			}},
+			{"table segment size wrong", func(b []byte) {
+				binary.LittleEndian.PutUint64(b[tableOff+8:], 12)
+			}},
+			{"table segment size huge", func(b []byte) {
+				binary.LittleEndian.PutUint64(b[tableOff+8:], 1<<50)
+			}},
+			{"segment graph magic", func(b []byte) { b[segmentsOff+8] ^= 0xFF }},
+		}
+		for _, c := range cases {
+			mustErr(t, c.name, flip(c.mutate))
+		}
+	})
+}
+
 // Corrupt container inputs — truncations and targeted bit flips in every
 // section — must always produce an error: never a panic, never a runaway
 // allocation from an untrusted header.

@@ -8,8 +8,13 @@ import (
 
 // ensureSearcher builds the search structures (flat CSR adjacency, entry
 // points) on first use. It cannot fail: Build/NewIndex already validated
-// the only invariants anns.NewSearcher checks.
+// the only invariants anns.NewSearcher checks. A sharded index has no
+// top-level searcher — its shards each build their own — so every caller
+// must dispatch on Sharded() first.
 func (x *Index) ensureSearcher() *anns.Searcher {
+	if x.Sharded() {
+		panic("gkmeans: internal error: per-index searcher requested on a sharded index")
+	}
 	x.searcherOnce.Do(func() {
 		s, err := anns.NewSearcher(x.data, x.graph, x.cfg.entries)
 		if err != nil {
@@ -57,8 +62,15 @@ func (x *Index) checkQueryDim(dim int) {
 // use all of it. topK larger than the index returns all indexed samples.
 // q must have the index's dimensionality; a mismatch panics. Safe to call
 // from any goroutine.
+//
+// On a sharded index the query fans out across every shard concurrently
+// (one goroutine per shard, each bounded by the same topK and ef) and the
+// per-shard results merge into one global top-topK with global ids.
 func (x *Index) Search(q []float32, topK, ef int) []Neighbor {
 	x.checkQueryDim(len(q))
+	if x.Sharded() {
+		return x.searchSharded(q, topK, defaultEf(topK, ef))
+	}
 	return x.ensureSearcher().Search(q, topK, defaultEf(topK, ef))
 }
 
@@ -77,8 +89,14 @@ type SearchStats struct {
 
 // SearchStats returns the index's cumulative search counters. It reports
 // zeros before the first search (the searcher is built lazily and the
-// accessor does not force it). Safe to call from any goroutine.
+// accessor does not force it). For a sharded index the work counters are
+// summed across shards — every query visits all of them — while Queries
+// stays the logical query count, not shard-count times it. Safe to call
+// from any goroutine.
 func (x *Index) SearchStats() SearchStats {
+	if x.Sharded() {
+		return x.searchStatsSharded()
+	}
 	s := x.searcher.Load()
 	if s == nil {
 		return SearchStats{}
@@ -92,9 +110,16 @@ func (x *Index) SearchStats() SearchStats {
 // worker count comes from WithWorkers (<=0 selects GOMAXPROCS). Queries
 // must have the index's dimensionality; a mismatch panics. Safe to call
 // from any goroutine, including concurrently with Search.
+//
+// On a sharded index the workers parallelise across queries and each query
+// scans the shards in order, so the merged results are identical for every
+// worker count.
 func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
 	if queries.N > 0 {
 		x.checkQueryDim(queries.Dim)
+	}
+	if x.Sharded() {
+		return x.searchBatchSharded(queries, topK, defaultEf(topK, ef))
 	}
 	return anns.BatchSearch(x.ensureSearcher(), queries, topK, defaultEf(topK, ef), x.cfg.workers)
 }
@@ -103,5 +128,8 @@ func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
 // exact top-k id list per query, e.g. from ExactNeighbors) and returns the
 // average recall@k at the given pool size ef.
 func (x *Index) Recall(queries *Matrix, truth [][]int32, k, ef int) float64 {
+	if x.Sharded() {
+		return anns.RecallAtFunc(x.searchSharded, queries, truth, k, defaultEf(k, ef))
+	}
 	return anns.RecallAt(x.ensureSearcher(), queries, truth, k, defaultEf(k, ef))
 }

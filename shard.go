@@ -1,0 +1,205 @@
+package gkmeans
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"gkmeans/internal/parallel"
+)
+
+// Sharded indexes: WithShards(n) partitions the dataset into n contiguous
+// row ranges, builds one independent monolithic sub-index per range, and
+// answers queries by fanning out across the shards and merging the
+// per-shard top-k into one global top-k. The shard datasets are views into
+// the parent matrix (no copies), and a result id is remapped from
+// shard-local to global by adding the shard's base row — so a sharded index
+// is observably the same as a monolithic one up to approximation quality,
+// while each graph build only ever holds one shard in flight and every
+// query can use one core per shard.
+
+// minShardRows is the smallest shard Build will create: a k-NN graph needs
+// at least two samples (a single-row shard has no possible neighbour).
+const minShardRows = 2
+
+// clampShards resolves a requested shard count against the dataset size:
+// every shard must keep at least minShardRows rows, a request of <=1 (or a
+// dataset too small to split) means "monolithic", and the count never
+// exceeds what the persistence segment table accepts — Build must not
+// produce an index that SaveIndex writes but LoadIndex refuses.
+func clampShards(requested, n int) int {
+	if requested <= 1 {
+		return 1
+	}
+	if requested > maxShardSegments {
+		requested = maxShardSegments
+	}
+	if max := n / minShardRows; requested > max {
+		requested = max
+	}
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// shardBounds returns the global row range [lo, hi) of shard s out of
+// total: the even contiguous split floor(s·n/total). It is the single
+// source of truth for the partition — Build, persistence and the id remap
+// all derive from it.
+func shardBounds(s, total, n int) (lo, hi int) {
+	return s * n / total, (s + 1) * n / total
+}
+
+// shardView returns rows [lo, hi) of m as a view aliasing m's storage.
+func shardView(m *Matrix, lo, hi int) *Matrix {
+	return &Matrix{Data: m.Data[lo*m.Dim : hi*m.Dim : hi*m.Dim], N: hi - lo, Dim: m.Dim}
+}
+
+// newShardedIndex assembles the fan-out shell over already-built shard
+// sub-indexes. The shards must cover data contiguously in order — both
+// callers (buildSharded, the multi-segment loader) construct them from
+// shardBounds, so the bases are recomputed the same way here.
+func newShardedIndex(data *Matrix, shards []*Index, cfg config) *Index {
+	base := make([]int32, len(shards))
+	row := 0
+	for s, shard := range shards {
+		base[s] = int32(row)
+		row += shard.N()
+	}
+	return &Index{data: data, shards: shards, shardBase: base, cfg: cfg}
+}
+
+// buildSharded is Build's WithShards(n) path: one monolithic sub-index per
+// contiguous shard, built sequentially so at most one build pipeline (and
+// its scratch memory) is in flight, each using the full WithWorkers
+// parallelism. ctx cancellation is honoured inside every shard build.
+func buildSharded(ctx context.Context, data *Matrix, cfg config, nShards int) (*Index, error) {
+	shardCfg := cfg
+	shardCfg.shards = 0
+	shardCfg.progress = nil
+	var progressFor func(s int) func(stage string, done, total int)
+	if cfg.progress != nil {
+		// One global "graph" progress stream across all shards: shard s's
+		// rounds land at s·τ + done out of n·τ.
+		tau := cfg.resolvedTau()
+		progress := cfg.progress
+		progressFor = func(s int) func(stage string, done, total int) {
+			return func(stage string, done, _ int) {
+				progress(stage, s*tau+done, nShards*tau)
+			}
+		}
+	}
+	shards, graphTime, err := buildShardLoop(ctx, data, shardCfg, nShards, progressFor)
+	if err != nil {
+		return nil, err
+	}
+	x := newShardedIndex(data, shards, cfg)
+	x.graphTime = graphTime
+	return x, nil
+}
+
+// buildShardLoop builds the n sub-indexes over the contiguous shard views.
+// progressFor, when non-nil, supplies each shard's progress callback.
+func buildShardLoop(ctx context.Context, data *Matrix, shardCfg config, nShards int,
+	progressFor func(s int) func(stage string, done, total int)) ([]*Index, time.Duration, error) {
+
+	shards := make([]*Index, nShards)
+	var graphTime time.Duration
+	for s := 0; s < nShards; s++ {
+		lo, hi := shardBounds(s, nShards, data.N)
+		cfg := shardCfg
+		if progressFor != nil {
+			cfg.progress = progressFor(s)
+		}
+		shard, err := buildMono(ctx, shardView(data, lo, hi), cfg)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gkmeans: building shard %d/%d (rows %d..%d): %w", s, nShards, lo, hi, err)
+		}
+		shards[s] = shard
+		graphTime += shard.graphTime
+	}
+	return shards, graphTime, nil
+}
+
+// searchSharded fans one query out across every shard concurrently — one
+// goroutine per shard, since a single query's latency is exactly what the
+// fan-out buys — and merges the per-shard top-k into the global top-k.
+func (x *Index) searchSharded(q []float32, topK, ef int) []Neighbor {
+	parts := make([][]Neighbor, len(x.shards))
+	var wg sync.WaitGroup
+	for s := range x.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			parts[s] = x.shards[s].Search(q, topK, ef)
+		}(s)
+	}
+	wg.Wait()
+	return mergeShardResults(parts, x.shardBase, topK)
+}
+
+// searchBatchSharded answers a batch against a sharded index. Parallelism
+// goes across queries (the batch already saturates the cores); within one
+// query the shards are scanned in order, which keeps the merge input — and
+// therefore the output — identical for every worker count.
+func (x *Index) searchBatchSharded(queries *Matrix, topK, ef int) [][]Neighbor {
+	out := make([][]Neighbor, queries.N)
+	parts := len(x.shards)
+	parallel.For(queries.N, x.cfg.workers, func(lo, hi int) {
+		scratch := make([][]Neighbor, parts)
+		for qi := lo; qi < hi; qi++ {
+			q := queries.Row(qi)
+			for s, shard := range x.shards {
+				scratch[s] = shard.Search(q, topK, ef)
+			}
+			out[qi] = mergeShardResults(scratch, x.shardBase, topK)
+		}
+	})
+	return out
+}
+
+// mergeShardResults remaps each shard's local result ids to global ids and
+// keeps the topK closest overall. Ties on distance are broken by ascending
+// id so the merged ranking is deterministic regardless of which shard
+// finished first.
+func mergeShardResults(parts [][]Neighbor, base []int32, topK int) []Neighbor {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	merged := make([]Neighbor, 0, total)
+	for s, p := range parts {
+		for _, nb := range p {
+			merged = append(merged, Neighbor{ID: base[s] + nb.ID, Dist: nb.Dist})
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist != merged[j].Dist {
+			return merged[i].Dist < merged[j].Dist
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > topK {
+		merged = merged[:topK]
+	}
+	return merged
+}
+
+// searchStatsSharded aggregates the per-shard counters. Every query visits
+// every shard, so the work counters add up while the logical query count is
+// the maximum any one shard has seen (the shards agree except mid-flight).
+func (x *Index) searchStatsSharded() SearchStats {
+	var out SearchStats
+	for _, shard := range x.shards {
+		st := shard.SearchStats()
+		out.DistanceComps += st.DistanceComps
+		out.ExpandedCandidates += st.ExpandedCandidates
+		if st.Queries > out.Queries {
+			out.Queries = st.Queries
+		}
+	}
+	return out
+}
