@@ -1,0 +1,97 @@
+// Command gkvet is the repo's vet: it runs `go vet` plus the five
+// repo-specific analyzers from internal/analysis over the given package
+// patterns and exits non-zero on any finding. CI gates on it; run it
+// locally with
+//
+//	go run ./cmd/gkvet ./...
+//
+// The analyzers enforce invariants ordinary vet cannot know about:
+//
+//	detrand    deterministic build packages must not use math/rand or
+//	           wall-clock seeds — randomness comes from seeded splitmix
+//	           streams (the bit-identical-output guarantee)
+//	hotalloc   //gk:hotpath functions (search path, distance kernels)
+//	           must not allocate
+//	poolput    sync.Pool scratch must be returned on every exit path
+//	int32cast  int→int32/uint32 narrowing in id/persistence code must be
+//	           bounds-checked or go through internal/checked
+//	errsink    persistence writes must not discard error results
+//
+// Flags:
+//
+//	-novet    skip the `go vet` pass (when vet already ran separately)
+//	-list     print the analyzer names and docs and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"gkmeans/internal/analysis"
+)
+
+func main() {
+	novet := flag.Bool("novet", false, "skip the go vet pass")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-10s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	failed := false
+	if !*novet {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gkvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, pkg := range pkgs {
+		for _, err := range pkg.Errors {
+			fmt.Fprintf(os.Stderr, "gkvet: %s: %v\n", pkg.PkgPath, err)
+			failed = true
+		}
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analysis.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gkvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		pos := positionOf(pkgs, d)
+		fmt.Printf("%s: %s [%s]\n", pos, d.Message, d.Analyzer)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// positionOf resolves a diagnostic position against the shared FileSet
+// (every package loaded by one Load call shares it).
+func positionOf(pkgs []*analysis.Package, d analysis.Diagnostic) string {
+	if len(pkgs) == 0 {
+		return "-"
+	}
+	return pkgs[0].Fset.Position(d.Pos).String()
+}

@@ -1,0 +1,61 @@
+package gkmeans
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"gkmeans/internal/dataset"
+)
+
+// FuzzReadIndexFrom hammers the .gkx container parser with mutated bytes.
+// The contract under fuzzing is the same one TestReadIndexFromCorruptInputs
+// checks pointwise: ReadIndexFrom either returns an error or an index whose
+// accessors are safe to call and which re-serialises cleanly — it never
+// panics and never allocates absurdly from a lying length field.
+//
+// CI runs this for a short budget: go test -fuzz=FuzzReadIndexFrom -fuzztime=20s .
+func FuzzReadIndexFrom(f *testing.F) {
+	seedBlob := func(opts ...Option) []byte {
+		data := dataset.SIFTLike(60, 3)
+		idx, err := Build(context.Background(), data,
+			append([]Option{WithKappa(4), WithXi(10), WithTau(2), WithSeed(5)}, opts...)...)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	mono := seedBlob()
+	clustered := seedBlob(WithMaxIter(4), WithClusters(3))
+	sharded := seedBlob(WithShards(2))
+	f.Add(mono)
+	f.Add(clustered)
+	f.Add(sharded)
+	f.Add([]byte{})
+	f.Add([]byte("GKXI"))
+	// A valid prefix with a lying tail exercises the section-length checks.
+	f.Add(mono[:len(mono)/2])
+	flipped := append([]byte(nil), sharded...)
+	flipped[8] ^= 0xff // version / shard-count region
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		idx, err := ReadIndexFrom(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		// Accepted inputs must round-trip through the writer.
+		if idx.N() < 0 || idx.Dim() < 0 {
+			t.Fatalf("accepted index reports negative shape %d×%d", idx.N(), idx.Dim())
+		}
+		var out bytes.Buffer
+		if _, err := idx.WriteTo(&out); err != nil {
+			t.Fatalf("accepted index fails to re-serialise: %v", err)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package gkmeans
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,12 @@ func Build(ctx context.Context, data *Matrix, opts ...Option) (*Index, error) {
 	if data == nil || data.N == 0 {
 		return nil, fmt.Errorf("gkmeans: Build needs a non-empty dataset")
 	}
+	// Sample ids are int32 throughout (neighbour lists, CSR adjacency, the
+	// .gkx format). Refusing oversized datasets here makes every downstream
+	// narrowing a checked invariant rather than a potential truncation.
+	if int64(data.N) > math.MaxInt32 {
+		return nil, fmt.Errorf("gkmeans: dataset has %d rows; sample ids are int32", data.N)
+	}
 	cfg := applyOptions(config{}, opts)
 	// Checked before the shard-count clamp: the option conflict must error
 	// even when a tiny dataset would clamp the request down to one shard.
@@ -116,6 +123,9 @@ func buildMono(ctx context.Context, data *Matrix, cfg config) (*Index, error) {
 func NewIndex(data *Matrix, g *Graph, opts ...Option) (*Index, error) {
 	if data == nil || data.N == 0 {
 		return nil, fmt.Errorf("gkmeans: NewIndex needs a non-empty dataset")
+	}
+	if int64(data.N) > math.MaxInt32 {
+		return nil, fmt.Errorf("gkmeans: dataset has %d rows; sample ids are int32", data.N)
 	}
 	if g == nil {
 		return nil, fmt.Errorf("gkmeans: NewIndex needs a graph")

@@ -1,0 +1,142 @@
+// Package analysis is a self-contained, dependency-free re-creation of the
+// golang.org/x/tools/go/analysis surface that gkvet's checkers build on: an
+// Analyzer is a named Run function over a type-checked package (a Pass), and
+// a driver loads packages and reports the diagnostics the analyzers emit.
+//
+// The real x/tools module is deliberately not imported — the repo builds
+// offline from the standard library alone — but the shapes match, so the
+// analyzers would port to a stock multichecker by swapping the import.
+//
+// The five analyzers shipped here (see All) enforce repo invariants that
+// ordinary vet passes cannot know about:
+//
+//   - detrand: deterministic-build packages must not import math/rand
+//   - hotalloc: functions annotated //gk:hotpath must not allocate
+//   - poolput: every sync.Pool.Get needs a Put before each later return
+//   - int32cast: int→int32/uint32 narrowing must be guarded or checked
+//   - errsink: persistence writes must not discard errors
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static check: a name for diagnostics, a doc string
+// for -help output, and the Run function applied to every loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's non-test compiled Go files. Test files are
+	// structurally absent — analyzer policies automatically exempt tests.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// All returns the repo's analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, HotAlloc, PoolPut, Int32Cast, ErrSink}
+}
+
+// inspectStack walks every file of the pass, calling fn with each node and
+// the stack of its ancestors (outermost first, not including n itself).
+// Returning false from fn prunes the subtree.
+func inspectStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// hotpathDirective is the comment marker that opts a function into the
+// hotalloc rules.
+const hotpathDirective = "//gk:hotpath"
+
+// isHotpath reports whether the function declaration carries the
+// //gk:hotpath directive in its doc comment block.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// calleePkgPath returns the import path of the package whose function or
+// method the call invokes, or "" when unresolvable (builtins, conversions,
+// function-typed variables).
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := info.Uses[fun].(*types.Func); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := info.Uses[fun.Sel].(*types.Func); ok && obj.Pkg() != nil {
+			return obj.Pkg().Path()
+		}
+	}
+	return ""
+}
+
+// calleeName returns the bare name of the called function or method, or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isConversion reports whether the call expression is a type conversion and
+// returns the target type.
+func isConversion(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	return tv.Type, true
+}

@@ -1,0 +1,142 @@
+// Package analysistest runs one analyzer over golden fixture packages and
+// checks its diagnostics against // want comments — the same contract as
+// golang.org/x/tools/go/analysis/analysistest, rebuilt on the repo's
+// stdlib-only driver.
+//
+// Fixtures live under testdata/src/<import-path>/: the directory name is
+// the import path the analyzer sees, so package-scoped policies (detrand's
+// deterministic set, int32cast's persistence set) can be exercised both
+// inside and outside their scope. Fixture files may import only the
+// standard library; expectations are written on the offending line as
+//
+//	expr // want `regexp`
+//
+// with one backquoted or double-quoted regexp per expected diagnostic.
+// Every diagnostic must be matched by a want on its line and every want
+// must be matched by a diagnostic, or the test fails.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"gkmeans/internal/analysis"
+)
+
+// wantRE extracts the quoted regexps of a want comment.
+var wantRE = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads each fixture package under dir ("testdata"), applies the
+// analyzer, and compares diagnostics with the fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	for _, pkgPath := range pkgPaths {
+		runOne(t, dir, a, pkgPath)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	srcDir := filepath.Join(dir, "src", filepath.FromSlash(pkgPath))
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("%s: reading fixture dir: %v", pkgPath, err)
+	}
+	var files []string
+	for _, e := range entries {
+		// _test.go files are excluded exactly as the real driver excludes
+		// them (it loads GoFiles only): fixtures place violations in test
+		// files to prove tests are exempt from every policy.
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, filepath.Join(srcDir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no fixture files in %s", pkgPath, srcDir)
+	}
+	pkg, err := analysis.LoadFixture(".", pkgPath, files)
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+	for _, err := range pkg.Errors {
+		t.Errorf("%s: fixture does not type-check: %v", pkgPath, err)
+	}
+	if t.Failed() {
+		return
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("%s: %v", pkgPath, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	var keys []key
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, w.re.String())
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}

@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// detRandScope lists the packages whose output must be a pure function of
+// the configured seed: the build pipeline (bit-identical graphs across runs
+// and worker counts is a documented guarantee) and everything it calls.
+// math/rand is banned outright there — even seeded rand.New ties the output
+// to one upstream generator implementation and invites accidental use of
+// the global source; randomness must come from internal/splitmix streams
+// (or an injected seeded source), which the repo owns.
+var detRandScope = map[string]bool{
+	"gkmeans/internal/anns":      true,
+	"gkmeans/internal/bkm":       true,
+	"gkmeans/internal/closure":   true,
+	"gkmeans/internal/core":      true,
+	"gkmeans/internal/kmeans":    true,
+	"gkmeans/internal/knngraph":  true,
+	"gkmeans/internal/nndescent": true,
+	"gkmeans/internal/twomeans":  true,
+}
+
+// DetRand forbids math/rand (and math/rand/v2) in deterministic-build
+// packages, plus time.Now-derived seeding anywhere in them.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid math/rand and time-derived seeds in deterministic build packages\n\n" +
+		"The graph build and clustering guarantee bit-identical output for a\n" +
+		"fixed seed across runs and worker counts. Packages on that path must\n" +
+		"draw randomness from gkmeans/internal/splitmix streams derived from\n" +
+		"the configured seed, never from math/rand or wall-clock seeding.",
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	if !detRandScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "deterministic package %s must not import %s; derive randomness from gkmeans/internal/splitmix streams seeded by the caller",
+					pass.Pkg.Path(), path)
+			}
+		}
+	}
+	// time.Now as a seed source defeats determinism even without math/rand
+	// (e.g. splitmix.New(time.Now().UnixNano())). Flag any time.Now call
+	// whose result flows into something named like a seed — conservatively,
+	// any time.Now().Unix*/Nanosecond call chain at all: these packages take
+	// seeds from their Config and have no other business reading the clock
+	// beyond time.Since/time.Now pairs for telemetry, which use the
+	// time.Time value directly rather than converting it to an integer.
+	inspectStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "UnixNano" && name != "Unix" && name != "UnixMilli" && name != "UnixMicro" {
+			return true
+		}
+		if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok {
+			if calleePkgPath(pass.TypesInfo, inner) == "time" && calleeName(inner) == "Now" {
+				pass.Reportf(call.Pos(), "time.Now().%s is a wall-clock seed; deterministic package %s must seed from its Config",
+					name, shortPkg(pass.Pkg.Path()))
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// shortPkg trims the module prefix for terser messages.
+func shortPkg(path string) string {
+	return strings.TrimPrefix(path, "gkmeans/")
+}

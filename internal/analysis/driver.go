@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The driver loads packages the way a go/packages-based multichecker would,
+// but with only the standard library: `go list -export` supplies compiled
+// export data for every dependency (standard library included — modern
+// GOROOTs ship no .a files, so export data must come from the build cache),
+// and each target package is parsed and type-checked from source against
+// that export data. Test files are not part of `GoFiles`, so analyzers never
+// see them — the exemption the fixture suite locks in.
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	// Errors holds parse/type errors; analyzers still run on partial
+	// information, but gkvet reports these and fails.
+	Errors []error
+}
+
+// listedPackage is the subset of `go list -json` output the driver reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Name       string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json=ImportPath,Dir,Export,GoFiles,Name,Standard,Error"}, args...)...)
+	cmd.Dir = dir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, errBuf.String())
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&out)
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves imports from compiled export data. Paths are
+// looked up in the pre-populated table first (filled by `go list -export
+// -deps`), then lazily through one `go list -export` call per missing path —
+// the path the fixture harness takes for standard-library imports.
+type exportImporter struct {
+	dir     string
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+func newExportImporter(dir string, fset *token.FileSet, exports map[string]string) *exportImporter {
+	e := &exportImporter{dir: dir, exports: exports}
+	if e.exports == nil {
+		e.exports = make(map[string]string)
+	}
+	e.imp = importer.ForCompiler(fset, "gc", e.lookup)
+	return e
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.imp.Import(path)
+}
+
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	e.mu.Lock()
+	file, ok := e.exports[path]
+	e.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(e.dir, "-export", "--", path)
+		if err != nil {
+			return nil, err
+		}
+		if len(pkgs) != 1 || pkgs[0].Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		file = pkgs[0].Export
+		e.mu.Lock()
+		e.exports[path] = file
+		e.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// Load resolves patterns (e.g. "./...") relative to dir into type-checked
+// packages ready for analysis.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One -deps walk populates export data for every dependency of every
+	// target, so type-checking below never shells out per import.
+	all, err := goList(dir, append([]string{"-export", "-deps", "--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(all))
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	targets, err := goList(dir, append([]string{"--"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(dir, fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("%s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := checkPackage(fset, imp, t.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PkgPath < out[j].PkgPath })
+	return out, nil
+}
+
+// LoadFixture parses and type-checks one fixture package (the analysistest
+// harness' entry point): the files form a package with the given import
+// path, and imports resolve lazily through `go list -export` run in dir —
+// fixtures may therefore import any standard-library package, but nothing
+// else.
+func LoadFixture(dir, pkgPath string, filenames []string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := newExportImporter(dir, fset, nil)
+	return checkPackage(fset, imp, pkgPath, filenames)
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, imp types.Importer, pkgPath string, filenames []string) (*Package, error) {
+	pkg := &Package{PkgPath: pkgPath, Fset: fset}
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %v", name, err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, pkg.Files, pkg.Info)
+	if err != nil && len(pkg.Errors) == 0 {
+		pkg.Errors = append(pkg.Errors, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// diagnostics sorted by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var mu sync.Mutex
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report: func(d Diagnostic) {
+					mu.Lock()
+					diags = append(diags, d)
+					mu.Unlock()
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

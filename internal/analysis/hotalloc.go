@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc flags allocation-causing constructs inside functions annotated
+// //gk:hotpath. The search and distance kernels are allocation-free by
+// design (per-query state lives in a sync.Pool, results reuse caller
+// buffers where possible); this analyzer keeps them that way.
+//
+// Flagged inside an annotated function:
+//
+//   - any call into package fmt (formatting allocates)
+//   - non-constant string concatenation
+//   - make(map) / make(chan), new(T)
+//   - slice and map composite literals, and &T{} (heap-escaping literal)
+//   - go and defer statements
+//   - append whose base is not a reslice (x[:0]-style reuse) when it sits
+//     lexically inside a loop — growth in a loop amortises into the query
+//   - explicit conversion of a non-pointer concrete value to an interface
+//     type (boxing allocates; boxing a pointer does not)
+//
+// Deliberately allowed: make([]T, …) (the accepted per-query result
+// allocation), struct literals by value, function literals that stay local
+// (assigned to a local variable or passed as a call argument).
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "forbid allocation-causing constructs in //gk:hotpath functions\n\n" +
+		"Functions on the per-query search path and the distance kernels are\n" +
+		"annotated //gk:hotpath and must not allocate: no fmt, no string\n" +
+		"concatenation, no map/chan construction, no goroutine or defer, no\n" +
+		"un-reused append growth in loops, no value-to-interface boxing.",
+	Run: runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isHotpath(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	inspectStack([]*ast.File{wrapDecl(fn)}, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "hotpath %s starts a goroutine; move concurrency to the caller", fn.Name.Name)
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "hotpath %s defers; defer allocates a record per call on this path", fn.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if tv, ok := info.Types[ast.Expr(n)]; ok && tv.Value == nil && isString(tv.Type) {
+					pass.Reportf(n.Pos(), "hotpath %s concatenates strings at run time", fn.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[ast.Expr(n)]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "hotpath %s builds a %s literal; preallocate outside the hot path", fn.Name.Name, typeKind(tv.Type))
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "hotpath %s heap-allocates with &composite-literal", fn.Name.Name)
+				}
+			}
+		case *ast.FuncLit:
+			if escapesLocally(stack) {
+				pass.Reportf(n.Pos(), "hotpath %s creates an escaping closure", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, stack)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+	if target, ok := isConversion(info, call); ok {
+		if types.IsInterface(target) {
+			if argT, ok := info.Types[call.Args[0]]; ok && !types.IsInterface(argT.Type) && !isPointerShaped(argT.Type) {
+				pass.Reportf(call.Pos(), "hotpath %s boxes a %s into an interface", fn.Name.Name, argT.Type.String())
+			}
+		}
+		return
+	}
+	if calleePkgPath(info, call) == "fmt" {
+		pass.Reportf(call.Pos(), "hotpath %s calls fmt.%s; formatting allocates", fn.Name.Name, calleeName(call))
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj, ok := info.Uses[id].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "new":
+				pass.Reportf(call.Pos(), "hotpath %s heap-allocates with new", fn.Name.Name)
+			case "make":
+				if tv, ok := info.Types[call.Args[0]]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Map, *types.Chan:
+						pass.Reportf(call.Pos(), "hotpath %s makes a %s; preallocate outside the hot path", fn.Name.Name, typeKind(tv.Type))
+					}
+				}
+			case "append":
+				if !insideLoop(stack) {
+					return
+				}
+				if _, reslice := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !reslice {
+					pass.Reportf(call.Pos(), "hotpath %s appends inside a loop without reslicing a reused buffer (x[:0])", fn.Name.Name)
+				}
+			}
+		}
+	}
+}
+
+// wrapDecl lets inspectStack (which walks files) walk a single declaration.
+func wrapDecl(fn *ast.FuncDecl) *ast.File {
+	return &ast.File{Name: ast.NewIdent("_"), Decls: []ast.Decl{fn}}
+}
+
+// insideLoop reports whether the innermost enclosing statement chain of the
+// node (whose ancestors are stack) contains a for or range loop.
+func insideLoop(stack []ast.Node) bool {
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// escapesLocally reports whether a function literal's immediate context
+// lets it escape: anything other than being a call argument or the RHS of
+// an assignment to a plain (local) identifier.
+func escapesLocally(stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return true
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.CallExpr:
+		return false // call argument: the callee invokes it synchronously
+	case *ast.AssignStmt:
+		for _, lhs := range parent.Lhs {
+			if _, ok := ast.Unparen(lhs).(*ast.Ident); !ok {
+				return true // stored through a field/index: escapes
+			}
+		}
+		return false
+	case *ast.ReturnStmt:
+		return true
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isPointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly (pointers, maps, chans, funcs,
+// unsafe pointers) rather than heap-allocating a copy.
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func typeKind(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	case *types.Chan:
+		return "channel"
+	}
+	return t.String()
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// int32CastScope lists the packages where sample ids and on-disk fields are
+// 32 bits wide: the root package (persistence, shard fan-out), the CSR
+// search structures, the graph and the matrix wire format. A silent int →
+// int32/uint32 truncation there corrupts ids or files instead of failing.
+var int32CastScope = map[string]bool{
+	"gkmeans":                   true,
+	"gkmeans/internal/anns":     true,
+	"gkmeans/internal/knngraph": true,
+	"gkmeans/internal/vec":      true,
+}
+
+// Int32Cast flags unguarded narrowing conversions to int32/uint32 in the
+// id/persistence packages. A conversion is considered guarded when the
+// enclosing function contains an explicit bounds check mentioning
+// math.MaxInt32 or math.MaxUint32 (the idiom every persist path uses), or
+// when the value goes through gkmeans/internal/checked, whose helpers
+// panic on overflow instead of truncating.
+var Int32Cast = &Analyzer{
+	Name: "int32cast",
+	Doc: "int→int32/uint32 narrowing must be bounds-checked in id and persistence code\n\n" +
+		"Sample ids (CSR adjacency, graph lists) and .gkx header fields are 32\n" +
+		"bits. Narrowing conversions in those packages must sit in a function\n" +
+		"with an explicit math.MaxInt32/MaxUint32 bounds check, or use the\n" +
+		"panicking helpers in gkmeans/internal/checked.",
+	Run: runInt32Cast,
+}
+
+func runInt32Cast(pass *Pass) error {
+	if !int32CastScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkNarrowing(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkNarrowing(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	guarded := hasBoundsGuard(fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target, ok := isConversion(info, call)
+		if !ok || !isNarrow32(target) {
+			return true
+		}
+		argTV, ok := info.Types[call.Args[0]]
+		if !ok || argTV.Value != nil { // constants are checked by the compiler
+			return true
+		}
+		if !isWideInt(argTV.Type) {
+			return true
+		}
+		if guarded {
+			return true
+		}
+		pass.Reportf(call.Pos(), "unguarded %s(%s) narrowing in %s; bounds-check against math.%s first or use gkmeans/internal/checked",
+			target.String(), argTV.Type.String(), fn.Name.Name, maxConstFor(target))
+		return true
+	})
+}
+
+// hasBoundsGuard reports whether the function contains an if or for
+// condition that mentions math.MaxInt32 or math.MaxUint32 — the explicit
+// overflow check that makes later narrowings in the function deliberate.
+func hasBoundsGuard(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var cond ast.Expr
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			cond = n.Cond
+		case *ast.ForStmt:
+			cond = n.Cond
+		default:
+			return true
+		}
+		if cond == nil {
+			return true
+		}
+		ast.Inspect(cond, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.SelectorExpr:
+				if name := c.Sel.Name; name == "MaxInt32" || name == "MaxUint32" {
+					found = true
+				}
+			case *ast.Ident:
+				if c.Name == "MaxInt32" || c.Name == "MaxUint32" {
+					found = true
+				}
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// isNarrow32 reports whether t is int32 or uint32 (or a named type over
+// one of them).
+func isNarrow32(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Kind() == types.Int32 || b.Kind() == types.Uint32
+}
+
+// isWideInt reports whether a conversion from t to a 32-bit integer can
+// truncate: int and uint (64-bit on every platform CI gates except 386,
+// where the conversion is at least suspicious), the explicit 64-bit types,
+// and uintptr.
+func isWideInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Uint, types.Int64, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+func maxConstFor(target types.Type) string {
+	if b, ok := target.Underlying().(*types.Basic); ok && b.Kind() == types.Uint32 {
+		return "MaxUint32"
+	}
+	return "MaxInt32"
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// PoolPut checks that a function taking scratch from a sync.Pool gives it
+// back on every way out. Losing a scratch object is not a leak in the
+// garbage-collected sense, but it silently degrades the pool into an
+// allocation per query — exactly the cost the pool exists to remove.
+//
+// The check is lexical, matching how the repo writes pool code: once a
+// function calls (*sync.Pool).Get, every return statement that appears
+// after the Get must be preceded by a (*sync.Pool).Put, unless a defer
+// registers the Put instead. Early returns before the Get (argument
+// validation) are unconstrained.
+var PoolPut = &Analyzer{
+	Name: "poolput",
+	Doc: "every sync.Pool.Get must be matched by a Put before each later return\n\n" +
+		"A function that takes scratch from a pool and returns without giving\n" +
+		"it back turns the pool into an allocation per call. Put must be\n" +
+		"deferred immediately or appear before every return that follows the\n" +
+		"Get.",
+	Run: runPoolPut,
+}
+
+func runPoolPut(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fn.Name.Name, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkPoolFunc(pass *Pass, name string, body *ast.BlockStmt) {
+	var (
+		getPos   = token.NoPos
+		getName  string
+		putPos   []token.Pos
+		deferred bool
+		returns  []*ast.ReturnStmt
+	)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A nested closure is its own scope: its returns do not exit
+			// this function, and its Get/Put pairing is checked separately.
+			checkPoolFunc(pass, name+" (closure)", n.Body)
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, n)
+		case *ast.DeferStmt:
+			if isPoolCall(pass.TypesInfo, n.Call, "Put") {
+				deferred = true
+			}
+		case *ast.CallExpr:
+			if isPoolCall(pass.TypesInfo, n, "Get") {
+				if !getPos.IsValid() || n.Pos() < getPos {
+					getPos = n.Pos()
+					getName = receiverString(pass.Fset, n)
+				}
+			}
+			if isPoolCall(pass.TypesInfo, n, "Put") {
+				putPos = append(putPos, n.Pos())
+			}
+		}
+		return true
+	})
+	if !getPos.IsValid() || deferred {
+		return
+	}
+	missing := false
+	for _, ret := range returns {
+		if ret.Pos() < getPos {
+			continue // validation exit before the Get
+		}
+		ok := false
+		for _, p := range putPos {
+			if p > getPos && p < ret.Pos() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			missing = true
+			pass.Reportf(ret.Pos(), "%s returns without putting the %s scratch back (Get at %s); call Put first or defer it",
+				name, getName, pass.Fset.Position(getPos))
+		}
+	}
+	// A Get whose function has no later return and no Put at all (falls off
+	// the end) still loses the scratch.
+	if !missing && len(putPos) == 0 {
+		pass.Reportf(getPos, "%s gets from sync.Pool %s but never puts back", name, getName)
+	}
+}
+
+// isPoolCall reports whether call is (*sync.Pool).<method>.
+func isPoolCall(info *types.Info, call *ast.CallExpr, method string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "Pool"
+}
+
+// receiverString renders the receiver expression of a pool call for the
+// message ("s.scratch", "p", …).
+func receiverString(fset *token.FileSet, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "pool"
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, sel.X); err != nil {
+		return "pool"
+	}
+	return buf.String()
+}

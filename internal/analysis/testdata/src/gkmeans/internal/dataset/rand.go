@@ -1,0 +1,15 @@
+// Negative detrand fixture: gkmeans/internal/dataset generates synthetic
+// benchmark data and is not on the deterministic build path, so math/rand
+// is allowed here — no diagnostics expected.
+package dataset
+
+import "math/rand"
+
+func Noise(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}

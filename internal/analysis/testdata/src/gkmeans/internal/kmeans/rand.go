@@ -1,0 +1,23 @@
+// Positive detrand fixture: this directory poses as the deterministic
+// package gkmeans/internal/kmeans, where math/rand and wall-clock seeding
+// are banned.
+package kmeans
+
+import (
+	"math/rand" // want `deterministic package gkmeans/internal/kmeans must not import math/rand`
+	"time"
+)
+
+func shuffled(n int) []int {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Perm(n)
+}
+
+func clockSeed() int64 {
+	return time.Now().UnixNano() // want `wall-clock seed`
+}
+
+// telemetry-style use of the clock is fine: no integer conversion.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

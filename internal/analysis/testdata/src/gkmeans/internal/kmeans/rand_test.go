@@ -1,0 +1,9 @@
+// Test files are exempt from every policy: the driver loads compiled
+// GoFiles only, so this math/rand import must produce no diagnostic.
+package kmeans
+
+import "math/rand"
+
+func testOnlyHelper(n int) []int {
+	return rand.New(rand.NewSource(7)).Perm(n)
+}

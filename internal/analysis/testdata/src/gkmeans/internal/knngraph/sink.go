@@ -1,0 +1,29 @@
+// errsink fixtures: this directory poses as gkmeans/internal/knngraph,
+// a persistence package where write errors must be propagated.
+package knngraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+func dropBinary(w io.Writer, v uint32) {
+	binary.Write(w, binary.LittleEndian, v) // want `result of Write is discarded`
+}
+
+func blankError(w io.Writer, p []byte) {
+	_, _ = w.Write(p) // want `error of Write assigned to _`
+}
+
+func dropFlush(bw *bufio.Writer) {
+	bw.Flush() // want `result of Flush is discarded`
+}
+
+func propagated(w io.Writer, v uint32) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}
+
+func handled(w io.Writer, p []byte) (int, error) {
+	return w.Write(p)
+}

@@ -1,0 +1,7 @@
+// Negative int32cast fixture: gkmeans/internal/metrics is not an id or
+// persistence package, so narrowing here is out of scope — no diagnostics.
+package metrics
+
+func histogramBucket(n int) int32 {
+	return int32(n)
+}

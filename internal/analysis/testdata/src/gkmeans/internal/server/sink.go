@@ -1,0 +1,10 @@
+// Negative errsink fixture: gkmeans/internal/server streams HTTP
+// responses, where a failed response write has no durable artefact to
+// corrupt — out of scope, no diagnostics.
+package server
+
+import "io"
+
+func respond(w io.Writer, body []byte) {
+	w.Write(body)
+}

@@ -1,0 +1,39 @@
+// int32cast fixtures: this directory poses as gkmeans/internal/vec, where
+// narrowing to 32-bit id/header types must be guarded.
+package vec
+
+import "math"
+
+func unguardedInt(n int) int32 {
+	return int32(n) // want `unguarded int32\(int\) narrowing`
+}
+
+func unguardedUintFromInt64(v int64) uint32 {
+	return uint32(v) // want `unguarded uint32\(int64\) narrowing`
+}
+
+// guardedInt: the explicit MaxInt32 bounds check blesses the narrowing.
+func guardedInt(n int) int32 {
+	if int64(n) > math.MaxInt32 {
+		panic("overflow")
+	}
+	return int32(n)
+}
+
+// guardedUint: same for uint32 against MaxUint32.
+func guardedUint(n int) uint32 {
+	if n < 0 || int64(n) > math.MaxUint32 {
+		panic("overflow")
+	}
+	return uint32(n)
+}
+
+// notNarrowing: conversions between same-width or widening types are fine.
+func notNarrowing(v int32, w uint32) (int32, int64) {
+	return int32(v), int64(w)
+}
+
+// constantConversion: the compiler itself rejects out-of-range constants.
+func constantConversion() int32 {
+	return int32(1 << 10)
+}

@@ -1,0 +1,83 @@
+// hotalloc fixtures: annotated functions must be allocation-free; the same
+// constructs in unannotated functions draw no diagnostics.
+package hotalloc
+
+import "fmt"
+
+type T struct{ n int }
+
+//gk:hotpath
+func hotBad(xs []int, name string) int {
+	m := make(map[int]int) // want `makes a map`
+	_ = m
+	c := make(chan int) // want `makes a channel`
+	_ = c
+	p := new(T) // want `heap-allocates with new`
+	_ = p
+	q := &T{n: 1} // want `heap-allocates with &composite-literal`
+	_ = q
+	s := []int{1, 2}                  // want `builds a slice literal`
+	msg := fmt.Sprintf("%d", len(xs)) // want `calls fmt.Sprintf`
+	_ = msg
+	label := name + "!" // want `concatenates strings`
+	_ = label
+	v := any(T{n: 2}) // want `boxes a hotalloc.T into an interface`
+	_ = v
+	go func() {}()    // want `starts a goroutine`
+	defer func() {}() // want `defers`
+	out := 0
+	for _, x := range xs {
+		s = append(s, x) // want `appends inside a loop`
+		out += x
+	}
+	return out + len(s)
+}
+
+//gk:hotpath
+func hotClosureBad() func() int {
+	n := 0
+	return func() int { // want `escaping closure`
+		n++
+		return n
+	}
+}
+
+// hotOK shows every allowed form: result-slice make, local closures,
+// call-argument closures, reslice-reuse append in loops, append outside
+// loops, value struct literals and pointer boxing.
+//
+//gk:hotpath
+func hotOK(xs []int, buf []int) []int {
+	out := make([]int, 0, len(xs))
+	add := func(v int) { out = append(out, v) }
+	add(1)
+	each(xs, func(v int) {})
+	t := T{n: 3}
+	_ = t
+	for i := range xs {
+		buf = append(buf[:0], i)
+	}
+	_ = buf
+	return out
+}
+
+//gk:hotpath
+func hotPtrBox(t *T) any {
+	return any(t) // boxing a pointer stores it directly: allowed
+}
+
+// coldFine has no //gk:hotpath annotation, so nothing here is flagged.
+func coldFine(xs []int, name string) string {
+	m := make(map[int]int)
+	for _, x := range xs {
+		m[x] = x
+	}
+	go func() {}()
+	return fmt.Sprintf("%s:%d", name+"!", len(m))
+}
+
+func each(xs []int, fn func(int)) {
+	for _, x := range xs {
+		fn(x)
+	}
+}

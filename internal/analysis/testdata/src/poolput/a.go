@@ -1,0 +1,65 @@
+// poolput fixtures: scratch taken from a sync.Pool must go back on every
+// exit path after the Get.
+package poolput
+
+import "sync"
+
+type scratch struct{ buf []byte }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// good: validation exit before the Get is unconstrained; the one return
+// after the Get is preceded by a Put.
+func good(n int) int {
+	if n < 0 {
+		return 0
+	}
+	sc := pool.Get().(*scratch)
+	sc.buf = sc.buf[:0]
+	pool.Put(sc)
+	return n
+}
+
+// deferredPut: registering the Put with defer covers every return.
+func deferredPut(n int) int {
+	sc := pool.Get().(*scratch)
+	defer pool.Put(sc)
+	if n > 10 {
+		return n
+	}
+	return len(sc.buf)
+}
+
+// earlyEscape loses the scratch on the n > 10 path.
+func earlyEscape(n int) int {
+	sc := pool.Get().(*scratch)
+	if n > 10 {
+		return n // want `returns without putting the pool scratch back`
+	}
+	pool.Put(sc)
+	return 0
+}
+
+// neverPut takes scratch and falls off the end without returning it.
+func neverPut() {
+	sc := pool.Get().(*scratch) // want `gets from sync.Pool pool but never puts back`
+	sc.buf = nil
+}
+
+// closureScoped: the inner closure's returns do not exit the outer
+// function; the outer Get/Put pair is complete, so no diagnostics.
+func closureScoped(xs []int) int {
+	sc := pool.Get().(*scratch)
+	pick := func(v int) int {
+		if v > 0 {
+			return v
+		}
+		return -v
+	}
+	total := 0
+	for _, x := range xs {
+		total += pick(x)
+	}
+	pool.Put(sc)
+	return total
+}

@@ -17,6 +17,8 @@ func (s *Searcher) CloneForConcurrent() *Searcher { return s }
 // per query. workers <= 0 selects GOMAXPROCS. The flat CSR adjacency is
 // built once in NewSearcher and shared read-only across workers; per-query
 // scratch is recycled through the searcher's pool.
+//
+//gk:hotpath
 func BatchSearch(s *Searcher, queries *vec.Matrix, topK, ef, workers int) [][]knngraph.Neighbor {
 	out := make([][]knngraph.Neighbor, queries.N)
 	parallel.For(queries.N, workers, func(lo, hi int) {

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"gkmeans/internal/checked"
 	"gkmeans/internal/knngraph"
 	"gkmeans/internal/parallel"
 	"gkmeans/internal/vec"
@@ -108,6 +109,11 @@ func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, er
 	}
 	if data.N == 0 {
 		return nil, fmt.Errorf("anns: empty dataset")
+	}
+	// Ids are int32 end to end (graph lists, CSR, results); a larger dataset
+	// cannot be addressed and must be rejected, not truncated.
+	if int64(data.N) > math.MaxInt32 {
+		return nil, fmt.Errorf("anns: dataset has %d rows; ids are int32", data.N)
 	}
 	if nEntry <= 0 {
 		nEntry = 16
@@ -191,6 +197,8 @@ func (s *Searcher) buildCSR() error {
 }
 
 // adjacency returns node id's neighbour ids (a CSR row).
+//
+//gk:hotpath
 func (s *Searcher) adjacency(id int32) []int32 {
 	return s.neighbors[s.offsets[id]:s.offsets[id+1]]
 }
@@ -217,7 +225,7 @@ func (s *Searcher) components() []int32 {
 		if comp[i] >= 0 {
 			continue
 		}
-		stack = append(stack[:0], int32(i))
+		stack = append(stack[:0], checked.Int32(i))
 		comp[i] = next
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
@@ -241,6 +249,8 @@ func (s *Searcher) components() []int32 {
 // the best unexpanded candidate can no longer improve the current top-topK
 // and a further patience window of expansions has not improved them either
 // (see the package comment). Safe to call from any goroutine.
+//
+//gk:hotpath
 func (s *Searcher) Search(q []float32, topK, ef int) []knngraph.Neighbor {
 	res, _ := s.search(q, topK, ef, false)
 	return res
@@ -256,6 +266,8 @@ func (s *Searcher) Totals() (queries, dist, expanded uint64) {
 // search runs one query. exhaust disables early termination (the
 // expand-the-whole-pool baseline) — kept for the regression tests that
 // prove the early exit bounds work without costing recall.
+//
+//gk:hotpath
 func (s *Searcher) search(q []float32, topK, ef int, exhaust bool) ([]knngraph.Neighbor, Stats) {
 	var st Stats
 	if topK <= 0 {
@@ -457,7 +469,7 @@ func ExactTruth(data, queries *vec.Matrix, k, workers int) [][]int32 {
 					best = append(best, pair{})
 				}
 				copy(best[pos+1:], best[pos:len(best)-1])
-				best[pos] = pair{int32(i), d}
+				best[pos] = pair{checked.Int32(i), d}
 			}
 			ids := make([]int32, len(best))
 			for i, p := range best {

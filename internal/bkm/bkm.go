@@ -15,7 +15,7 @@ package bkm
 
 import (
 	"fmt"
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"time"
 
 	"gkmeans/internal/kmeans"
@@ -267,7 +267,7 @@ func Cluster(data *vec.Matrix, cfg Config) (*kmeans.Result, error) {
 	if maxIter <= 0 {
 		maxIter = 100
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 	start := time.Now()
 	labels := make([]int, data.N)
 	if cfg.InitLabels != nil {

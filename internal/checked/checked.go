@@ -1,0 +1,36 @@
+// Package checked provides overflow-guarded integer narrowing for the
+// persistence and CSR layers, where int values (sample counts, row offsets,
+// cluster ids) are stored as int32/uint32 on disk and in flat adjacency
+// arrays. A raw conversion silently truncates; these helpers panic with a
+// clear message instead, turning a would-be data-corruption bug into an
+// immediate, attributable failure.
+//
+// The values passed here are bounded by construction — Build and NewIndex
+// refuse datasets with more than MaxInt32 rows, and everything narrowed
+// downstream (labels, shard rows, list lengths) is bounded by the row count
+// — so the panics are unreachable invariant assertions, not error handling.
+// The gkvet int32cast analyzer enforces that every narrowing conversion on
+// the persist and CSR paths either sits behind an explicit bounds check or
+// goes through this package.
+package checked
+
+import (
+	"fmt"
+	"math"
+)
+
+// Int32 narrows v to int32, panicking if the value does not fit.
+func Int32[T ~int | ~int64](v T) int32 {
+	if int64(v) < math.MinInt32 || int64(v) > math.MaxInt32 {
+		panic(fmt.Sprintf("checked: value %d overflows int32", int64(v)))
+	}
+	return int32(v)
+}
+
+// U32 narrows v to uint32, panicking if the value is negative or too large.
+func U32[T ~int | ~int64](v T) uint32 {
+	if v < 0 || int64(v) > math.MaxUint32 {
+		panic(fmt.Sprintf("checked: value %d overflows uint32", int64(v)))
+	}
+	return uint32(v)
+}

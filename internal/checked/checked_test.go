@@ -1,0 +1,51 @@
+package checked
+
+import (
+	"math"
+	"testing"
+)
+
+func TestInt32InRange(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, math.MaxInt32, math.MinInt32} {
+		if got := Int32(v); int64(got) != v {
+			t.Errorf("Int32(%d) = %d", v, got)
+		}
+	}
+	if got := Int32(int(42)); got != 42 {
+		t.Errorf("Int32(int) = %d", got)
+	}
+}
+
+func TestU32InRange(t *testing.T) {
+	for _, v := range []int64{0, 1, math.MaxUint32} {
+		if got := U32(v); int64(got) != v {
+			t.Errorf("U32(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestInt32Overflow(t *testing.T) {
+	for _, v := range []int64{math.MaxInt32 + 1, math.MinInt32 - 1, math.MaxInt64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Int32(%d) did not panic", v)
+				}
+			}()
+			Int32(v)
+		}()
+	}
+}
+
+func TestU32Overflow(t *testing.T) {
+	for _, v := range []int64{-1, math.MaxUint32 + 1, math.MaxInt64, math.MinInt64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("U32(%d) did not panic", v)
+				}
+			}()
+			U32(v)
+		}()
+	}
+}

@@ -2,13 +2,17 @@ package closure
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"gkmeans/internal/kmeans"
 	"gkmeans/internal/metrics"
+	"gkmeans/internal/splitmix"
 	"gkmeans/internal/vec"
 )
+
+// saltCluster decorrelates the clustering stream from the RP-tree ensemble
+// streams derived from the same seed (see saltTree in rptree.go).
+const saltCluster uint64 = 0x434c5553 // "CLUS"
 
 // Config controls closure k-means.
 type Config struct {
@@ -42,10 +46,10 @@ func Cluster(data *vec.Matrix, cfg Config) (*kmeans.Result, error) {
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed, saltCluster)
 
 	start := time.Now()
-	ens := BuildEnsemble(data, trees, leaf, cfg.Seed+1)
+	ens := BuildEnsemble(data, trees, leaf, cfg.Seed)
 
 	// Seed selection and seed-restricted initial assignment.
 	seedOf := make(map[int32]int, cfg.K) // sample index -> cluster id
@@ -125,7 +129,7 @@ func Cluster(data *vec.Matrix, cfg Config) (*kmeans.Result, error) {
 				moves++
 			}
 		}
-		rebuildCentroids(data, labels, centroids, rng)
+		rebuildCentroids(data, labels, centroids, &rng)
 		res.Iters = iter + 1
 		if cfg.Trace {
 			res.History = append(res.History, kmeans.IterStat{
@@ -148,7 +152,7 @@ func Cluster(data *vec.Matrix, cfg Config) (*kmeans.Result, error) {
 
 // rebuildCentroids recomputes centroids in place; empty clusters are
 // reseeded on random samples from oversized clusters.
-func rebuildCentroids(data *vec.Matrix, labels []int, centroids *vec.Matrix, rng *rand.Rand) {
+func rebuildCentroids(data *vec.Matrix, labels []int, centroids *vec.Matrix, rng *splitmix.Stream) {
 	k, d := centroids.N, centroids.Dim
 	sums := make([]float64, k*d)
 	counts := make([]int, k)

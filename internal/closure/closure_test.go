@@ -1,7 +1,7 @@
 package closure
 
 import (
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"testing"
 
 	"gkmeans/internal/dataset"
@@ -12,7 +12,8 @@ import (
 
 func TestBuildPartitionCoversAllPoints(t *testing.T) {
 	data := dataset.SIFTLike(300, 1)
-	p := BuildPartition(data, 20, rand.New(rand.NewSource(1)))
+	rng := splitmix.New(1)
+	p := BuildPartition(data, 20, &rng)
 	seen := make([]bool, data.N)
 	total := 0
 	for c, cell := range p.Cells {
@@ -45,7 +46,8 @@ func TestBuildPartitionDuplicateData(t *testing.T) {
 		rows[i] = []float32{1, 2, 3, 4}
 	}
 	m := vec.FromRows(rows)
-	p := BuildPartition(m, 10, rand.New(rand.NewSource(2)))
+	rng := splitmix.New(2)
+	p := BuildPartition(m, 10, &rng)
 	total := 0
 	for _, cell := range p.Cells {
 		total += len(cell)
@@ -107,7 +109,7 @@ func TestClusterRecoversSeparatedBlobs(t *testing.T) {
 	if err := res.Validate(data.N); err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(9))
+	rng := splitmix.New(9)
 	agree, total := 0, 0
 	for trial := 0; trial < 20000; trial++ {
 		i, j := rng.Intn(data.N), rng.Intn(data.N)

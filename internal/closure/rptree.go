@@ -9,11 +9,15 @@
 package closure
 
 import (
-	"math/rand"
 	"sort"
 
+	"gkmeans/internal/splitmix"
 	"gkmeans/internal/vec"
 )
+
+// saltTree tags the per-tree splitmix streams of BuildEnsemble so tree t of
+// seed s can never collide with another derivation from the same seed.
+const saltTree uint64 = 0x54524545 // "TREE"
 
 // Partition assigns every sample to a leaf cell of one random-projection
 // tree: Cells[c] lists the member indices of cell c and CellOf[i] is the
@@ -27,7 +31,7 @@ type Partition struct {
 // directions at the median until every cell has at most leafSize members.
 // Random projections adapt to high-dimensional data where coordinate-axis
 // splits (KD trees) fail — the curse-of-dimensionality point made in §2.1.
-func BuildPartition(data *vec.Matrix, leafSize int, rng *rand.Rand) *Partition {
+func BuildPartition(data *vec.Matrix, leafSize int, rng *splitmix.Stream) *Partition {
 	if leafSize < 1 {
 		leafSize = 1
 	}
@@ -89,11 +93,13 @@ type Ensemble struct {
 }
 
 // BuildEnsemble builds m independent partitions with the given leaf size.
+// Each tree draws from its own splitmix stream derived from (seed, t), so
+// the ensemble is reproducible from the seed alone.
 func BuildEnsemble(data *vec.Matrix, m, leafSize int, seed int64) *Ensemble {
 	e := &Ensemble{Parts: make([]*Partition, m)}
 	for t := 0; t < m; t++ {
-		rng := rand.New(rand.NewSource(seed + int64(t)*7919))
-		e.Parts[t] = BuildPartition(data, leafSize, rng)
+		rng := splitmix.New(seed, saltTree, uint64(t))
+		e.Parts[t] = BuildPartition(data, leafSize, &rng)
 	}
 	return e
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"sync/atomic"
 
 	"gkmeans/internal/knngraph"
@@ -16,6 +16,10 @@ const (
 	BuilderGKMeans   = "gkmeans"   // the paper's intertwined process (Alg. 3); the default
 	BuilderNNDescent = "nndescent" // the KGraph baseline (Dong et al., WWW 2011)
 )
+
+// saltRounds tags the stream that draws the per-round clustering seeds of
+// BuildGraph, decorrelating it from every other derivation of cfg.Seed.
+const saltRounds uint64 = 0x524e4453 // "RNDS"
 
 // GraphConfig controls the intertwined k-NN graph construction (Alg. 3).
 // The paper's defaults (§4.4): Tau=10, Xi=50, Kappa=50; Tau up to 32 when
@@ -113,7 +117,9 @@ func buildIntertwined(data *vec.Matrix, cfg GraphConfig) (*knngraph.Graph, Graph
 	// Alg. 3 line 4: random initial graph, built across the worker pool.
 	g, initComps := knngraph.RandomN(data, kappa, cfg.Seed, cfg.Workers)
 	var refineComps atomic.Int64
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	// Per-round clustering seeds come from a stream salted away from the
+	// initial-graph streams derived from the same cfg.Seed inside RandomN.
+	rng := splitmix.New(cfg.Seed, saltRounds)
 	for t := 0; t < tau; t++ {
 		if cfg.Interrupt != nil {
 			if err := cfg.Interrupt(); err != nil {

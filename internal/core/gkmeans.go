@@ -13,7 +13,7 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"time"
 
 	"gkmeans/internal/bkm"
@@ -68,7 +68,7 @@ func Cluster(data *vec.Matrix, g *knngraph.Graph, cfg Config) (*Result, error) {
 	if maxIter <= 0 {
 		maxIter = 50
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 
 	// Alg. 2 line 3: initial clusters from the two-means tree.
 	start := time.Now()
@@ -88,9 +88,9 @@ func Cluster(data *vec.Matrix, g *knngraph.Graph, cfg Config) (*Result, error) {
 	initTime := time.Since(start)
 
 	if cfg.Traditional {
-		return clusterTraditional(data, g, cfg, labels, initTime, maxIter, rng)
+		return clusterTraditional(data, g, cfg, labels, initTime, maxIter, &rng)
 	}
-	return clusterBoost(data, g, cfg, labels, initTime, maxIter, rng)
+	return clusterBoost(data, g, cfg, labels, initTime, maxIter, &rng)
 }
 
 func graphN(g *knngraph.Graph) int {
@@ -135,7 +135,7 @@ func (c *candidateCollector) collect(g *knngraph.Graph, labels []int, i, cur int
 // clusterBoost is the standard GK-means: boost k-means moves restricted to
 // graph candidates.
 func clusterBoost(data *vec.Matrix, g *knngraph.Graph, cfg Config, labels []int,
-	initTime time.Duration, maxIter int, rng *rand.Rand) (*Result, error) {
+	initTime time.Duration, maxIter int, rng *splitmix.Stream) (*Result, error) {
 
 	o, err := bkm.NewOptimizer(data, labels, cfg.K)
 	if err != nil {
@@ -199,7 +199,7 @@ func clusterBoost(data *vec.Matrix, g *knngraph.Graph, cfg Config, labels []int,
 // Centroids are maintained incrementally across moves and recomputed
 // exactly at the end of each epoch to wash float drift.
 func clusterTraditional(data *vec.Matrix, g *knngraph.Graph, cfg Config, labels []int,
-	initTime time.Duration, maxIter int, rng *rand.Rand) (*Result, error) {
+	initTime time.Duration, maxIter int, rng *splitmix.Stream) (*Result, error) {
 
 	n := data.N
 	centroids := metrics.Centroids(data, labels, cfg.K)

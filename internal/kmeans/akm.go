@@ -1,7 +1,7 @@
 package kmeans
 
 import (
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"time"
 
 	"gkmeans/internal/kdtree"
@@ -44,13 +44,13 @@ func AKM(data *vec.Matrix, cfg AKMConfig) (*Result, error) {
 	if leaf <= 0 {
 		leaf = 8
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 	start := time.Now()
 	var centroids *vec.Matrix
 	if cfg.PlusPlus {
-		centroids = PlusPlusSeed(data, cfg.K, rng)
+		centroids = PlusPlusSeed(data, cfg.K, &rng)
 	} else {
-		centroids = RandomSeed(data, cfg.K, rng)
+		centroids = RandomSeed(data, cfg.K, &rng)
 	}
 	initTime := time.Since(start)
 	labels := make([]int, data.N)
@@ -80,7 +80,7 @@ func AKM(data *vec.Matrix, cfg AKMConfig) (*Result, error) {
 		for _, m := range moveCount {
 			moves += m
 		}
-		updateCentroids(data, labels, centroids, rng)
+		updateCentroids(data, labels, centroids, &rng)
 		res.Iters = iter + 1
 		if cfg.Trace {
 			res.History = append(res.History, IterStat{

@@ -3,7 +3,7 @@ package kmeans
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"time"
 
 	"gkmeans/internal/metrics"
@@ -24,7 +24,7 @@ func Bisecting(data *vec.Matrix, cfg Config) (*Result, error) {
 	if err := cfg.check(data.N); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 	start := time.Now()
 
 	all := make([]int, data.N)
@@ -39,7 +39,7 @@ func Bisecting(data *vec.Matrix, cfg Config) (*Result, error) {
 			heap.Push(h, top)
 			return nil, fmt.Errorf("kmeans: bisecting cannot split singleton (k=%d, n=%d)", cfg.K, data.N)
 		}
-		left, right := twoMeansSplit(data, top.members, cfg.maxIter(), rng)
+		left, right := twoMeansSplit(data, top.members, cfg.maxIter(), &rng)
 		if len(left) == 0 || len(right) == 0 {
 			// Degenerate split (identical points): force an arbitrary cut
 			// so progress is guaranteed.
@@ -101,7 +101,7 @@ func clusterSSE(data *vec.Matrix, members []int) float64 {
 
 // twoMeansSplit runs plain 2-means (Lloyd at k=2) on the members and
 // returns the two sides.
-func twoMeansSplit(data *vec.Matrix, members []int, maxIter int, rng *rand.Rand) (left, right []int) {
+func twoMeansSplit(data *vec.Matrix, members []int, maxIter int, rng *splitmix.Stream) (left, right []int) {
 	// Seed with two distinct random members.
 	a := members[rng.Intn(len(members))]
 	b := a

@@ -1,8 +1,8 @@
 package kmeans
 
 import (
+	"gkmeans/internal/splitmix"
 	"math"
-	"math/rand"
 	"time"
 
 	"gkmeans/internal/metrics"
@@ -20,13 +20,13 @@ func Hamerly(data *vec.Matrix, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	n, k := data.N, cfg.K
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 	start := time.Now()
 	var centroids *vec.Matrix
 	if cfg.PlusPlus {
-		centroids = PlusPlusSeed(data, k, rng)
+		centroids = PlusPlusSeed(data, k, &rng)
 	} else {
-		centroids = RandomSeed(data, k, rng)
+		centroids = RandomSeed(data, k, &rng)
 	}
 	initTime := time.Since(start)
 	iterStart := time.Now()

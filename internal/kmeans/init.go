@@ -1,13 +1,12 @@
 package kmeans
 
 import (
-	"math/rand"
-
+	"gkmeans/internal/splitmix"
 	"gkmeans/internal/vec"
 )
 
 // RandomSeed picks k distinct rows of data as initial centroids.
-func RandomSeed(data *vec.Matrix, k int, rng *rand.Rand) *vec.Matrix {
+func RandomSeed(data *vec.Matrix, k int, rng *splitmix.Stream) *vec.Matrix {
 	perm := rng.Perm(data.N)
 	c := vec.NewMatrix(k, data.Dim)
 	for r := 0; r < k; r++ {
@@ -21,7 +20,7 @@ func RandomSeed(data *vec.Matrix, k int, rng *rand.Rand) *vec.Matrix {
 // distance to the nearest centre chosen so far. O(n·k·d) in this direct
 // form — the paper notes the k scanning rounds as the cost of careful
 // seeding, which is why GK-means initialises with a 2M tree instead.
-func PlusPlusSeed(data *vec.Matrix, k int, rng *rand.Rand) *vec.Matrix {
+func PlusPlusSeed(data *vec.Matrix, k int, rng *splitmix.Stream) *vec.Matrix {
 	n := data.N
 	c := vec.NewMatrix(k, data.Dim)
 	copy(c.Row(0), data.Row(rng.Intn(n)))

@@ -1,8 +1,8 @@
 package kmeans
 
 import (
+	"gkmeans/internal/splitmix"
 	"math"
-	"math/rand"
 	"testing"
 
 	"gkmeans/internal/dataset"
@@ -37,7 +37,7 @@ func TestLloydRecoversSeparatedClusters(t *testing.T) {
 // pairAgreement measures how often two samples from the same latent
 // component share a predicted cluster (sampled Rand-index style check).
 func pairAgreement(pred, truth []int) float64 {
-	rng := rand.New(rand.NewSource(9))
+	rng := splitmix.New(9)
 	agree, total := 0, 0
 	for trial := 0; trial < 20000; trial++ {
 		i, j := rng.Intn(len(pred)), rng.Intn(len(pred))
@@ -109,8 +109,8 @@ func TestLloydKeepsAllClustersNonEmpty(t *testing.T) {
 
 func TestPlusPlusSpreadsSeeds(t *testing.T) {
 	data, _ := separated(400, 8, 4, 8)
-	rng := rand.New(rand.NewSource(1))
-	c := PlusPlusSeed(data, 4, rng)
+	rng := splitmix.New(1)
+	c := PlusPlusSeed(data, 4, &rng)
 	// Seeds should hit distinct blobs: pairwise distances all large.
 	for a := 0; a < 4; a++ {
 		for b := a + 1; b < 4; b++ {
@@ -129,8 +129,8 @@ func TestPlusPlusDuplicateData(t *testing.T) {
 		rows[i] = []float32{1, 2, 3}
 	}
 	data := vec.FromRows(rows)
-	rng := rand.New(rand.NewSource(2))
-	c := PlusPlusSeed(data, 3, rng)
+	rng := splitmix.New(2)
+	c := PlusPlusSeed(data, 3, &rng)
 	if c.N != 3 {
 		t.Fatalf("got %d seeds", c.N)
 	}
@@ -138,8 +138,8 @@ func TestPlusPlusDuplicateData(t *testing.T) {
 
 func TestRandomSeedDistinctRows(t *testing.T) {
 	data := dataset.Uniform(50, 4, 3)
-	rng := rand.New(rand.NewSource(3))
-	c := RandomSeed(data, 50, rng)
+	rng := splitmix.New(3)
+	c := RandomSeed(data, 50, &rng)
 	seen := map[int]bool{}
 	for r := 0; r < 50; r++ {
 		found := -1

@@ -1,7 +1,7 @@
 package kmeans
 
 import (
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"time"
 
 	"gkmeans/internal/metrics"
@@ -17,13 +17,13 @@ func Lloyd(data *vec.Matrix, cfg Config) (*Result, error) {
 	if err := cfg.check(data.N); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 	start := time.Now()
 	var centroids *vec.Matrix
 	if cfg.PlusPlus {
-		centroids = PlusPlusSeed(data, cfg.K, rng)
+		centroids = PlusPlusSeed(data, cfg.K, &rng)
 	} else {
-		centroids = RandomSeed(data, cfg.K, rng)
+		centroids = RandomSeed(data, cfg.K, &rng)
 	}
 	initTime := time.Since(start)
 	labels := make([]int, data.N)
@@ -34,7 +34,7 @@ func Lloyd(data *vec.Matrix, cfg Config) (*Result, error) {
 	iterStart := time.Now()
 	for iter := 0; iter < cfg.maxIter(); iter++ {
 		moves := assignNearest(data, centroids, labels, cfg.Workers)
-		updateCentroids(data, labels, centroids, rng)
+		updateCentroids(data, labels, centroids, &rng)
 		res.Iters = iter + 1
 		if cfg.Trace {
 			res.History = append(res.History, IterStat{
@@ -77,7 +77,7 @@ func assignNearest(data *vec.Matrix, centroids *vec.Matrix, labels []int, worker
 // updateCentroids recomputes centroids as member means. An empty cluster is
 // repaired by reseeding it on the sample farthest from its centroid, the
 // standard Lloyd rescue that keeps k clusters alive.
-func updateCentroids(data *vec.Matrix, labels []int, centroids *vec.Matrix, rng *rand.Rand) {
+func updateCentroids(data *vec.Matrix, labels []int, centroids *vec.Matrix, rng *splitmix.Stream) {
 	k := centroids.N
 	d := centroids.Dim
 	sums := make([]float64, k*d)
@@ -110,7 +110,7 @@ func updateCentroids(data *vec.Matrix, labels []int, centroids *vec.Matrix, rng 
 
 // reseedEmpty moves centroid r onto the sample farthest from its current
 // centroid among a random probe set, and reassigns that sample.
-func reseedEmpty(data *vec.Matrix, labels []int, centroids *vec.Matrix, counts []int, r int, rng *rand.Rand) {
+func reseedEmpty(data *vec.Matrix, labels []int, centroids *vec.Matrix, counts []int, r int, rng *splitmix.Stream) {
 	probes := 64
 	if probes > data.N {
 		probes = data.N

@@ -2,7 +2,7 @@ package kmeans
 
 import (
 	"fmt"
-	"math/rand"
+	"gkmeans/internal/splitmix"
 	"time"
 
 	"gkmeans/internal/metrics"
@@ -32,13 +32,13 @@ func MiniBatch(data *vec.Matrix, cfg MiniBatchConfig) (*Result, error) {
 	if b > data.N {
 		b = data.N
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 	start := time.Now()
 	var centroids *vec.Matrix
 	if cfg.PlusPlus {
-		centroids = PlusPlusSeed(data, cfg.K, rng)
+		centroids = PlusPlusSeed(data, cfg.K, &rng)
 	} else {
-		centroids = RandomSeed(data, cfg.K, rng)
+		centroids = RandomSeed(data, cfg.K, &rng)
 	}
 	initTime := time.Since(start)
 	counts := make([]int, cfg.K)

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sync/atomic"
 
+	"gkmeans/internal/checked"
 	"gkmeans/internal/parallel"
 	"gkmeans/internal/splitmix"
 	"gkmeans/internal/vec"
@@ -51,7 +52,7 @@ func (g *Graph) N() int { return len(g.Lists) }
 // capped at Kappa entries; an id already present is ignored (the "visited"
 // check of Alg. 3 — an edge is never scored twice), as are self-edges.
 func (g *Graph) Insert(i int, id int32, dist float32) bool {
-	if int32(i) == id {
+	if i == int(id) {
 		return false
 	}
 	list := g.Lists[i]
@@ -202,7 +203,7 @@ func RandomN(data *vec.Matrix, kappa int, seed int64, workers int) (*Graph, int6
 		for i := lo; i < hi; i++ {
 			rng := splitmix.New(seed, saltRandom, uint64(i))
 			for len(g.Lists[i]) < kappa {
-				j := int32(rng.Intn(n))
+				j := checked.Int32(rng.Intn(n))
 				if int(j) == i {
 					continue
 				}
@@ -233,7 +234,7 @@ func BruteForce(data *vec.Matrix, kappa int, workers int) *Graph {
 				if j == i {
 					continue
 				}
-				g.Insert(i, int32(j), vec.L2Sqr(row, data.Row(j)))
+				g.Insert(i, checked.Int32(j), vec.L2Sqr(row, data.Row(j)))
 			}
 		}
 	})
@@ -274,13 +275,13 @@ const graphMagic = uint32(0x474b4e4e) // "GKNN"
 // Write serialises the graph in a compact little-endian binary format.
 func (g *Graph) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	for _, v := range []uint32{graphMagic, uint32(g.N()), uint32(g.Kappa)} {
+	for _, v := range []uint32{graphMagic, checked.U32(g.N()), checked.U32(g.Kappa)} {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
 	for _, list := range g.Lists {
-		if err := binary.Write(bw, binary.LittleEndian, uint32(len(list))); err != nil {
+		if err := binary.Write(bw, binary.LittleEndian, checked.U32(len(list))); err != nil {
 			return err
 		}
 		if err := binary.Write(bw, binary.LittleEndian, list); err != nil {

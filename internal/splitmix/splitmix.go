@@ -12,6 +12,8 @@
 // draws.
 package splitmix
 
+import "math"
+
 const (
 	gamma = 0x9e3779b97f4a7c15 // golden-ratio increment of splitmix64
 	mult1 = 0xbf58476d1ce4e5b9
@@ -70,4 +72,32 @@ func (s *Stream) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {
 		swap(i, s.Intn(i+1))
 	}
+}
+
+// Int63 returns a uniform non-negative int64 — the shape rand.Source
+// exposes, kept for deriving child seeds from a parent stream.
+func (s *Stream) Int63() int64 {
+	return int64(s.Uint64() >> 1)
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// NormFloat64 returns a standard-normal draw via the Box-Muller transform.
+// Unlike math/rand's ziggurat it needs no precomputed tables and its output
+// is a pure function of the stream state, which keeps cross-version
+// reproducibility trivial; the two uniforms per draw are irrelevant next to
+// the vector arithmetic the callers (random projections) do per draw.
+func (s *Stream) NormFloat64() float64 {
+	// u must be strictly positive for the log; Float64 returns [0,1).
+	u := 1 - s.Float64()
+	v := s.Float64()
+	return math.Sqrt(-2*math.Log(u)) * math.Cos(2*math.Pi*v)
 }

@@ -89,3 +89,53 @@ func TestIntnPanicsOnBadN(t *testing.T) {
 	s := New(1)
 	s.Intn(0)
 }
+
+func TestPerm(t *testing.T) {
+	s := New(7)
+	p := s.Perm(100)
+	if len(p) != 100 {
+		t.Fatalf("Perm(100) returned %d elements", len(p))
+	}
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+	s2 := New(7)
+	p2 := s2.Perm(100)
+	for i := range p {
+		if p[i] != p2[i] {
+			t.Fatalf("Perm not deterministic at %d", i)
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63(); v < 0 {
+			t.Fatalf("Int63 returned negative %d", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if mean < -0.02 || mean > 0.02 {
+		t.Errorf("NormFloat64 mean %f, want ~0", mean)
+	}
+	if variance < 0.97 || variance > 1.03 {
+		t.Errorf("NormFloat64 variance %f, want ~1", variance)
+	}
+}

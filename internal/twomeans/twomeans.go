@@ -13,10 +13,10 @@ package twomeans
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"gkmeans/internal/bkm"
+	"gkmeans/internal/splitmix"
 	"gkmeans/internal/vec"
 )
 
@@ -57,7 +57,7 @@ func Cluster(data *vec.Matrix, cfg Config) ([]int, error) {
 	if cfg.K > data.N {
 		return nil, fmt.Errorf("twomeans: k=%d exceeds n=%d", cfg.K, data.N)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := splitmix.New(cfg.Seed)
 	all := make([]int, data.N)
 	for i := range all {
 		all[i] = i
@@ -74,7 +74,7 @@ func Cluster(data *vec.Matrix, cfg Config) ([]int, error) {
 			heap.Push(h, top)
 			return nil, fmt.Errorf("twomeans: cannot split singleton cluster (k=%d, n=%d)", cfg.K, data.N)
 		}
-		left, right := bisect(data, top.members, cfg, rng)
+		left, right := bisect(data, top.members, cfg, &rng)
 		heap.Push(h, &cluster{members: left})
 		heap.Push(h, &cluster{members: right})
 	}
@@ -90,7 +90,7 @@ func Cluster(data *vec.Matrix, cfg Config) ([]int, error) {
 // bisect splits members into two equally sized halves: a short BKM run at
 // k=2 finds the two-centre structure, then the equal-size adjustment of
 // Alg. 1 line 9 rebalances on the signed distance difference.
-func bisect(data *vec.Matrix, members []int, cfg Config, rng *rand.Rand) (left, right []int) {
+func bisect(data *vec.Matrix, members []int, cfg Config, rng *splitmix.Stream) (left, right []int) {
 	sub := data.SubsetRows(members)
 	labels := make([]int, sub.N)
 	// Random balanced initial split.

@@ -6,6 +6,8 @@ package vec
 // for essentially all of the clustering run time.
 
 // Dot returns the inner product a·b. The slices must have equal length.
+//
+//gk:hotpath
 func Dot(a, b []float32) float32 {
 	var s0, s1, s2, s3 float32
 	n := len(a)
@@ -24,6 +26,8 @@ func Dot(a, b []float32) float32 {
 }
 
 // L2Sqr returns the squared Euclidean distance ‖a−b‖².
+//
+//gk:hotpath
 func L2Sqr(a, b []float32) float32 {
 	var s0, s1, s2, s3 float32
 	n := len(a)
@@ -60,6 +64,8 @@ const abandonBlock = 32
 //
 // When the full distance is below bound the accumulation order matches
 // L2Sqr exactly, so the returned value is bit-identical to L2Sqr(a, b).
+//
+//gk:hotpath
 func L2SqrBound(a, b []float32, bound float32) float32 {
 	var s0, s1, s2, s3 float32
 	n := len(a)
@@ -95,6 +101,8 @@ func L2SqrBound(a, b []float32, bound float32) float32 {
 // vector. Boost k-means keeps cluster composite vectors in float64 (they
 // are mutated incrementally millions of times and would drift in float32)
 // while samples stay float32; this kernel is its inner loop.
+//
+//gk:hotpath
 func DotMixed(a []float64, b []float32) float64 {
 	var s0, s1, s2, s3 float64
 	n := len(a)
@@ -114,6 +122,8 @@ func DotMixed(a []float64, b []float32) float64 {
 
 // NearestRow returns the index of the row of m closest (squared Euclidean)
 // to q and that distance. It panics on an empty matrix.
+//
+//gk:hotpath
 func NearestRow(m *Matrix, q []float32) (int, float32) {
 	if m.N == 0 {
 		panic("vec: NearestRow on empty matrix")

@@ -18,6 +18,12 @@ const ioChunk = 16384 // float32 values per chunk (64 KiB)
 
 // WriteMatrix serialises m to w and returns the number of bytes written.
 func WriteMatrix(w io.Writer, m *Matrix) (int64, error) {
+	// The header stores both dimensions as uint32; a larger matrix would
+	// round-trip silently truncated, so refuse it outright. ReadMatrix
+	// additionally caps N and Dim at MaxInt32.
+	if m.N < 0 || int64(m.N) > math.MaxUint32 || m.Dim < 0 || int64(m.Dim) > math.MaxUint32 {
+		return 0, fmt.Errorf("vec: matrix shape %d×%d does not fit the uint32 header", m.N, m.Dim)
+	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.N))
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Dim))
@@ -59,23 +65,33 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 	}
 	// Plausibility cap before allocating from an untrusted header: a corrupt
 	// file must fail with an error, not an OOM crash. 1 TiB of payload.
-	if int64(n)*int64(d) > (1<<40)/4 {
+	total := int64(n) * int64(d)
+	if total > (1<<40)/4 {
 		return nil, fmt.Errorf("vec: implausible matrix shape %d×%d", n, d)
 	}
-	m := NewMatrix(n, d)
+	// The shape is still untrusted: grow the payload with the bytes that
+	// actually arrive instead of allocating n×d up front, so a lying header
+	// over a short stream fails at EOF having allocated one chunk, not
+	// gigabytes (repeatedly zeroing huge reused spans is also what a fuzzer
+	// would otherwise spend all its time on).
+	capHint := total
+	if capHint > ioChunk {
+		capHint = ioChunk
+	}
+	data := make([]float32, 0, capHint)
 	buf := make([]byte, 4*ioChunk)
-	for off := 0; off < len(m.Data); off += ioChunk {
+	for off := int64(0); off < total; off += ioChunk {
 		end := off + ioChunk
-		if end > len(m.Data) {
-			end = len(m.Data)
+		if end > total {
+			end = total
 		}
 		chunk := buf[:4*(end-off)]
 		if _, err := io.ReadFull(r, chunk); err != nil {
 			return nil, fmt.Errorf("vec: reading matrix payload: %w", err)
 		}
-		for i := range m.Data[off:end] {
-			m.Data[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(chunk[4*i:]))
+		for i := 0; i < len(chunk); i += 4 {
+			data = append(data, math.Float32frombits(binary.LittleEndian.Uint32(chunk[i:])))
 		}
 	}
-	return m, nil
+	return &Matrix{Data: data, N: n, Dim: d}, nil
 }

@@ -64,3 +64,21 @@ func TestReadMatrixRejectsTruncated(t *testing.T) {
 		t.Fatal("truncated header should error")
 	}
 }
+
+func TestWriteMatrixRejectsOversizedShape(t *testing.T) {
+	// The header stores N and Dim as uint32; a shape that cannot round-trip
+	// must be refused up front rather than silently truncated.
+	var buf bytes.Buffer
+	for _, m := range []*Matrix{
+		{N: 1 << 33, Dim: 4},
+		{N: 4, Dim: 1 << 33},
+		{N: -1, Dim: 4},
+	} {
+		if _, err := WriteMatrix(&buf, m); err == nil {
+			t.Errorf("WriteMatrix accepted shape %d×%d", m.N, m.Dim)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("WriteMatrix emitted %d bytes before rejecting the shape", buf.Len())
+		}
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
+	"gkmeans/internal/checked"
 	"gkmeans/internal/knngraph"
 	"gkmeans/internal/vec"
 )
@@ -97,10 +99,15 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 }
 
 // diskEntries normalises the requested entry-point count for the header:
-// any non-positive request means "default" and is stored as 0.
+// any non-positive request means "default" and is stored as 0. An absurd
+// request beyond uint32 is clamped — the searcher caps entry points at the
+// dataset size anyway, so the loaded index behaves identically.
 func (x *Index) diskEntries() uint32 {
 	if x.cfg.entries < 0 {
 		return 0
+	}
+	if int64(x.cfg.entries) > math.MaxUint32 {
+		return math.MaxUint32
 	}
 	return uint32(x.cfg.entries)
 }
@@ -130,12 +137,12 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	}
 	if x.clusters != nil {
 		c := x.clusters
-		if err := binary.Write(cw, binary.LittleEndian, []uint32{uint32(c.K), uint32(c.Iters)}); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, []uint32{checked.U32(c.K), checked.U32(c.Iters)}); err != nil {
 			return cw.n, err
 		}
 		labels := make([]int32, len(c.Labels))
 		for i, l := range c.Labels {
-			labels[i] = int32(l)
+			labels[i] = checked.Int32(l)
 		}
 		if err := binary.Write(cw, binary.LittleEndian, labels); err != nil {
 			return cw.n, err
@@ -152,7 +159,7 @@ func (x *Index) WriteTo(w io.Writer) (int64, error) {
 // sizes (computable up front from the graphs' encoded sizes).
 func (x *Index) writeSharded(cw *countingWriter) error {
 	hdr := []uint32{indexMagic, indexVersionSharded, flagSharded, x.diskEntries(),
-		uint32(len(x.shards)), 0}
+		checked.U32(len(x.shards)), 0}
 	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
@@ -161,7 +168,7 @@ func (x *Index) writeSharded(cw *countingWriter) error {
 	}
 	table := make([]segmentEntry, len(x.shards))
 	for s, shard := range x.shards {
-		table[s] = segmentEntry{Rows: uint32(shard.N()), Size: uint64(shard.graph.SectionSize())}
+		table[s] = segmentEntry{Rows: checked.U32(shard.N()), Size: uint64(shard.graph.SectionSize())}
 	}
 	if err := binary.Write(cw, binary.LittleEndian, table); err != nil {
 		return err

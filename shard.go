@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"gkmeans/internal/checked"
 	"gkmeans/internal/parallel"
 )
 
@@ -66,7 +67,7 @@ func newShardedIndex(data *Matrix, shards []*Index, cfg config) *Index {
 	base := make([]int32, len(shards))
 	row := 0
 	for s, shard := range shards {
-		base[s] = int32(row)
+		base[s] = checked.Int32(row)
 		row += shard.N()
 	}
 	return &Index{data: data, shards: shards, shardBase: base, cfg: cfg}
