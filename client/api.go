@@ -58,16 +58,61 @@ type RegisterRequest struct {
 	Path string `json:"path"`
 }
 
+// InsertRequest is the body of POST /v1/indexes/{name}/insert: append
+// Vectors (each of the index's dimensionality) to the served index. The
+// server assigns consecutive external ids and, when running with a data
+// directory, fsyncs the vectors to the index's write-ahead log before
+// responding. Inserted rows become searchable when the server's memtable
+// threshold triggers a shard build (Flushed reports whether this request
+// did).
+type InsertRequest struct {
+	Vectors [][]float32 `json:"vectors"`
+}
+
+// InsertResponse reports the ids assigned to an insert: FirstID through
+// FirstID+Count-1, in the order the vectors were sent. Epoch is the
+// index's version after the insert; Pending counts rows buffered but not
+// yet built into a searchable shard.
+type InsertResponse struct {
+	FirstID int32  `json:"first_id"`
+	Count   int    `json:"count"`
+	Epoch   uint64 `json:"epoch"`
+	Flushed bool   `json:"flushed"`
+	Pending int    `json:"pending"`
+}
+
+// DeleteRequest is the body of POST /v1/indexes/{name}/delete: tombstone
+// the rows with the given external ids. Deleted rows disappear from every
+// subsequent search; any unknown id rejects the whole request (400) and
+// nothing is deleted.
+type DeleteRequest struct {
+	IDs []int32 `json:"ids"`
+}
+
+// DeleteResponse reports an applied delete. Epoch is the index's version
+// after the delete.
+type DeleteResponse struct {
+	Deleted int    `json:"deleted"`
+	Epoch   uint64 `json:"epoch"`
+}
+
 // IndexInfo describes one served index (GET /v1/indexes). Shards is 1 for
 // a monolithic index and the shard count for one built with
-// gkmeans.WithShards — sharded indexes serve searches like any other, but
-// refuse clustering.
+// gkmeans.WithShards or grown by inserts — sharded indexes serve searches
+// like any other, but refuse clustering. Epoch increments every time a
+// mutation (insert flush, delete, compaction) publishes a new index
+// version; Live/Deleted split N by tombstone state, and Pending counts
+// inserted rows buffered ahead of their shard build.
 type IndexInfo struct {
 	Name        string `json:"name"`
 	N           int    `json:"n"`
 	Dim         int    `json:"dim"`
 	Shards      int    `json:"shards"`
 	HasClusters bool   `json:"has_clusters"`
+	Epoch       uint64 `json:"epoch"`
+	Live        int    `json:"live"`
+	Deleted     int    `json:"deleted"`
+	Pending     int    `json:"pending"`
 }
 
 // ListResponse is the body of GET /v1/indexes.
@@ -96,4 +141,14 @@ type IndexStats struct {
 	// the quantity the searcher's early-termination rule bounds.
 	DistanceComps      uint64 `json:"distance_comps"`
 	ExpandedCandidates uint64 `json:"expanded_candidates"`
+
+	// Mutation counters. Inserts and Deletes count accepted vectors and
+	// ids; Flushes counts memtable→shard builds; Compactions counts
+	// background/explicit compaction rounds. Durable reports whether the
+	// index is backed by a write-ahead log.
+	Inserts     int64 `json:"inserts"`
+	Deletes     int64 `json:"deletes"`
+	Flushes     int64 `json:"flushes"`
+	Compactions int64 `json:"compactions"`
+	Durable     bool  `json:"durable"`
 }

@@ -13,11 +13,18 @@
 // early-termination rule bounds observable in production (summed across
 // shards for a sharded index).
 //
+// Served indexes are mutable: Insert appends vectors (the server assigns
+// consecutive ids and, when durable, fsyncs them to a write-ahead log
+// before acknowledging) and Delete tombstones rows out of every future
+// search. IndexInfo reports the mutation state — epoch, live/deleted
+// counts and rows pending their shard build.
+//
 // Every call takes a context and honours its cancellation. Transient
 // failures — connection errors and 502/503/504 responses — are retried
 // with exponential backoff (configurable via WithRetries/WithRetryBackoff)
-// on every call except Register, the one operation whose blind retry could
-// misreport an already-applied registration as a conflict.
+// on every call except Register and Insert, the two operations whose blind
+// retry could double-apply (Insert) or misreport (Register) a first
+// attempt that succeeded without a response.
 package client
 
 import (
@@ -241,6 +248,27 @@ func (c *Client) SearchBatch(ctx context.Context, name string, queries [][]float
 		return nil, fmt.Errorf("client: server returned %d result lists for %d queries", len(out.Results), len(queries))
 	}
 	return out.Results, nil
+}
+
+// Insert appends vectors to the served index. The response reports the
+// assigned ids (FirstID..FirstID+Count-1, in send order). Inserts are not
+// retried: a lost response after a successful append would double-insert
+// on retry, so callers see the transient error and decide themselves.
+func (c *Client) Insert(ctx context.Context, name string, vectors [][]float32) (InsertResponse, error) {
+	var out InsertResponse
+	err := c.doRetries(ctx, http.MethodPost, "/v1/indexes/"+name+"/insert",
+		InsertRequest{Vectors: vectors}, &out, 0)
+	return out, err
+}
+
+// Delete tombstones the rows with the given ids; they disappear from every
+// subsequent search. Any unknown id rejects the whole request and deletes
+// nothing. Deleting is idempotent (a tombstoned row may be deleted again),
+// so transient failures are retried like reads.
+func (c *Client) Delete(ctx context.Context, name string, ids ...int32) (DeleteResponse, error) {
+	var out DeleteResponse
+	err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/delete", DeleteRequest{IDs: ids}, &out)
+	return out, err
 }
 
 // Cluster partitions the served dataset into req.K clusters with

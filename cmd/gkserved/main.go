@@ -7,17 +7,29 @@
 // transparently: searches fan out across the shards, /v1/indexes reports
 // the shard count, and only the clustering endpoint is refused for them.
 //
-//	gkserved -listen :8080 -index sift=sift.gkx -index glove=glove.gkx
+// Served indexes are mutable: /insert appends vectors and /delete
+// tombstones rows. With -data DIR, every accepted write is fsynced to a
+// per-index write-ahead log (DIR/<name>.wal) before the response and
+// replayed on the next start, so acknowledged mutations survive a crash;
+// the background compactor (-compact-interval) folds tombstoned and
+// fragmented shards back into dense ones and checkpoints the index to
+// DIR/<name>.gkx. Without -data, mutations are accepted but volatile.
+//
+//	gkserved -listen :8080 -data /var/lib/gkserved \
+//	    -index sift=sift.gkx -index glove=glove.gkx
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/v1/indexes
 //	curl -d '{"query":[...],"top_k":10}' localhost:8080/v1/indexes/sift/search
+//	curl -d '{"vectors":[[...]]}' localhost:8080/v1/indexes/sift/insert
+//	curl -d '{"ids":[17,42]}' localhost:8080/v1/indexes/sift/delete
 //	curl -d '{"name":"new","path":"new.gkx"}' localhost:8080/v1/indexes
 //	curl localhost:8080/debug/vars
 //
 // On SIGINT/SIGTERM the daemon drains: the health check flips to 503, open
 // micro-batches are flushed, in-flight requests finish (up to -drain), and
-// only then does the process exit.
+// only then does the process exit. Buffered (unflushed) inserts are left in
+// the WAL and replayed on the next start.
 package main
 
 import (
@@ -34,6 +46,7 @@ import (
 	"time"
 
 	"gkmeans/internal/server"
+	"gkmeans/internal/store"
 )
 
 // indexFlags collects repeated -index name=path.gkx arguments.
@@ -57,23 +70,37 @@ func main() {
 		window   = flag.Duration("window", server.DefaultWindow, "micro-batch collection window (0 disables batching)")
 		maxBatch = flag.Int("max-batch", server.DefaultMaxBatch, "max single queries coalesced into one SearchBatch")
 		drain    = flag.Duration("drain", 15*time.Second, "shutdown grace period for in-flight requests")
+		dataDir  = flag.String("data", "", "directory for write-ahead logs and checkpoints (empty: mutations are volatile)")
+		memtable = flag.Int("memtable", server.DefaultMemtableThreshold, "buffered inserts that trigger a shard build")
+		compact  = flag.Duration("compact-interval", time.Minute, "background compaction period (0 disables)")
+		tombs    = flag.Float64("compact-tomb-ratio", store.DefaultPolicy.TombRatio, "deleted/rows ratio that queues a shard for compaction")
+		frags    = flag.Int("compact-fragments", store.DefaultPolicy.MaxFragments, "shard count above which the smallest shards are merged")
 	)
 	flag.Var(&indexes, "index", "serve a persisted index as name=path.gkx (repeatable)")
 	flag.Parse()
 
+	cfg := server.Config{
+		Window:            *window,
+		MaxBatch:          *maxBatch,
+		DataDir:           *dataDir,
+		MemtableThreshold: *memtable,
+		Policy:            store.Policy{TombRatio: *tombs, MaxFragments: *frags},
+		CompactInterval:   *compact,
+	}
 	logger := log.New(os.Stderr, "gkserved: ", log.LstdFlags)
-	if err := run(logger, *listen, *window, *maxBatch, *drain, indexes); err != nil {
+	if err := run(logger, *listen, cfg, *drain, indexes); err != nil {
 		logger.Fatal(err)
 	}
 }
 
-func run(logger *log.Logger, listen string, window time.Duration, maxBatch int,
+func run(logger *log.Logger, listen string, cfg server.Config,
 	drain time.Duration, indexes indexFlags) error {
 
-	if window <= 0 {
-		window = -1 // "-window 0" means no batching, not the server default
+	if cfg.Window <= 0 {
+		cfg.Window = -1 // "-window 0" means no batching, not the server default
 	}
-	srv := server.New(server.Config{Window: window, MaxBatch: maxBatch, Logger: logger})
+	cfg.Logger = logger
+	srv := server.New(cfg)
 	for _, ix := range indexes {
 		if err := srv.RegisterFile(ix.name, ix.path); err != nil {
 			return err

@@ -61,8 +61,10 @@
 // the dataset, graph(s) and clustering) and loads back ready to serve,
 // with search results identical to the saved index. Monolithic indexes
 // write the v1 single-segment layout; sharded indexes write the v2
-// multi-segment layout with a segment table; loaders accept both. See
-// ARCHITECTURE.md for the byte-level format reference.
+// multi-segment layout with a segment table; a mutated index (see
+// Mutation below) writes the v3 layout carrying tombstones and id maps;
+// loaders accept all three. See ARCHITECTURE.md for the byte-level format
+// reference.
 //
 //	err = gkmeans.SaveIndex("sift.gkx", idx)
 //	idx, err = gkmeans.LoadIndex("sift.gkx")
@@ -91,6 +93,29 @@
 // and Index.Cluster. Every shard is searched with the full ef budget and
 // brings its own entry points, so recall tracks the monolithic index on
 // the same data (gkbench -shards records the comparison).
+//
+// # Mutation
+//
+// An Index value never changes, but an index is not frozen at Build:
+// Append, Delete and Compact are copy-on-write mutators, each returning a
+// new *Index that shares every unchanged shard with its receiver. Readers
+// of the old value keep answering from a consistent snapshot; a serving
+// layer promotes the successor with one atomic swap.
+//
+//	idx2, err := idx.Append(ctx, fresh)  // one new shard; ids from idx.IDBound()
+//	idx3, err := idx2.Delete(17, 205)    // tombstones, skipped by every search
+//	idx4, err := idx3.Compact(ctx)       // reclaim dead rows, merge fragments
+//
+// Append builds a graph over just the new vectors and adds it as a shard
+// (the fan-out merge already combines it at search time), assigning
+// external ids from the monotone IDBound counter. Delete marks rows in
+// per-shard tombstone bitmaps. Compact rebuilds the named shards (all,
+// when none are named) from their live rows only, keeping an explicit id
+// map so an external id names the same vector for its whole life and
+// search results are identical before and after. ShardInfos, Live and
+// Deleted expose the per-shard state compaction decisions are made from —
+// the background compactor in gkserved feeds them through a policy to
+// pick tombstone-heavy and fragmented shards.
 //
 // # Build parallelism and determinism
 //
@@ -121,20 +146,31 @@
 //
 // A persisted index can be served over HTTP without linking this library:
 // the gkserved daemon (cmd/gkserved) loads .gkx files into a named
-// registry and exposes search, clustering, index listing, hot
-// registration, stats and /debug/vars metrics as a JSON API. Its hot path
-// micro-batches: concurrent single-query searches are coalesced for a
-// short window and answered through one SearchBatch call, so callers
+// registry and exposes search, insert, delete, clustering, index listing,
+// hot registration, stats and /debug/vars metrics as a JSON API. Its hot
+// path micro-batches: concurrent single-query searches are coalesced for
+// a short window and answered through one SearchBatch call, so callers
 // share the worker pool. On SIGTERM it drains in-flight work before
 // exiting.
 //
-//	gkserved -listen :8080 -index sift=sift.gkx
+//	gkserved -listen :8080 -index sift=sift.gkx -data /var/lib/gkserved
+//
+// Writes ride the mutation API: inserts buffer in a memtable and build a
+// new shard at a threshold, deletes tombstone immediately, and each index
+// swaps atomically under live searches. With -data set, every mutation is
+// appended to a per-index write-ahead log and fsync'd before it is
+// acknowledged, and the log replays over the latest checkpoint on
+// startup — a crashed server restarts into exactly the state it acked. A
+// background compactor rebuilds tombstone-heavy shards off the serving
+// path and checkpoints.
 //
 // The typed Go client lives in gkmeans/client; results are identical to
 // calling Index.Search in-process:
 //
 //	cl := client.New("http://localhost:8080")
 //	nbs, err := cl.Search(ctx, "sift", q, 10, 64)
+//	ins, err := cl.Insert(ctx, "sift", vectors)
+//	del, err := cl.Delete(ctx, "sift", 17, 205)
 //
 // See examples/serve for the full build → persist → serve → query → drain
 // walkthrough in one process.

@@ -33,9 +33,37 @@ func FuzzReadIndexFrom(f *testing.F) {
 	mono := seedBlob()
 	clustered := seedBlob(WithMaxIter(4), WithClusters(3))
 	sharded := seedBlob(WithShards(2))
+	// A mutated index exercises the v3 layout: appended shard, tombstones,
+	// an idmap segment from compaction, nonzero generations.
+	mutated := func() []byte {
+		data := dataset.SIFTLike(60, 3)
+		idx, err := Build(context.Background(), data, WithKappa(4), WithXi(10), WithTau(2), WithSeed(5))
+		if err != nil {
+			f.Fatal(err)
+		}
+		extra := NewMatrix(4, idx.Dim())
+		for i := range extra.Data {
+			extra.Data[i] = float32(i)
+		}
+		if idx, err = idx.Append(context.Background(), extra); err != nil {
+			f.Fatal(err)
+		}
+		if idx, err = idx.Delete(1, 5, 61); err != nil {
+			f.Fatal(err)
+		}
+		if idx, err = idx.Compact(context.Background(), 0); err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
 	f.Add(mono)
 	f.Add(clustered)
 	f.Add(sharded)
+	f.Add(mutated)
 	f.Add([]byte{})
 	f.Add([]byte("GKXI"))
 	// A valid prefix with a lying tail exercises the section-length checks.

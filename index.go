@@ -11,6 +11,7 @@ import (
 	"gkmeans/internal/anns"
 	"gkmeans/internal/core"
 	"gkmeans/internal/knngraph"
+	"gkmeans/internal/store"
 )
 
 // Index is an immutable bundle of a dataset, its approximate k-NN graph and
@@ -31,10 +32,28 @@ type Index struct {
 	graph *Graph // nil when sharded
 
 	// shards holds the per-shard sub-indexes of a sharded index (nil for a
-	// monolithic one); shardBase[s] is the global id of shard s's first row,
-	// so global id = shardBase[s] + local id.
+	// monolithic one); shardBase[s] is the external id of shard s's first
+	// row, so external id = shardBase[s] + local id unless the shard carries
+	// an explicit id map (see below).
 	shards    []*Index
 	shardBase []int32
+
+	// Mutation metadata (see mutate.go). The three slices are parallel to
+	// shards on a sharded index; a monolithic index uses entry 0 of tombs
+	// only. nil slices (the common, never-mutated case) mean none.
+	//
+	//   - shardIDs[s], when non-nil, maps shard s's local rows to external
+	//     ids (a compacted shard keeps the ids of its surviving rows);
+	//   - shardGen[s] is the generation shard s was built in (appends and
+	//     compactions count up from the Build-time 0);
+	//   - tombs[s] marks shard s's deleted rows, skipped by every search.
+	//
+	// nextID is the lowest never-assigned external id (0 means data.N):
+	// Append hands out ids from here, and compaction never reuses them.
+	shardIDs [][]int32
+	shardGen []uint64
+	tombs    []*store.Bits
+	nextID   int32
 
 	// clusters is the Build-time clustering (WithClusters), if any.
 	clusters *Result
@@ -190,6 +209,9 @@ func (x *Index) Cluster(ctx context.Context, k int, opts ...Option) (*Result, er
 	}
 	if x.Sharded() {
 		return nil, fmt.Errorf("gkmeans: clustering needs a global k-NN graph; a sharded index has none (build without WithShards to cluster)")
+	}
+	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
+		return nil, fmt.Errorf("gkmeans: clustering would include %d deleted rows; compact the index first", t.Count())
 	}
 	cfg := applyOptions(x.cfg, opts)
 	cc := core.Config{

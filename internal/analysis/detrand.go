@@ -21,7 +21,11 @@ var detRandScope = map[string]bool{
 	"gkmeans/internal/kmeans":    true,
 	"gkmeans/internal/knngraph":  true,
 	"gkmeans/internal/nndescent": true,
-	"gkmeans/internal/twomeans":  true,
+	// The mutable-store layer replays WALs into deterministic shard
+	// rebuilds: compaction planning and replay must not depend on chance.
+	"gkmeans/internal/store":    true,
+	"gkmeans/internal/twomeans": true,
+	"gkmeans/internal/wal":      true,
 }
 
 // DetRand forbids math/rand (and math/rand/v2) in deterministic-build

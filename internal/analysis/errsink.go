@@ -12,7 +12,9 @@ import (
 var errSinkScope = map[string]bool{
 	"gkmeans":                   true,
 	"gkmeans/internal/knngraph": true,
+	"gkmeans/internal/store":    true,
 	"gkmeans/internal/vec":      true,
+	"gkmeans/internal/wal":      true,
 }
 
 // errSinkCallees are the write-path functions and methods whose error

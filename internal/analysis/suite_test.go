@@ -18,6 +18,7 @@ import (
 func TestDetRand(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DetRand,
 		"gkmeans/internal/kmeans",  // in scope: math/rand import and clock seed flagged
+		"gkmeans/internal/store",   // in scope: the mutable-store layer is deterministic too
 		"gkmeans/internal/dataset", // out of scope: math/rand allowed
 	)
 }
@@ -40,6 +41,7 @@ func TestInt32Cast(t *testing.T) {
 func TestErrSink(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.ErrSink,
 		"gkmeans/internal/knngraph", // in scope: dropped write errors flagged
+		"gkmeans/internal/wal",      // in scope: an unlogged WAL write breaks durability
 		"gkmeans/internal/server",   // out of scope: HTTP writes exempt
 	)
 }

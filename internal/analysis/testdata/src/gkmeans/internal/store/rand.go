@@ -1,0 +1,22 @@
+// Positive detrand fixture: this directory poses as the deterministic
+// package gkmeans/internal/store. Compaction planning and WAL replay feed
+// deterministic shard rebuilds, so chance and wall-clock seeds are banned.
+package store
+
+import (
+	"math/rand" // want `deterministic package gkmeans/internal/store must not import math/rand`
+	"time"
+)
+
+func randomVictim(shards int) int {
+	return rand.New(rand.NewSource(1)).Intn(shards)
+}
+
+func clockSeed() int64 {
+	return time.Now().UnixNano() // want `wall-clock seed`
+}
+
+// Reading the clock for telemetry durations is fine.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,31 @@
+// errsink fixtures: this directory poses as gkmeans/internal/wal, the
+// write-ahead log package. A dropped write or flush error there means a
+// mutation is acknowledged without being durable — the exact failure the
+// WAL exists to prevent.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+func dropFrame(w io.Writer, length uint32) {
+	binary.Write(w, binary.LittleEndian, length) // want `result of Write is discarded`
+}
+
+func blankAppend(w io.Writer, rec []byte) {
+	_, _ = w.Write(rec) // want `error of Write assigned to _`
+}
+
+func dropFlush(bw *bufio.Writer) {
+	bw.Flush() // want `result of Flush is discarded`
+}
+
+func propagated(w io.Writer, rec []byte) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(rec))); err != nil {
+		return err
+	}
+	_, err := w.Write(rec)
+	return err
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"gkmeans"
 	"testing"
 	"time"
 )
@@ -24,7 +25,7 @@ func BenchmarkDirectSearch(b *testing.B) {
 // coalescer, the server's hot path for concurrent single-query requests.
 func BenchmarkCoalescedSearch(b *testing.B) {
 	idx, queries := sharedIndex(b)
-	c := newCoalescer(idx, time.Millisecond, 32)
+	c := newCoalescer(func() *gkmeans.Index { return idx }, time.Millisecond, 32)
 	defer c.Close()
 	ctx := context.Background()
 	b.ResetTimer()

@@ -25,8 +25,13 @@ var ErrDraining = errors.New("server: draining, not accepting new work")
 // Results are identical to calling Index.Search directly: batches are
 // grouped by exact (topK, ef), and SearchBatch resolves those parameters
 // the same way Search does.
+//
+// The coalescer holds a provider function, not an index value: the serving
+// layer swaps in new index epochs (inserts, deletes, compaction) while
+// batches are open, and a batch resolves the index at execution time so it
+// always runs against the newest epoch.
 type coalescer struct {
-	idx      *gkmeans.Index
+	get      func() *gkmeans.Index
 	window   time.Duration
 	maxBatch int
 
@@ -53,11 +58,11 @@ type batchGroup struct {
 	flushed bool
 }
 
-// newCoalescer wires a coalescer to an index. window <= 0 disables
-// batching (every query runs alone); maxBatch <= 1 likewise.
-func newCoalescer(idx *gkmeans.Index, window time.Duration, maxBatch int) *coalescer {
+// newCoalescer wires a coalescer to an index provider. window <= 0
+// disables batching (every query runs alone); maxBatch <= 1 likewise.
+func newCoalescer(get func() *gkmeans.Index, window time.Duration, maxBatch int) *coalescer {
 	return &coalescer{
-		idx:      idx,
+		get:      get,
 		window:   window,
 		maxBatch: maxBatch,
 		groups:   make(map[searchKey]*batchGroup),
@@ -81,7 +86,7 @@ func (c *coalescer) Search(ctx context.Context, q []float32, topK, ef int) ([]gk
 		c.queries.Add(1)
 		c.batches.Add(1)
 		c.bumpMaxFlush(1)
-		return c.idx.Search(q, topK, ef), nil
+		return c.get().Search(q, topK, ef), nil
 	}
 
 	key := searchKey{topK: topK, ef: ef}
@@ -147,7 +152,7 @@ func (c *coalescer) run(g *batchGroup) {
 	c.batches.Add(1)
 	c.bumpMaxFlush(int64(len(g.queries)))
 	m := gkmeans.FromRows(g.queries)
-	res := c.idx.SearchBatch(m, g.key.topK, g.key.ef)
+	res := c.get().SearchBatch(m, g.key.topK, g.key.ef)
 	for i, ch := range g.out {
 		ch <- res[i]
 	}

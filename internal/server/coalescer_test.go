@@ -49,7 +49,7 @@ func neighborsEqual(a, b []gkmeans.Neighbor) bool {
 // Index.Search calls, and hammering it from many goroutines must batch them.
 func TestCoalescerMatchesDirectSearchUnderLoad(t *testing.T) {
 	idx, queries := sharedIndex(t)
-	c := newCoalescer(idx, 50*time.Millisecond, 8)
+	c := newCoalescer(func() *gkmeans.Index { return idx }, 50*time.Millisecond, 8)
 	defer c.Close()
 
 	const goroutines, perG = 32, 8
@@ -96,7 +96,7 @@ func TestCoalescerSizeTrigger(t *testing.T) {
 	idx, queries := sharedIndex(t)
 	// A window far longer than the test timeout: only the size trigger can
 	// flush, so completion itself proves the trigger works.
-	c := newCoalescer(idx, time.Hour, 4)
+	c := newCoalescer(func() *gkmeans.Index { return idx }, time.Hour, 4)
 	defer c.Close()
 
 	var wg sync.WaitGroup
@@ -125,7 +125,7 @@ func TestCoalescerSizeTrigger(t *testing.T) {
 // would change results.
 func TestCoalescerGroupsByParams(t *testing.T) {
 	idx, queries := sharedIndex(t)
-	c := newCoalescer(idx, 20*time.Millisecond, 64)
+	c := newCoalescer(func() *gkmeans.Index { return idx }, 20*time.Millisecond, 64)
 	defer c.Close()
 
 	var wg sync.WaitGroup
@@ -156,7 +156,7 @@ func TestCoalescerGroupsByParams(t *testing.T) {
 // batch still executes for its surviving members.
 func TestCoalescerContextCancellation(t *testing.T) {
 	idx, queries := sharedIndex(t)
-	c := newCoalescer(idx, time.Hour, 1000) // nothing flushes on its own
+	c := newCoalescer(func() *gkmeans.Index { return idx }, time.Hour, 1000) // nothing flushes on its own
 	defer c.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -186,7 +186,7 @@ func TestCoalescerContextCancellation(t *testing.T) {
 // ErrDraining.
 func TestCoalescerCloseDrains(t *testing.T) {
 	idx, queries := sharedIndex(t)
-	c := newCoalescer(idx, time.Hour, 1000)
+	c := newCoalescer(func() *gkmeans.Index { return idx }, time.Hour, 1000)
 
 	done := make(chan error, 1)
 	go func() {
@@ -216,7 +216,7 @@ func TestCoalescerCloseDrains(t *testing.T) {
 // window <= 0 disables batching but keeps the same results and counters.
 func TestCoalescerDisabled(t *testing.T) {
 	idx, queries := sharedIndex(t)
-	c := newCoalescer(idx, 0, 32)
+	c := newCoalescer(func() *gkmeans.Index { return idx }, 0, 32)
 	q := queries.Row(1)
 	got, err := c.Search(context.Background(), q, 7, 40)
 	if err != nil {

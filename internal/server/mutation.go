@@ -1,0 +1,427 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"gkmeans"
+	"gkmeans/client"
+	"gkmeans/internal/store"
+	"gkmeans/internal/wal"
+)
+
+// The write path. Every mutation follows the same discipline under the
+// entry's write mutex:
+//
+//  1. validate fully — nothing is logged that cannot be applied;
+//  2. append the op to the WAL and fsync (when the server is durable) —
+//     this is the acknowledgement point;
+//  3. apply in memory: deletes publish a copy-on-write index snapshot via
+//     one atomic swap, inserts accumulate in the memtable until
+//     MemtableThreshold rows trigger a flush that builds them into a new
+//     shard (plus any deletes aimed at the buffered rows) and swaps once.
+//
+// Searches load the current snapshot with one atomic read and are never
+// blocked: a reader mid-search keeps its snapshot alive while writers move
+// the entry forward. Buffered rows are durable but not searchable until
+// their flush — callers that need immediate visibility can lower the
+// threshold to 2.
+
+// nextInsertID returns the external id the next inserted vector will get:
+// ids continue past the index's id bound, offset by the rows already
+// buffered. Caller holds e.mu.
+func (e *entry) nextInsertID() int32 {
+	return e.index().IDBound() + int32(e.mem.Rows())
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.InsertRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed insert request: %v", err)
+		return
+	}
+	if len(req.Vectors) == 0 {
+		writeError(w, http.StatusBadRequest, "insert needs at least one vector")
+		return
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	// Index.Append refuses a Build-time clustering (its labels cannot
+	// cover new rows), so a logged insert could never flush — reject it
+	// here, before the WAL ack. A delete lifts the restriction: the root
+	// API drops the clustering on the first Delete.
+	if e.index().Clusters() != nil {
+		writeError(w, http.StatusBadRequest,
+			"index %q has a Build-time clustering and cannot accept inserts; rebuild it without clusters", e.name)
+		return
+	}
+	dim := e.index().Dim()
+	flat := make([]float32, 0, len(req.Vectors)*dim)
+	for i, row := range req.Vectors {
+		if len(row) != dim {
+			writeError(w, http.StatusBadRequest,
+				"vector %d has dimensionality %d, index %q has %d", i, len(row), e.name, dim)
+			return
+		}
+		flat = append(flat, row...)
+	}
+	firstID := e.nextInsertID()
+	if int64(firstID)+int64(len(req.Vectors)) > math.MaxInt32 {
+		writeError(w, http.StatusBadRequest, "insert would overflow the id space")
+		return
+	}
+
+	if e.wal != nil {
+		payload, err := wal.EncodeInsert(firstID, dim, flat)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := e.wal.Append(payload); err != nil {
+			writeError(w, http.StatusInternalServerError, "logging insert: %v", err)
+			return
+		}
+	}
+	for i := 0; i < len(req.Vectors); i++ {
+		e.mem.Add(flat[i*dim : (i+1)*dim])
+	}
+	e.pending.Store(int64(e.mem.Rows()))
+	e.inserts.Add(int64(len(req.Vectors)))
+
+	flushed := false
+	if e.mem.Rows() >= e.threshold {
+		// The rows are already durable; a failed flush keeps them buffered
+		// (and replayable), so it degrades visibility, not safety.
+		if err := e.flushLocked(r.Context()); err != nil {
+			s.logf("index %q: flush failed, %d rows stay buffered: %v", e.name, e.mem.Rows(), err)
+		} else {
+			flushed = true
+		}
+	}
+	writeJSON(w, client.InsertResponse{
+		FirstID: firstID,
+		Count:   len(req.Vectors),
+		Epoch:   e.epoch(),
+		Flushed: flushed,
+		Pending: e.mem.Rows(),
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	e, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	var req client.DeleteRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed delete request: %v", err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, "delete needs at least one id")
+		return
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	idx := e.index()
+	bound := idx.IDBound()
+	memHi := bound + int32(e.mem.Rows())
+	var idxIDs, memIDs []int32
+	for _, id := range req.IDs {
+		switch {
+		case id >= 0 && id < bound:
+			idxIDs = append(idxIDs, id)
+		case id >= bound && id < memHi:
+			memIDs = append(memIDs, id)
+		default:
+			writeError(w, http.StatusBadRequest, "unknown id %d", id)
+			return
+		}
+	}
+	// Apply to a candidate snapshot first: Index.Delete is copy-on-write,
+	// so a rejected id (e.g. one reclaimed by compaction) costs nothing and
+	// nothing reaches the WAL.
+	newIdx := idx
+	if len(idxIDs) > 0 {
+		var err error
+		newIdx, err = idx.Delete(idxIDs...)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if e.wal != nil {
+		payload, err := wal.EncodeDelete(req.IDs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if err := e.wal.Append(payload); err != nil {
+			writeError(w, http.StatusInternalServerError, "logging delete: %v", err)
+			return
+		}
+	}
+	if newIdx != idx {
+		e.cur.Swap(newIdx)
+	}
+	for _, id := range memIDs {
+		e.memDel[id] = true
+	}
+	e.deletes.Add(int64(len(req.IDs)))
+	writeJSON(w, client.DeleteResponse{
+		Deleted: len(req.IDs),
+		Epoch:   e.epoch(),
+	})
+}
+
+// flushLocked builds the buffered rows into a new shard via Index.Append,
+// applies any deletes aimed at those rows, and publishes the result with a
+// single swap. Caller holds e.mu (or owns the entry exclusively, during
+// replay). A flush with fewer than two rows waits for more: a shard graph
+// needs at least two vertices.
+func (e *entry) flushLocked(ctx context.Context) error {
+	if e.mem.Rows() < 2 {
+		return nil
+	}
+	m := gkmeans.NewMatrix(e.mem.Rows(), e.mem.Dim())
+	copy(m.Data, e.mem.Data())
+	newIdx, err := e.index().Append(ctx, m)
+	if err != nil {
+		return err
+	}
+	if len(e.memDel) > 0 {
+		ids := make([]int32, 0, len(e.memDel))
+		for id := range e.memDel {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if newIdx, err = newIdx.Delete(ids...); err != nil {
+			return err
+		}
+	}
+	e.cur.Swap(newIdx)
+	e.mem.Reset()
+	e.memDel = make(map[int32]bool)
+	e.pending.Store(0)
+	e.flushes.Add(1)
+	return nil
+}
+
+// replayWAL re-applies every surviving log record to the entry's index and
+// memtable, reproducing exactly the in-memory state the server had when
+// each record was acknowledged. Inserts whose ids fall below the current
+// id bound were already folded into the checkpoint and are skipped;
+// deletes of ids a later compaction reclaimed are likewise no-ops. Called
+// before the entry is published, so no locking.
+func (e *entry) replayWAL() (int, error) {
+	applied := 0
+	_, err := e.wal.Replay(func(payload []byte) error {
+		op, err := wal.Decode(payload)
+		if err != nil {
+			return err
+		}
+		if op.Insert {
+			return e.replayInsert(op, &applied)
+		}
+		return e.replayDelete(op, &applied)
+	})
+	e.pending.Store(int64(e.mem.Rows()))
+	return applied, err
+}
+
+func (e *entry) replayInsert(op wal.Op, applied *int) error {
+	idx := e.index()
+	if op.Dim != idx.Dim() {
+		return fmt.Errorf("insert op has dimensionality %d, index has %d", op.Dim, idx.Dim())
+	}
+	count := int32(op.Count())
+	expect := e.nextInsertID()
+	switch {
+	case op.FirstID+count <= idx.IDBound():
+		return nil // fully folded into the checkpoint
+	case op.FirstID == expect:
+		for r := 0; r < op.Count(); r++ {
+			e.mem.Add(op.Vectors[r*op.Dim : (r+1)*op.Dim])
+		}
+		*applied++
+		if e.mem.Rows() >= e.threshold {
+			return e.flushLocked(context.Background())
+		}
+		return nil
+	default:
+		// Flushes always consume whole ops, so an op can never straddle the
+		// id bound; a gap or overlap means the WAL and checkpoint diverged.
+		return fmt.Errorf("insert op at id %d does not line up with id bound %d (+%d buffered)",
+			op.FirstID, idx.IDBound(), e.mem.Rows())
+	}
+}
+
+func (e *entry) replayDelete(op wal.Op, applied *int) error {
+	idx := e.index()
+	bound := idx.IDBound()
+	memHi := bound + int32(e.mem.Rows())
+	changed := false
+	for _, id := range op.IDs {
+		switch {
+		case id < bound:
+			// Deleting an already-tombstoned id is a no-op; an id the
+			// checkpoint's compaction reclaimed fails to resolve — both are
+			// records whose effect is already durable, so skip, don't fail.
+			if next, err := idx.Delete(id); err == nil {
+				idx, changed = next, true
+			}
+		case id < memHi:
+			e.memDel[id] = true
+		}
+	}
+	if changed {
+		e.cur.Swap(idx)
+	}
+	*applied++
+	return nil
+}
+
+// compactLoop periodically offers every entry to the compactor until the
+// server starts draining.
+func (s *Server) compactLoop() {
+	t := time.NewTicker(s.cfg.CompactInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.draining:
+			return
+		case <-t.C:
+			for _, e := range s.reg.list() {
+				if _, err := s.compactEntry(e); err != nil {
+					s.logf("index %q: compaction failed: %v", e.name, err)
+				}
+			}
+		}
+	}
+}
+
+// CompactNow runs one synchronous compaction round for the named index,
+// applying the configured policy, and reports whether a compaction
+// actually ran. Exposed for operational tooling and tests; the background
+// loop calls the same code.
+func (s *Server) CompactNow(name string) (bool, error) {
+	e, ok := s.reg.get(name)
+	if !ok {
+		return false, fmt.Errorf("unknown index %q", name)
+	}
+	return s.compactEntry(e)
+}
+
+// compactEntry rebuilds the shards the policy selects, swaps the compacted
+// index in, and — when durable — checkpoints it so the WAL can shed every
+// record the checkpoint now covers. Holding e.mu stalls writers for the
+// duration; searches keep running against the pre-compaction snapshot and
+// observe a single atomic transition whose results are identical (only
+// dead rows are dropped).
+func (s *Server) compactEntry(e *entry) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	idx := e.index()
+	infos := idx.ShardInfos()
+	stats := make([]store.ShardStat, len(infos))
+	for i, si := range infos {
+		stats[i] = store.ShardStat{Rows: si.Rows, Deleted: si.Deleted, Gen: si.Gen}
+	}
+	plan := s.cfg.Policy.Plan(stats)
+	if plan == nil {
+		return false, nil
+	}
+	newIdx, err := idx.Compact(context.Background(), plan...)
+	if err != nil {
+		return false, err
+	}
+	e.cur.Swap(newIdx)
+	e.compactions.Add(1)
+	s.logf("index %q: compacted shards %v (%d live rows, epoch %d)",
+		e.name, plan, newIdx.Live(), e.epoch())
+	if e.wal == nil {
+		return true, nil
+	}
+	return true, s.checkpointLocked(e, newIdx)
+}
+
+// checkpointLocked persists idx as the new on-disk baseline and rewrites
+// the WAL to hold only the still-buffered operations. The order matters
+// for crash safety: the checkpoint lands first (atomic rename inside
+// SaveIndex), so a crash before the WAL rewrite replays old records
+// against the new checkpoint — harmless, because replay skips ops the
+// checkpoint's id bound and tombstones already cover. The rewrite itself
+// builds a fresh log and renames it over the old one, so no crash point
+// leaves buffered rows unlogged. Caller holds e.mu.
+func (s *Server) checkpointLocked(e *entry, idx *gkmeans.Index) error {
+	if err := gkmeans.SaveIndex(s.checkpointPath(e.name), idx); err != nil {
+		return fmt.Errorf("writing checkpoint: %w", err)
+	}
+
+	tmp := e.wal.Path() + ".rewrite"
+	os.Remove(tmp) // a stale leftover would make appends land after its records
+	nw, err := wal.Open(tmp)
+	if err != nil {
+		return fmt.Errorf("rewriting WAL: %w", err)
+	}
+	if e.mem.Rows() > 0 {
+		payload, err := wal.EncodeInsert(idx.IDBound(), e.mem.Dim(), e.mem.Data())
+		if err == nil {
+			err = nw.Append(payload)
+		}
+		if err != nil {
+			nw.Close()
+			return fmt.Errorf("rewriting WAL: %w", err)
+		}
+	}
+	if len(e.memDel) > 0 {
+		ids := make([]int32, 0, len(e.memDel))
+		for id := range e.memDel {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		payload, err := wal.EncodeDelete(ids)
+		if err == nil {
+			err = nw.Append(payload)
+		}
+		if err != nil {
+			nw.Close()
+			return fmt.Errorf("rewriting WAL: %w", err)
+		}
+	}
+	if err := nw.Close(); err != nil {
+		return fmt.Errorf("rewriting WAL: %w", err)
+	}
+	if err := os.Rename(tmp, e.wal.Path()); err != nil {
+		return fmt.Errorf("swapping WAL: %w", err)
+	}
+	old := e.wal
+	reopened, err := wal.Open(old.Path())
+	if err != nil {
+		return fmt.Errorf("reopening WAL: %w", err)
+	}
+	old.Close()
+	e.wal = reopened
+	return nil
+}

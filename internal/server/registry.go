@@ -11,36 +11,97 @@ import (
 
 	"gkmeans"
 	"gkmeans/client"
+	"gkmeans/internal/store"
+	"gkmeans/internal/wal"
 )
 
-// nameRE constrains index names so they embed cleanly in URL paths.
+// nameRE constrains index names so they embed cleanly in URL paths (and,
+// with -data, in WAL/checkpoint file names).
 var nameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$`)
 
 // errDuplicate marks a registration under a name that is already serving;
 // the HTTP layer maps it to 409 Conflict.
 var errDuplicate = errors.New("already registered")
 
-// entry is one served index: the immutable Index, its coalescer and its
-// serving counters.
+// entry is one served index name. The index itself lives in an
+// epoch-versioned atomic cell: every search loads a consistent (index,
+// epoch) snapshot with one atomic read, and the write path — insert,
+// delete, flush, compaction — publishes a copy-on-write successor with one
+// atomic swap, so readers never observe a torn shard set and are never
+// blocked by writers.
+//
+// Writes are serialised by mu: the id sequence, the WAL order and the
+// memtable contents must agree, so there is exactly one writer at a time
+// per index. Search never touches mu.
 type entry struct {
 	name string
 	path string // source .gkx file, "" for in-process registration
-	idx  *gkmeans.Index
+	cur  store.Versioned[*gkmeans.Index]
 	coal *coalescer
+
+	// Write path, guarded by mu. wal is nil when the server has no data
+	// dir (mutations are accepted but volatile). mem buffers inserted
+	// vectors until a shard build is worthwhile; memDel holds deletes
+	// aimed at still-buffered rows, applied in the same flush that makes
+	// the rows searchable.
+	mu        sync.Mutex
+	wal       *wal.Log
+	mem       *store.Memtable
+	memDel    map[int32]bool
+	threshold int
+
+	pending atomic.Int64 // mem.Rows(), readable without mu
 
 	batchRequests   atomic.Int64 // explicit batch searches (bypass the coalescer)
 	batchQueries    atomic.Int64 // rows answered by explicit batch searches
 	clusterRequests atomic.Int64
+	inserts         atomic.Int64 // vectors accepted by /insert
+	deletes         atomic.Int64 // ids accepted by /delete
+	flushes         atomic.Int64 // memtable flushes (incremental shard builds)
+	compactions     atomic.Int64
+}
+
+// newEntry wires an entry around its initial index. The coalescer takes
+// the provider function, not the index value, so in-flight micro-batches
+// always run against the newest epoch.
+func newEntry(name, path string, idx *gkmeans.Index, window time.Duration, maxBatch int) *entry {
+	e := &entry{
+		name:   name,
+		path:   path,
+		mem:    store.NewMemtable(idx.Dim()),
+		memDel: make(map[int32]bool),
+	}
+	e.cur.Swap(idx)
+	e.coal = newCoalescer(e.index, window, maxBatch)
+	return e
+}
+
+// index returns the current index snapshot.
+func (e *entry) index() *gkmeans.Index {
+	idx, _ := e.cur.Load()
+	return idx
+}
+
+// epoch returns the current swap epoch (1 after registration, +1 per
+// flush, delete or compaction that published a new index).
+func (e *entry) epoch() uint64 {
+	_, ep := e.cur.Load()
+	return ep
 }
 
 // info snapshots the entry for the list endpoint.
 func (e *entry) info() client.IndexInfo {
+	idx := e.index()
 	return client.IndexInfo{
 		Name:        e.name,
-		N:           e.idx.N(),
-		Dim:         e.idx.Dim(),
-		Shards:      e.idx.Shards(),
-		HasClusters: e.idx.Clusters() != nil,
+		N:           idx.N(),
+		Dim:         idx.Dim(),
+		Shards:      idx.Shards(),
+		HasClusters: idx.Clusters() != nil,
+		Epoch:       e.epoch(),
+		Live:        idx.Live(),
+		Deleted:     idx.Deleted(),
+		Pending:     int(e.pending.Load()),
 	}
 }
 
@@ -49,7 +110,7 @@ func (e *entry) info() client.IndexInfo {
 // computations, candidate expansions) the early-termination rule bounds.
 func (e *entry) stats(window time.Duration) client.IndexStats {
 	queries, batches, maxBatch := e.coal.Stats()
-	hot := e.idx.SearchStats()
+	hot := e.index().SearchStats()
 	return client.IndexStats{
 		IndexInfo:          e.info(),
 		Path:               e.path,
@@ -61,12 +122,19 @@ func (e *entry) stats(window time.Duration) client.IndexStats {
 		CoalesceWindowNS:   int64(window),
 		DistanceComps:      hot.DistanceComps,
 		ExpandedCandidates: hot.ExpandedCandidates,
+		Inserts:            e.inserts.Load(),
+		Deletes:            e.deletes.Load(),
+		Flushes:            e.flushes.Load(),
+		Compactions:        e.compactions.Load(),
+		Durable:            e.wal != nil,
 	}
 }
 
-// registry is the concurrent-safe name → index map behind /v1/indexes.
+// registry is the concurrent-safe name → entry map behind /v1/indexes.
 // Registration is cheap relative to serving, so a single RWMutex suffices:
-// the hot search path takes only a read lock for the name lookup.
+// the hot search path takes only a read lock for the name lookup — the
+// index value itself is resolved lock-free through the entry's versioned
+// cell.
 type registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
@@ -76,21 +144,17 @@ func newRegistry() *registry {
 	return &registry{entries: make(map[string]*entry)}
 }
 
-// add registers an index under name. It fails on a duplicate name so a
-// re-registration cannot silently swap an index out from under live
-// traffic.
-func (r *registry) add(name, path string, idx *gkmeans.Index, window time.Duration, maxBatch int) (*entry, error) {
-	if !nameRE.MatchString(name) {
-		return nil, fmt.Errorf("invalid index name %q (want %s)", name, nameRE)
-	}
-	e := &entry{name: name, path: path, idx: idx, coal: newCoalescer(idx, window, maxBatch)}
+// publish makes a fully constructed entry visible. It fails on a
+// duplicate name so a re-registration cannot silently swap an index out
+// from under live traffic.
+func (r *registry) publish(e *entry) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.entries[name]; dup {
-		return nil, fmt.Errorf("index %q: %w", name, errDuplicate)
+	if _, dup := r.entries[e.name]; dup {
+		return fmt.Errorf("index %q: %w", e.name, errDuplicate)
 	}
-	r.entries[name] = e
-	return e, nil
+	r.entries[e.name] = e
+	return nil
 }
 
 // get looks up a served index by name.
@@ -113,9 +177,16 @@ func (r *registry) list() []*entry {
 	return out
 }
 
-// closeAll drains every coalescer; part of graceful shutdown.
+// closeAll drains every coalescer and closes the write-ahead logs; part of
+// graceful shutdown. Buffered (unflushed) rows are not built into shards —
+// the WAL already holds them, and the next startup replays them.
 func (r *registry) closeAll() {
 	for _, e := range r.list() {
 		e.coal.Close()
+		e.mu.Lock()
+		if e.wal != nil {
+			e.wal.Close()
+		}
+		e.mu.Unlock()
 	}
 }

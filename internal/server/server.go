@@ -4,6 +4,15 @@
 // that share the worker pool), graph-supported clustering, hot index
 // registration, instance-scoped /debug/vars metrics and graceful drain.
 //
+// Served indexes are mutable: /insert appends vectors and /delete
+// tombstones rows. Each mutation publishes a copy-on-write index snapshot
+// through an epoch-versioned atomic cell, so searches are never blocked by
+// writers and never see a half-applied mutation. With Config.DataDir set,
+// every accepted write is fsynced to a per-index write-ahead log before the
+// response, and replayed on the next startup; a background compactor folds
+// tombstoned and fragmented shards back into dense ones and checkpoints the
+// result. See mutation.go for the write path.
+//
 // The wire types live in gkmeans/client so the Go client and this server
 // share one definition of the API.
 package server
@@ -15,16 +24,21 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
+	"path/filepath"
 	"time"
 
 	"gkmeans"
 	"gkmeans/client"
+	"gkmeans/internal/store"
+	"gkmeans/internal/wal"
 )
 
-// Defaults for the micro-batching coalescer; see Config.
+// Defaults for the micro-batching coalescer and the write path; see Config.
 const (
-	DefaultWindow   = time.Millisecond
-	DefaultMaxBatch = 32
+	DefaultWindow            = time.Millisecond
+	DefaultMaxBatch          = 32
+	DefaultMemtableThreshold = 256
 )
 
 // maxBodyBytes bounds request bodies (a batch of a few thousand
@@ -40,6 +54,24 @@ type Config struct {
 	// MaxBatch caps how many single queries share one SearchBatch call;
 	// 0 selects DefaultMaxBatch.
 	MaxBatch int
+	// DataDir makes mutations durable: each index keeps a write-ahead log
+	// at DataDir/<name>.wal (fsynced before an insert or delete is
+	// acknowledged, replayed on the next registration of the same name) and
+	// compaction checkpoints the index to DataDir/<name>.gkx. Empty keeps
+	// mutations in memory only.
+	DataDir string
+	// MemtableThreshold is how many inserted vectors accumulate before
+	// they are built into a searchable shard; 0 selects
+	// DefaultMemtableThreshold. Values below 2 are raised to 2 (a shard
+	// graph needs at least two rows). Buffered rows are durable (with
+	// DataDir) but not searchable until flushed.
+	MemtableThreshold int
+	// Policy decides which shards the background compactor rebuilds. The
+	// zero value selects store.DefaultPolicy.
+	Policy store.Policy
+	// CompactInterval is the period of the background compactor; 0
+	// disables it (CompactNow still works).
+	CompactInterval time.Duration
 	// Logger receives serving events; nil discards them.
 	Logger *log.Logger
 }
@@ -64,6 +96,15 @@ func New(cfg Config) *Server {
 	if cfg.MaxBatch == 0 {
 		cfg.MaxBatch = DefaultMaxBatch
 	}
+	if cfg.MemtableThreshold == 0 {
+		cfg.MemtableThreshold = DefaultMemtableThreshold
+	}
+	if cfg.MemtableThreshold < 2 {
+		cfg.MemtableThreshold = 2
+	}
+	if !cfg.Policy.Enabled() {
+		cfg.Policy = store.DefaultPolicy
+	}
 	s := &Server{cfg: cfg, reg: newRegistry(), met: newMetrics(), draining: make(chan struct{})}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.met.instrument("healthz", s.handleHealth))
@@ -71,8 +112,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/indexes", s.met.instrument("register", s.handleRegister))
 	s.mux.HandleFunc("GET /v1/indexes/{name}/stats", s.met.instrument("stats", s.handleStats))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/search", s.met.instrument("search", s.handleSearch))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/insert", s.met.instrument("insert", s.handleInsert))
+	s.mux.HandleFunc("POST /v1/indexes/{name}/delete", s.met.instrument("delete", s.handleDelete))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/cluster", s.met.instrument("cluster", s.handleCluster))
 	s.mux.HandleFunc("GET /debug/vars", s.met.instrument("debug_vars", s.met.serveVars))
+	if cfg.CompactInterval > 0 {
+		go s.compactLoop()
+	}
 	return s
 }
 
@@ -96,12 +142,76 @@ func (s *Server) RegisterFile(name, path string) error {
 }
 
 func (s *Server) registerIndex(name, path string, idx *gkmeans.Index) error {
-	e, err := s.reg.add(name, path, idx, s.cfg.Window, s.cfg.MaxBatch)
+	// Validate the name before it touches the filesystem: nameRE admits no
+	// path separators or dots-only names, so DataDir/<name>.wal is safe.
+	if !nameRE.MatchString(name) {
+		return fmt.Errorf("invalid index name %q", name)
+	}
+	e := newEntry(name, path, idx, s.cfg.Window, s.cfg.MaxBatch)
+	e.threshold = s.cfg.MemtableThreshold
+	if s.cfg.DataDir != "" {
+		if err := s.setupDurability(e); err != nil {
+			return fmt.Errorf("index %q: %w", name, err)
+		}
+	}
+	if err := s.reg.publish(e); err != nil {
+		if e.wal != nil {
+			e.wal.Close()
+		}
+		return err
+	}
+	cur := e.index()
+	s.logf("serving index %q: %d×%d (clusters: %v, durable: %v, pending: %d)",
+		name, cur.N(), cur.Dim(), cur.Clusters() != nil, e.wal != nil, e.mem.Rows())
+	return nil
+}
+
+// setupDurability attaches the WAL to a not-yet-published entry: load the
+// compaction checkpoint if one supersedes the registered file, open (or
+// repair) the log, and replay every surviving record. The entry is still
+// private to this goroutine, so no locking.
+func (s *Server) setupDurability(e *entry) error {
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	if cp := s.checkpointPath(e.name); fileExists(cp) {
+		idx, err := gkmeans.LoadIndex(cp)
+		if err != nil {
+			return fmt.Errorf("loading checkpoint %s: %w", cp, err)
+		}
+		if idx.Dim() != e.index().Dim() {
+			return fmt.Errorf("checkpoint %s has dimensionality %d, registered index has %d",
+				cp, idx.Dim(), e.index().Dim())
+		}
+		e.cur.Swap(idx)
+	}
+	l, err := wal.Open(s.walPath(e.name))
 	if err != nil {
 		return err
 	}
-	s.logf("serving index %q: %d×%d (clusters: %v)", name, e.idx.N(), e.idx.Dim(), e.idx.Clusters() != nil)
+	e.wal = l
+	replayed, err := e.replayWAL()
+	if err != nil {
+		l.Close()
+		return fmt.Errorf("replaying %s: %w", s.walPath(e.name), err)
+	}
+	if replayed > 0 {
+		s.logf("index %q: replayed %d WAL records (%d rows pending)", e.name, replayed, e.mem.Rows())
+	}
 	return nil
+}
+
+func (s *Server) walPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, name+".wal")
+}
+
+func (s *Server) checkpointPath(name string) string {
+	return filepath.Join(s.cfg.DataDir, name+".gkx")
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
 }
 
 // BeginShutdown moves the server into draining: /healthz flips to 503 so
@@ -258,7 +368,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "top_k must be positive, got %d", req.TopK)
 		return
 	}
-	dim := e.idx.Dim()
+	dim := e.index().Dim()
 	queries := req.Queries
 	if single {
 		queries = [][]float32{req.Query}
@@ -286,7 +396,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		e.batchRequests.Add(1)
 		e.batchQueries.Add(int64(len(queries)))
-		results = e.idx.SearchBatch(gkmeans.FromRows(queries), req.TopK, req.Ef)
+		results = e.index().SearchBatch(gkmeans.FromRows(queries), req.TopK, req.Ef)
 	}
 
 	out := client.SearchResponse{Results: make([][]client.Neighbor, len(results))}
@@ -324,15 +434,16 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "malformed cluster request: %v", err)
 		return
 	}
-	if e.idx.Sharded() {
+	idx := e.index()
+	if idx.Sharded() {
 		// Index.Cluster would refuse too, but a sharded index can never
 		// satisfy the request, so report it as a client error, not a 500.
 		writeError(w, http.StatusBadRequest,
-			"index %q is sharded (%d shards); clustering needs a monolithic index", e.name, e.idx.Shards())
+			"index %q is sharded (%d shards); clustering needs a monolithic index", e.name, idx.Shards())
 		return
 	}
-	if req.K <= 0 || req.K > e.idx.N() {
-		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", e.idx.N(), req.K)
+	if req.K <= 0 || req.K > idx.N() {
+		writeError(w, http.StatusBadRequest, "k must be in [1,%d], got %d", idx.N(), req.K)
 		return
 	}
 	e.clusterRequests.Add(1)
@@ -343,12 +454,12 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != 0 {
 		opts = append(opts, gkmeans.WithSeed(req.Seed))
 	}
-	res, err := e.idx.Cluster(r.Context(), req.K, opts...)
+	res, err := idx.Cluster(r.Context(), req.K, opts...)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "clustering failed: %v", err)
 		return
 	}
-	out := client.ClusterResponse{K: res.K, Iters: res.Iters, Distortion: res.Distortion(e.idx.Data())}
+	out := client.ClusterResponse{K: res.K, Iters: res.Iters, Distortion: res.Distortion(idx.Data())}
 	if req.WithLabels {
 		out.Labels = res.Labels
 	}

@@ -1,0 +1,50 @@
+package store
+
+import "fmt"
+
+// Memtable accumulates inserted vectors that are not yet part of any
+// shard: the serving write path appends to it after the WAL write and
+// builds a new shard from its contents once the configured threshold is
+// reached. It is a plain row buffer — id assignment and durability are
+// the caller's business — and is not concurrency-safe: the serving layer
+// already serialises its write path.
+type Memtable struct {
+	dim  int
+	rows int
+	data []float32
+}
+
+// NewMemtable returns an empty memtable for dim-dimensional vectors.
+func NewMemtable(dim int) *Memtable {
+	if dim <= 0 {
+		panic(fmt.Sprintf("store: memtable dimensionality %d", dim))
+	}
+	return &Memtable{dim: dim}
+}
+
+// Add appends one vector. The row must have the memtable's
+// dimensionality; a mismatch panics (the serving layer validates request
+// dimensions before the WAL write, so this guards an internal invariant).
+func (m *Memtable) Add(row []float32) {
+	if len(row) != m.dim {
+		panic(fmt.Sprintf("store: memtable row has dimensionality %d, want %d", len(row), m.dim))
+	}
+	m.data = append(m.data, row...)
+	m.rows++
+}
+
+// Rows returns the number of buffered vectors.
+func (m *Memtable) Rows() int { return m.rows }
+
+// Dim returns the vector dimensionality.
+func (m *Memtable) Dim() int { return m.dim }
+
+// Data returns the buffered vectors as one row-major slice. The caller
+// must copy it before the next Add or Reset.
+func (m *Memtable) Data() []float32 { return m.data }
+
+// Reset empties the memtable, keeping its capacity for the next fill.
+func (m *Memtable) Reset() {
+	m.data = m.data[:0]
+	m.rows = 0
+}

@@ -1,0 +1,87 @@
+package store
+
+import "sort"
+
+// ShardStat is the per-shard view the compaction policy decides on: how
+// many rows the shard holds, how many of them are tombstoned, and the
+// generation the shard was built in (higher = newer).
+type ShardStat struct {
+	Rows    int
+	Deleted int
+	Gen     uint64
+}
+
+// Policy decides which shards the background compactor should rebuild.
+// Two triggers, both off the serving path:
+//
+//   - a shard whose tombstone ratio exceeds TombRatio is rebuilt to
+//     reclaim the dead rows (and drop the filter overhead its tombstones
+//     impose on every query), and
+//   - when the shard count exceeds MaxFragments — every append creates a
+//     fresh shard, and each shard multiplies per-query fan-out work — the
+//     smallest shards are merged until the count fits again.
+//
+// The zero value never compacts; DefaultPolicy is a sane serving default.
+type Policy struct {
+	// TombRatio is the deleted/rows fraction above which a shard is
+	// rebuilt. <= 0 disables the tombstone trigger.
+	TombRatio float64
+	// MaxFragments is the shard count above which the smallest shards are
+	// merged. <= 0 disables the fragment trigger.
+	MaxFragments int
+}
+
+// DefaultPolicy compacts shards that are over a quarter dead and keeps
+// deployments at no more than 8 shards.
+var DefaultPolicy = Policy{TombRatio: 0.25, MaxFragments: 8}
+
+// Enabled reports whether either trigger is active.
+func (p Policy) Enabled() bool { return p.TombRatio > 0 || p.MaxFragments > 0 }
+
+// Plan returns the indices of the shards to rebuild into one merged
+// shard, in ascending order, or nil when no compaction is due. The
+// decision is a pure function of stats, so the compactor behaves
+// identically wherever it runs.
+func (p Policy) Plan(stats []ShardStat) []int {
+	pick := make(map[int]bool)
+	if p.TombRatio > 0 {
+		for s, st := range stats {
+			if st.Rows > 0 && float64(st.Deleted)/float64(st.Rows) > p.TombRatio {
+				pick[s] = true
+			}
+		}
+	}
+	if p.MaxFragments > 0 && len(stats) > p.MaxFragments {
+		// Merge the smallest shards (by live rows) until the post-merge
+		// count fits: merging k shards into one removes k-1 fragments.
+		excess := len(stats) - p.MaxFragments
+		order := make([]int, len(stats))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(i, j int) bool {
+			li := stats[order[i]].Rows - stats[order[i]].Deleted
+			lj := stats[order[j]].Rows - stats[order[j]].Deleted
+			if li != lj {
+				return li < lj
+			}
+			return order[i] < order[j]
+		})
+		for _, s := range order[:excess+1] {
+			pick[s] = true
+		}
+	}
+	if len(pick) == 0 {
+		return nil
+	}
+	// A lone fragment-trigger pick cannot reduce the shard count; a lone
+	// tombstone-trigger pick is still worth rebuilding. The loop above
+	// always picks >= 2 for fragments, so a singleton here is tombstone-
+	// driven and kept.
+	out := make([]int, 0, len(pick))
+	for s := range pick {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}

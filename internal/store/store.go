@@ -1,0 +1,95 @@
+// Package store holds the mutation-side building blocks of the shard
+// store: tombstone bitsets (per-shard deleted-row masks consulted during
+// the search merge), an epoch-versioned atomic cell for copy-on-write
+// index swaps, a memtable accumulating pending inserts until a shard
+// build is worthwhile, and the compaction policy deciding which shards a
+// background compactor should rebuild.
+//
+// The package is deliberately free of index types: the root gkmeans
+// package imports it for tombstones, and the serving layer composes the
+// rest around *gkmeans.Index values, so no import cycle arises. Everything
+// here is deterministic — no randomness, no clocks — because compaction
+// and replay must reproduce bit-identical shard sets.
+package store
+
+import "fmt"
+
+// Bits is a fixed-size bitset recording deleted rows of one shard. The
+// zero value is unusable; create one with NewBits. Bits is not
+// concurrency-safe for writing — mutation happens copy-on-write (clone,
+// set, swap), so readers only ever observe immutable snapshots.
+type Bits struct {
+	n     int
+	count int
+	words []uint64
+}
+
+// NewBits returns an empty bitset over n rows.
+func NewBits(n int) *Bits {
+	if n < 0 {
+		panic(fmt.Sprintf("store: negative bitset size %d", n))
+	}
+	return &Bits{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the number of rows the set covers.
+func (b *Bits) Len() int { return b.n }
+
+// Count returns how many bits are set.
+func (b *Bits) Count() int { return b.count }
+
+// Get reports whether bit i is set. i out of range panics.
+func (b *Bits) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("store: bit %d out of range [0,%d)", i, b.n))
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets bit i and reports whether the set changed (false when the bit
+// was already set). i out of range panics.
+func (b *Bits) Set(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("store: bit %d out of range [0,%d)", i, b.n))
+	}
+	mask := uint64(1) << (uint(i) & 63)
+	if b.words[i>>6]&mask != 0 {
+		return false
+	}
+	b.words[i>>6] |= mask
+	b.count++
+	return true
+}
+
+// Clone returns an independent copy.
+func (b *Bits) Clone() *Bits {
+	words := make([]uint64, len(b.words))
+	copy(words, b.words)
+	return &Bits{n: b.n, count: b.count, words: words}
+}
+
+// Words exposes the backing words for persistence. Callers must treat the
+// slice as read-only.
+func (b *Bits) Words() []uint64 { return b.words }
+
+// BitsFromWords reconstructs a bitset over n rows from persisted words.
+// The word count must match exactly and no bit at index >= n may be set,
+// so a corrupt tombstone section fails loudly instead of resurrecting or
+// killing rows it does not cover.
+func BitsFromWords(n int, words []uint64) (*Bits, error) {
+	if want := (n + 63) / 64; len(words) != want {
+		return nil, fmt.Errorf("store: tombstone bitmap has %d words for %d rows (want %d)", len(words), n, want)
+	}
+	b := &Bits{n: n, words: words}
+	for i, w := range words {
+		if hi := (i + 1) * 64; hi > n {
+			if tail := w >> (uint(n) & 63); n%64 != 0 && tail != 0 {
+				return nil, fmt.Errorf("store: tombstone bitmap sets bits beyond row %d", n)
+			}
+		}
+		for ; w != 0; w &= w - 1 {
+			b.count++
+		}
+	}
+	return b, nil
+}

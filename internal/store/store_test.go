@@ -1,0 +1,184 @@
+package store
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBitsSetGetCount(t *testing.T) {
+	b := NewBits(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatalf("fresh bits: Len=%d Count=%d", b.Len(), b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if b.Get(i) {
+			t.Fatalf("bit %d set in a fresh set", i)
+		}
+		if !b.Set(i) {
+			t.Fatalf("Set(%d) reported no change", i)
+		}
+		if b.Set(i) {
+			t.Fatalf("second Set(%d) reported a change", i)
+		}
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+
+	c := b.Clone()
+	c.Set(5)
+	if b.Get(5) || b.Count() != 4 || c.Count() != 5 {
+		t.Fatal("Clone shares storage with the original")
+	}
+
+	for _, bad := range []int{-1, 130} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Get(%d) did not panic", bad)
+				}
+			}()
+			b.Get(bad)
+		}()
+	}
+}
+
+func TestBitsFromWords(t *testing.T) {
+	b := NewBits(70)
+	b.Set(1)
+	b.Set(69)
+	words := make([]uint64, len(b.Words()))
+	copy(words, b.Words())
+	got, err := BitsFromWords(70, words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != 2 || !got.Get(1) || !got.Get(69) || got.Get(0) {
+		t.Fatalf("round-tripped bits differ: count=%d", got.Count())
+	}
+	if _, err := BitsFromWords(70, words[:1]); err == nil {
+		t.Fatal("short word slice accepted")
+	}
+	if _, err := BitsFromWords(65, []uint64{0, 1 << 5}); err == nil {
+		t.Fatal("bit beyond n accepted")
+	}
+	if _, err := BitsFromWords(64, []uint64{^uint64(0)}); err != nil {
+		t.Fatalf("full final word rejected: %v", err)
+	}
+}
+
+func TestVersionedSwapEpochs(t *testing.T) {
+	var v Versioned[string]
+	if val, epoch := v.Load(); val != "" || epoch != 0 {
+		t.Fatalf("empty cell: %q @ %d", val, epoch)
+	}
+	if e := v.Swap("a"); e != 1 {
+		t.Fatalf("first Swap epoch %d", e)
+	}
+	if val, epoch := v.Load(); val != "a" || epoch != 1 {
+		t.Fatalf("after first swap: %q @ %d", val, epoch)
+	}
+	if e := v.Swap("b"); e != 2 {
+		t.Fatalf("second Swap epoch %d", e)
+	}
+
+	// Concurrent swaps must produce strictly increasing unique epochs.
+	const writers, swaps = 8, 50
+	epochs := make([][]uint64, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < swaps; i++ {
+				epochs[w] = append(epochs[w], v.Swap("x"))
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, es := range epochs {
+		for _, e := range es {
+			if seen[e] {
+				t.Fatalf("epoch %d issued twice", e)
+			}
+			seen[e] = true
+		}
+	}
+	if _, epoch := v.Load(); int(epoch) != 2+writers*swaps {
+		t.Fatalf("final epoch %d, want %d", epoch, 2+writers*swaps)
+	}
+}
+
+func TestMemtable(t *testing.T) {
+	m := NewMemtable(3)
+	m.Add([]float32{1, 2, 3})
+	m.Add([]float32{4, 5, 6})
+	if m.Rows() != 2 || m.Dim() != 3 {
+		t.Fatalf("Rows=%d Dim=%d", m.Rows(), m.Dim())
+	}
+	if d := m.Data(); len(d) != 6 || d[4] != 5 {
+		t.Fatalf("Data = %v", d)
+	}
+	m.Reset()
+	if m.Rows() != 0 || len(m.Data()) != 0 {
+		t.Fatalf("after Reset: Rows=%d", m.Rows())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged Add did not panic")
+		}
+	}()
+	m.Add([]float32{1})
+}
+
+func TestPolicyPlan(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	if !DefaultPolicy.Enabled() {
+		t.Fatal("default policy reports disabled")
+	}
+
+	// Tombstone trigger: only the over-ratio shard is picked.
+	p := Policy{TombRatio: 0.25}
+	stats := []ShardStat{
+		{Rows: 100, Deleted: 10},
+		{Rows: 100, Deleted: 30},
+		{Rows: 0, Deleted: 0},
+	}
+	if got := p.Plan(stats); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("tombstone plan = %v, want [1]", got)
+	}
+
+	// Fragment trigger: the excess+1 smallest-live shards merge into one.
+	p = Policy{MaxFragments: 3}
+	stats = []ShardStat{
+		{Rows: 500}, {Rows: 10}, {Rows: 300}, {Rows: 20, Deleted: 15}, {Rows: 400},
+	}
+	// 5 shards, max 3 → merge 3 smallest by live rows: shards 3 (live 5),
+	// 1 (live 10) and 2 (live 300)? No — excess+1 = 3 picks live 5, 10, 300.
+	if got := p.Plan(stats); len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("fragment plan = %v, want [1 2 3]", got)
+	}
+
+	// No trigger → nil.
+	if got := DefaultPolicy.Plan([]ShardStat{{Rows: 100, Deleted: 2}}); got != nil {
+		t.Fatalf("quiet plan = %v, want nil", got)
+	}
+
+	// Determinism: the same stats always plan the same shards.
+	a := DefaultPolicy.Plan(stats)
+	b := DefaultPolicy.Plan(stats)
+	if len(a) != len(b) {
+		t.Fatalf("plans differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plans differ: %v vs %v", a, b)
+		}
+	}
+}

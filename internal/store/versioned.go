@@ -1,0 +1,47 @@
+package store
+
+import "sync/atomic"
+
+// Versioned is an epoch-versioned atomic cell: the serving registry keeps
+// each index's current shard set in one, so the write path can swap in a
+// rebuilt copy-on-write value while readers load a consistent (value,
+// epoch) pair with a single atomic operation — a reader can never observe
+// a torn shard set, and the epoch lets caches and tests detect swaps.
+//
+// The zero value is empty: Load returns the zero T at epoch 0 until the
+// first Swap.
+type Versioned[T any] struct {
+	p atomic.Pointer[snapshot[T]]
+}
+
+type snapshot[T any] struct {
+	val   T
+	epoch uint64
+}
+
+// Load returns the current value and its epoch (0 when nothing was ever
+// stored).
+func (v *Versioned[T]) Load() (T, uint64) {
+	s := v.p.Load()
+	if s == nil {
+		var zero T
+		return zero, 0
+	}
+	return s.val, s.epoch
+}
+
+// Swap publishes val as the new current value and returns its epoch,
+// which is exactly one greater than the previous one even under
+// concurrent swaps.
+func (v *Versioned[T]) Swap(val T) uint64 {
+	for {
+		old := v.p.Load()
+		next := &snapshot[T]{val: val, epoch: 1}
+		if old != nil {
+			next.epoch = old.epoch + 1
+		}
+		if v.p.CompareAndSwap(old, next) {
+			return next.epoch
+		}
+	}
+}

@@ -1,0 +1,537 @@
+package gkmeans
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"gkmeans/internal/checked"
+	"gkmeans/internal/store"
+)
+
+// Mutation: Append, Delete and Compact grow, shrink and consolidate an
+// index without ever touching a published value. Every mutation is
+// copy-on-write — it returns a new *Index sharing every unchanged shard
+// (sub-index, graph, searcher) with the receiver — so concurrent readers
+// of the old value keep answering queries from a consistent snapshot and
+// a serving layer promotes the new value with one atomic swap.
+//
+// The unit of mutation is the shard (PR 5's fan-out already merges
+// per-shard results): Append builds one new shard over the fresh vectors,
+// Delete marks rows in per-shard tombstone bitmaps that every search
+// skips, and Compact rebuilds tombstone-heavy or fragmented shards from
+// their live rows only. External ids are stable for the life of a vector:
+// Append assigns them from a monotone counter and a compacted shard keeps
+// an explicit id map for its surviving rows, so compaction changes which
+// shard answers for a vector but never its id.
+
+// ShardInfo describes one shard of an index for operational decisions
+// (compaction policy, stats endpoints). A monolithic index reports a
+// single entry.
+type ShardInfo struct {
+	Rows    int    // physical rows, live and tombstoned
+	Deleted int    // tombstoned rows
+	Live    int    // Rows - Deleted
+	Gen     uint64 // build generation: 0 at Build, counting up per mutation
+}
+
+// idBound returns the lowest never-assigned external id: every id in the
+// index is below it. For an index that was never mutated this is the row
+// count.
+func (x *Index) idBound() int32 {
+	if x.nextID > 0 {
+		return x.nextID
+	}
+	return checked.Int32(x.data.N)
+}
+
+// IDBound returns the exclusive upper bound of the external ids in use:
+// Append assigns ids starting here. Serving layers use it to pre-assign
+// ids to vectors buffered ahead of a shard build.
+func (x *Index) IDBound() int32 { return x.idBound() }
+
+// shardCount returns the number of physical shards, counting a monolithic
+// index as one.
+func (x *Index) shardCount() int {
+	if x.Sharded() {
+		return len(x.shards)
+	}
+	return 1
+}
+
+// shardRows returns shard s's physical row count.
+func (x *Index) shardRows(s int) int {
+	if x.Sharded() {
+		return x.shards[s].N()
+	}
+	return x.data.N
+}
+
+// shardTomb returns shard s's tombstone bitmap, or nil when the shard has
+// none. Safe on indexes that were never mutated (nil slice).
+func (x *Index) shardTomb(s int) *store.Bits {
+	if s < len(x.tombs) {
+		return x.tombs[s]
+	}
+	return nil
+}
+
+// shardIDMap returns shard s's explicit external-id map, or nil when the
+// shard uses base+local ids.
+func (x *Index) shardIDMap(s int) []int32 {
+	if s < len(x.shardIDs) {
+		return x.shardIDs[s]
+	}
+	return nil
+}
+
+// shardBaseOf returns shard s's external base id (0 for a monolithic
+// index).
+func (x *Index) shardBaseOf(s int) int32 {
+	if s < len(x.shardBase) {
+		return x.shardBase[s]
+	}
+	return 0
+}
+
+// shardGeneration returns shard s's build generation.
+func (x *Index) shardGeneration(s int) uint64 {
+	if s < len(x.shardGen) {
+		return x.shardGen[s]
+	}
+	return 0
+}
+
+// maxGen returns the highest shard generation.
+func (x *Index) maxGen() uint64 {
+	var g uint64
+	for _, v := range x.shardGen {
+		if v > g {
+			g = v
+		}
+	}
+	return g
+}
+
+// ShardInfos returns one ShardInfo per shard (a single entry for a
+// monolithic index), the input of the compaction policy.
+func (x *Index) ShardInfos() []ShardInfo {
+	out := make([]ShardInfo, x.shardCount())
+	for s := range out {
+		rows := x.shardRows(s)
+		del := 0
+		if t := x.shardTomb(s); t != nil {
+			del = t.Count()
+		}
+		out[s] = ShardInfo{Rows: rows, Deleted: del, Live: rows - del, Gen: x.shardGeneration(s)}
+	}
+	return out
+}
+
+// Deleted returns the number of tombstoned rows across all shards.
+func (x *Index) Deleted() int {
+	del := 0
+	for _, t := range x.tombs {
+		if t != nil {
+			del += t.Count()
+		}
+	}
+	return del
+}
+
+// Live returns the number of searchable rows: N() minus Deleted().
+func (x *Index) Live() int { return x.N() - x.Deleted() }
+
+// cloneShell returns a new Index sharing every component of x. The
+// searcher is adopted (not rebuilt) when x already constructed one; the
+// sync fields themselves are never copied.
+func (x *Index) cloneShell() *Index {
+	y := &Index{
+		data: x.data, graph: x.graph,
+		shards: x.shards, shardBase: x.shardBase,
+		shardIDs: x.shardIDs, shardGen: x.shardGen, tombs: x.tombs,
+		clusters: x.clusters, graphTime: x.graphTime, cfg: x.cfg, nextID: x.nextID,
+	}
+	if !x.Sharded() {
+		if s := x.searcher.Load(); s != nil {
+			y.searcherOnce.Do(func() { y.searcher.Store(s) })
+		}
+	}
+	return y
+}
+
+// locate maps an external id to its (shard, local row), scanning id maps
+// where present. ok is false for an id the index never assigned or that
+// compaction has already reclaimed.
+func (x *Index) locate(id int32) (shard, local int, ok bool) {
+	if id < 0 {
+		return 0, 0, false
+	}
+	if !x.Sharded() {
+		if int(id) < x.data.N {
+			return 0, int(id), true
+		}
+		return 0, 0, false
+	}
+	for s, sh := range x.shards {
+		if ids := x.shardIDMap(s); ids != nil {
+			// Compacted shards carry explicit ids; a linear scan keeps the
+			// id map free of auxiliary structures. Deletes are rare next to
+			// searches, so the O(rows) cost sits off the hot path.
+			for l, v := range ids {
+				if v == id {
+					return s, l, true
+				}
+			}
+			continue
+		}
+		base := x.shardBaseOf(s)
+		if id >= base && int(id-base) < sh.N() {
+			return s, int(id - base), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Append builds one new shard over vectors and returns a new *Index
+// serving both the old rows and the new ones. The receiver is not
+// modified: every existing shard — graph, searcher, tombstones — is
+// shared with the result, so readers of the old value stay valid while
+// the caller swaps the new one in. The appended vectors are assigned the
+// external ids IDBound()..IDBound()+vectors.N-1, in order.
+//
+// The new shard is built with the receiver's Build-time options (seed,
+// workers, builder, κ/ξ/τ) through the same pipeline as WithShards
+// shards. vectors needs at least two rows (a k-NN graph needs a
+// neighbour); serving layers buffer single inserts until a build is due.
+// An index carrying a Build-time clustering refuses Append — the labels
+// cannot cover rows that did not exist — as does one whose id space
+// would overflow int32.
+//
+// Every Append adds a shard, and every shard adds per-query fan-out
+// work; pair Append with Compact (or the serving compactor) to fold
+// accumulated small shards back into large ones.
+func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if vectors == nil || vectors.N == 0 {
+		return nil, fmt.Errorf("gkmeans: Append needs a non-empty vector set")
+	}
+	if vectors.Dim != x.data.Dim {
+		return nil, fmt.Errorf("gkmeans: appending %d-dimensional vectors to a %d-dimensional index", vectors.Dim, x.data.Dim)
+	}
+	if vectors.N < minShardRows {
+		return nil, fmt.Errorf("gkmeans: Append needs at least %d vectors to build a shard graph, got %d", minShardRows, vectors.N)
+	}
+	if x.clusters != nil {
+		return nil, fmt.Errorf("gkmeans: Append on an index with a Build-time clustering; rebuild without WithClusters")
+	}
+	bound := x.idBound()
+	if int64(bound)+int64(vectors.N) > math.MaxInt32 {
+		return nil, fmt.Errorf("gkmeans: appending %d vectors would overflow the int32 id space at %d", vectors.N, bound)
+	}
+
+	// The parent matrix is rebuilt as old rows + new rows (persistence and
+	// Data() expect one contiguous dataset), but the new shard is built
+	// over its own copy of the vectors: a shard must not pin a whole
+	// concatenated matrix in memory once a later Append replaces it.
+	total := x.data.N + vectors.N
+	newData := NewMatrix(total, x.data.Dim)
+	copy(newData.Data[:len(x.data.Data)], x.data.Data)
+	copy(newData.Data[len(x.data.Data):], vectors.Data)
+	own := NewMatrix(vectors.N, vectors.Dim)
+	copy(own.Data, vectors.Data)
+
+	shardCfg := x.cfg
+	shardCfg.shards = 0
+	shardCfg.clusterK = 0
+	shardCfg.progress = nil
+	built, graphTime, err := buildShardLoop(ctx, own, shardCfg, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	n := x.shardCount()
+	shards := make([]*Index, n, n+1)
+	base := make([]int32, n, n+1)
+	ids := make([][]int32, n, n+1)
+	gens := make([]uint64, n, n+1)
+	tombs := make([]*store.Bits, n, n+1)
+	if x.Sharded() {
+		copy(shards, x.shards)
+		copy(base, x.shardBase)
+		copy(ids, x.shardIDs)
+		copy(gens, x.shardGen)
+		copy(tombs, x.tombs)
+	} else {
+		// The receiver itself becomes shard 0: it is a complete monolithic
+		// index over exactly the old rows, searcher included.
+		shards[0] = x
+		tombs[0] = x.shardTomb(0)
+	}
+	y := &Index{
+		data:      newData,
+		shards:    append(shards, built[0]),
+		shardBase: append(base, bound),
+		shardIDs:  append(ids, nil),
+		shardGen:  append(gens, x.maxGen()+1),
+		tombs:     append(tombs, nil),
+		graphTime: x.graphTime + graphTime,
+		cfg:       x.cfg,
+		nextID:    checked.Int32(int(bound) + vectors.N),
+	}
+	return y, nil
+}
+
+// Delete tombstones the vectors with the given external ids and returns a
+// new *Index that skips them in every search. The receiver is not
+// modified (copy-on-write: only the affected shards' bitmaps are copied),
+// so readers of the old value still see the rows. Deleting an
+// already-deleted id is a no-op; an id the index never assigned — or one
+// compaction has reclaimed — is an error and no new index is produced.
+// The rows' storage is reclaimed by Compact, not here. A Build-time
+// clustering does not carry over: its labels would keep covering deleted
+// rows.
+func (x *Index) Delete(ids ...int32) (*Index, error) {
+	if len(ids) == 0 {
+		return x, nil
+	}
+	n := x.shardCount()
+	tombs := make([]*store.Bits, n)
+	copy(tombs, x.tombs)
+	owned := make([]bool, n)
+	for _, id := range ids {
+		s, local, ok := x.locate(id)
+		if !ok {
+			return nil, fmt.Errorf("gkmeans: Delete of unknown id %d", id)
+		}
+		if !owned[s] {
+			if tombs[s] == nil {
+				tombs[s] = store.NewBits(x.shardRows(s))
+			} else {
+				tombs[s] = tombs[s].Clone()
+			}
+			owned[s] = true
+		}
+		tombs[s].Set(local)
+	}
+	y := x.cloneShell()
+	y.tombs = tombs
+	y.clusters = nil
+	return y, nil
+}
+
+// Compact rebuilds the given shards (all of them when none are named)
+// from their live rows only, merged into one fresh shard, and returns a
+// new *Index: tombstoned rows are physically dropped, their tombstones
+// disappear, and the shard count shrinks by len(targets)-1. Unnamed
+// shards are shared with the receiver untouched, and surviving rows keep
+// their external ids (the merged shard carries an explicit id map when
+// the ids are no longer contiguous), so the only observable change is
+// that searches stop paying for dead rows and extra fan-out.
+//
+// The merged shard is built with the receiver's Build-time options; on a
+// serving path, run Compact off the request path and swap the result in
+// (the background compactor in gkmeans/internal/server does exactly
+// that). Compacting away every row of the index is refused, as is a
+// selection whose live remainder is too small to carry a graph.
+func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := x.shardCount()
+	if len(targets) == 0 {
+		targets = make([]int, n)
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	inTarget := make([]bool, n)
+	for _, s := range targets {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("gkmeans: Compact of shard %d, index has %d", s, n)
+		}
+		if inTarget[s] {
+			return nil, fmt.Errorf("gkmeans: Compact names shard %d twice", s)
+		}
+		inTarget[s] = true
+	}
+	if x.clusters != nil {
+		return nil, fmt.Errorf("gkmeans: Compact on an index with a Build-time clustering; rebuild without WithClusters")
+	}
+
+	mergedLive := 0
+	for s := 0; s < n; s++ {
+		if inTarget[s] {
+			del := 0
+			if t := x.shardTomb(s); t != nil {
+				del = t.Count()
+			}
+			mergedLive += x.shardRows(s) - del
+		}
+	}
+	// A merged shard below the graph minimum cannot be built on its own:
+	// widen the selection with the smallest untargeted shards until it
+	// carries enough live rows (or nothing is left to widen with).
+	for mergedLive > 0 && mergedLive < minShardRows {
+		best := -1
+		for s := 0; s < n; s++ {
+			if !inTarget[s] && (best < 0 || x.shardRows(s) < x.shardRows(best)) {
+				best = s
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("gkmeans: compaction would leave %d live rows, fewer than a graph needs (%d)", mergedLive, minShardRows)
+		}
+		inTarget[best] = true
+		del := 0
+		if t := x.shardTomb(best); t != nil {
+			del = t.Count()
+		}
+		mergedLive += x.shardRows(best) - del
+	}
+
+	first := -1
+	for s := 0; s < n; s++ {
+		if inTarget[s] {
+			first = s
+			break
+		}
+	}
+
+	// Lay out the new parent matrix in shard order, the merged live rows
+	// taking the first target's place, and collect their external ids.
+	keptRows := 0
+	for s := 0; s < n; s++ {
+		if !inTarget[s] {
+			keptRows += x.shardRows(s)
+		}
+	}
+	if keptRows+mergedLive == 0 {
+		return nil, fmt.Errorf("gkmeans: compaction would empty the index (every row is deleted)")
+	}
+
+	newData := NewMatrix(keptRows+mergedLive, x.data.Dim)
+	mergedIDs := make([]int32, 0, mergedLive)
+	var layout []int // untargeted shards, in order
+	row := 0
+	mergedLo := -1
+	copyRow := func(dst int, src []float32) { copy(newData.Row(dst), src) }
+	srcRow := func(s, l int) []float32 {
+		if x.Sharded() {
+			return x.shards[s].data.Row(l)
+		}
+		return x.data.Row(l)
+	}
+	for s := 0; s < n; s++ {
+		switch {
+		case s == first:
+			mergedLo = row
+			for t := s; t < n; t++ {
+				if !inTarget[t] {
+					continue
+				}
+				tomb := x.shardTomb(t)
+				idmap := x.shardIDMap(t)
+				tbase := x.shardBaseOf(t)
+				for l := 0; l < x.shardRows(t); l++ {
+					if tomb != nil && tomb.Get(l) {
+						continue
+					}
+					copyRow(row, srcRow(t, l))
+					if idmap != nil {
+						mergedIDs = append(mergedIDs, idmap[l])
+					} else {
+						mergedIDs = append(mergedIDs, tbase+checked.Int32(l))
+					}
+					row++
+				}
+			}
+		case inTarget[s]:
+			// Folded into the merged shard above.
+		default:
+			for l := 0; l < x.shardRows(s); l++ {
+				copyRow(row, srcRow(s, l))
+				row++
+			}
+			layout = append(layout, s)
+		}
+	}
+
+	var merged *Index
+	var mergedTime = x.graphTime
+	if mergedLive > 0 {
+		shardCfg := x.cfg
+		shardCfg.shards = 0
+		shardCfg.clusterK = 0
+		shardCfg.progress = nil
+		built, graphTime, err := buildShardLoop(ctx, shardView(newData, mergedLo, mergedLo+mergedLive), shardCfg, 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		merged = built[0]
+		mergedTime += graphTime
+	}
+
+	// If the surviving ids are still base+local, drop the id map: the
+	// shard persists and serves exactly like an unmutated one.
+	var mergedMap []int32
+	mergedBase := int32(0)
+	if merged != nil {
+		mergedBase = mergedIDs[0]
+		for l, id := range mergedIDs {
+			if id != mergedBase+checked.Int32(l) {
+				mergedMap = mergedIDs
+				break
+			}
+		}
+	}
+
+	gen := x.maxGen() + 1
+	var shards []*Index
+	var base []int32
+	var ids [][]int32
+	var gens []uint64
+	var tombs []*store.Bits
+	li := 0
+	for s := 0; s < n; s++ {
+		switch {
+		case s == first && merged != nil:
+			shards = append(shards, merged)
+			base = append(base, mergedBase)
+			ids = append(ids, mergedMap)
+			gens = append(gens, gen)
+			tombs = append(tombs, nil)
+		case inTarget[s]:
+			// Dropped (either folded into merged, or fully dead).
+		default:
+			k := layout[li]
+			li++
+			var sub *Index
+			if x.Sharded() {
+				sub = x.shards[k]
+			} else {
+				sub = x
+			}
+			shards = append(shards, sub)
+			base = append(base, x.shardBaseOf(k))
+			ids = append(ids, x.shardIDMap(k))
+			gens = append(gens, x.shardGeneration(k))
+			tombs = append(tombs, x.shardTomb(k))
+		}
+	}
+
+	y := &Index{
+		data:      newData,
+		shards:    shards,
+		shardBase: base,
+		shardIDs:  ids,
+		shardGen:  gens,
+		tombs:     tombs,
+		graphTime: mergedTime,
+		cfg:       x.cfg,
+		nextID:    x.idBound(),
+	}
+	return y, nil
+}

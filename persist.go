@@ -10,6 +10,7 @@ import (
 
 	"gkmeans/internal/checked"
 	"gkmeans/internal/knngraph"
+	"gkmeans/internal/store"
 	"gkmeans/internal/vec"
 )
 
@@ -44,20 +45,47 @@ import (
 //	per shard: k-NN graph segment (knngraph.WriteSection, exactly
 //	           "segment size" bytes over "rows" contiguous dataset rows)
 //
+// Version 3 — mutable: written when the index carries mutation state
+// (tombstones, id maps, generations, an id bound past the row count, or a
+// single-shard sharded form, all products of Append/Delete/Compact):
+//
+//	uint32  magic "GKIX"
+//	uint32  format version (3)
+//	uint32  flags (bit 1: sharded form, bit 2: tombstones present)
+//	uint32  requested entry points (0 = default)
+//	uint32  segment count (>= 1)
+//	uint32  id bound (lowest never-assigned external id, >= row count)
+//	matrix  full dataset       (vec.WriteMatrix)
+//	segment table: per segment {uint32 rows, uint32 seg flags,
+//	               uint64 graph size, uint64 generation, uint32 base,
+//	               4 pad bytes}
+//	per segment: k-NN graph segment (knngraph.WriteSection, exactly
+//	             "graph size" bytes), then — when the segment flags say
+//	             so — ceil(rows/64) uint64 tombstone words (bit set =
+//	             row deleted) and rows int32 external ids (the id map of
+//	             a compacted segment; absent segments use base + row)
+//
 // The segment table states every segment's exact byte size up front, so a
 // reader can locate, skip or parallel-load segments without parsing them,
 // and a truncated or inconsistent file fails with a clear error instead of
-// a misaligned read. Loaders accept both versions; writers emit v1 for
-// monolithic indexes (older readers keep working) and v2 only when there is
-// more than one segment to describe. See ARCHITECTURE.md for the full
-// format reference.
+// a misaligned read. Loaders accept all three versions; writers emit v1
+// for plain monolithic indexes and v2 for plain sharded ones (older
+// readers keep working, and saving an unmutated index stays byte-stable
+// across this change), reserving v3 for indexes that actually carry
+// mutation state. See ARCHITECTURE.md for the full format reference.
 const (
 	indexMagic          = uint32(0x474b4958) // "GKIX"
 	indexVersionSingle  = uint32(1)
 	indexVersionSharded = uint32(2)
+	indexVersionMutable = uint32(3)
 
 	flagClusters = uint32(1 << 0)
 	flagSharded  = uint32(1 << 1)
+	flagTombs    = uint32(1 << 2)
+
+	// Per-segment flags of the v3 segment table.
+	segFlagTombs = uint32(1 << 0)
+	segFlagIDMap = uint32(1 << 1)
 
 	// maxShardSegments bounds the segment-table allocation against corrupt
 	// headers; it is far above any sane shard count (every shard needs at
@@ -71,6 +99,18 @@ type segmentEntry struct {
 	Rows uint32
 	_    uint32
 	Size uint64 // segment byte count (the shard's graph section)
+}
+
+// segmentEntryV3 is one row of the v3 segment table: the v2 fields plus
+// the segment's mutation metadata. The blank field pads the entry to a
+// round 32 bytes.
+type segmentEntryV3 struct {
+	Rows  uint32
+	Flags uint32 // segFlagTombs, segFlagIDMap
+	Size  uint64 // graph section byte count
+	Gen   uint64 // build generation
+	Base  uint32 // first external id (unused when an id map is present)
+	_     uint32
 }
 
 // countingWriter tracks bytes written so WriteTo can satisfy io.WriterTo.
@@ -112,11 +152,40 @@ func (x *Index) diskEntries() uint32 {
 	return uint32(x.cfg.entries)
 }
 
+// needsV3 reports whether the index carries mutation state only the v3
+// layout can express: tombstones, id maps, nonzero generations, an id
+// bound past the row count, or the single-shard sharded form Compact can
+// produce (v2 requires >= 2 segments).
+func (x *Index) needsV3() bool {
+	if x.Deleted() > 0 {
+		return true
+	}
+	for _, m := range x.shardIDs {
+		if m != nil {
+			return true
+		}
+	}
+	for _, g := range x.shardGen {
+		if g != 0 {
+			return true
+		}
+	}
+	if x.nextID != 0 && int(x.nextID) != x.data.N {
+		return true
+	}
+	return x.Sharded() && len(x.shards) == 1
+}
+
 // WriteTo serialises the whole index to w and returns the number of bytes
-// written. It implements io.WriterTo. Monolithic indexes write the v1
-// single-segment layout; sharded indexes write the v2 multi-segment one.
+// written. It implements io.WriterTo. Plain monolithic indexes write the
+// v1 single-segment layout and plain sharded ones the v2 multi-segment
+// one; an index carrying mutation state writes v3.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
+	if x.needsV3() {
+		err := x.writeV3(cw)
+		return cw.n, err
+	}
 	if x.Sharded() {
 		err := x.writeSharded(cw)
 		return cw.n, err
@@ -185,6 +254,78 @@ func (x *Index) writeSharded(cw *countingWriter) error {
 	return nil
 }
 
+// writeV3 emits the mutable layout: the v2 shape extended with the id
+// bound in the header and per-segment generation, base, tombstone bitmap
+// and id map. A monolithic index writes one segment without the sharded
+// flag.
+func (x *Index) writeV3(cw *countingWriter) error {
+	if x.clusters != nil {
+		// Unreachable: every mutation drops or refuses a clustering.
+		return fmt.Errorf("gkmeans: internal error: mutated index carries a clustering")
+	}
+	segs := x.shardCount()
+	flags := uint32(0)
+	if x.Sharded() {
+		flags |= flagSharded
+	}
+	if x.Deleted() > 0 {
+		flags |= flagTombs
+	}
+	hdr := []uint32{indexMagic, indexVersionMutable, flags, x.diskEntries(),
+		checked.U32(segs), uint32(x.idBound())}
+	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if _, err := vec.WriteMatrix(cw, x.data); err != nil {
+		return err
+	}
+	graphOf := func(s int) *knngraph.Graph {
+		if x.Sharded() {
+			return x.shards[s].graph
+		}
+		return x.graph
+	}
+	table := make([]segmentEntryV3, segs)
+	for s := range table {
+		e := segmentEntryV3{
+			Rows: checked.U32(x.shardRows(s)),
+			Size: uint64(graphOf(s).SectionSize()),
+			Gen:  x.shardGeneration(s),
+			Base: uint32(x.shardBaseOf(s)),
+		}
+		if t := x.shardTomb(s); t != nil && t.Count() > 0 {
+			e.Flags |= segFlagTombs
+		}
+		if x.shardIDMap(s) != nil {
+			e.Flags |= segFlagIDMap
+		}
+		table[s] = e
+	}
+	if err := binary.Write(cw, binary.LittleEndian, table); err != nil {
+		return err
+	}
+	for s, e := range table {
+		before := cw.n
+		if _, err := graphOf(s).WriteSection(cw); err != nil {
+			return err
+		}
+		if got := uint64(cw.n - before); got != e.Size {
+			return fmt.Errorf("gkmeans: internal error: segment %d wrote %d bytes, table says %d", s, got, e.Size)
+		}
+		if e.Flags&segFlagTombs != 0 {
+			if err := binary.Write(cw, binary.LittleEndian, x.shardTomb(s).Words()); err != nil {
+				return err
+			}
+		}
+		if e.Flags&segFlagIDMap != 0 {
+			if err := binary.Write(cw, binary.LittleEndian, x.shardIDMap(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // ReadIndexFrom deserialises an index written by WriteTo — either layout
 // version. The loaded index is immediately ready for Search, SearchBatch
 // and (when monolithic) Cluster, and answers searches identically to the
@@ -203,9 +344,11 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 		return readSingle(r, flags, entries)
 	case indexVersionSharded:
 		return readSharded(r, flags, entries)
+	case indexVersionMutable:
+		return readV3(r, flags, entries)
 	}
-	return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d or %d)",
-		hdr[1], indexVersionSingle, indexVersionSharded)
+	return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d, %d or %d)",
+		hdr[1], indexVersionSingle, indexVersionSharded, indexVersionMutable)
 }
 
 // readSingle loads the body of a v1 single-segment container.
@@ -300,6 +443,128 @@ func readSharded(r io.Reader, flags uint32, entries int) (*Index, error) {
 		row += rows
 	}
 	return newShardedIndex(data, shards, config{entries: entries, shards: nShards}), nil
+}
+
+// readV3 loads the body of a v3 mutable container. Every piece of mutation
+// metadata is validated against the dataset and the id bound: a corrupt
+// file fails loudly instead of producing an index whose ids alias or whose
+// tombstones cover rows that do not exist.
+func readV3(r io.Reader, flags uint32, entries int) (*Index, error) {
+	var tail [2]uint32
+	if err := binary.Read(r, binary.LittleEndian, tail[:]); err != nil {
+		return nil, fmt.Errorf("gkmeans: reading mutable header: %w", err)
+	}
+	segs := int(tail[0])
+	if segs < 1 || segs > maxShardSegments {
+		return nil, fmt.Errorf("gkmeans: implausible segment count %d", segs)
+	}
+	if flags&flagSharded == 0 && segs != 1 {
+		return nil, fmt.Errorf("gkmeans: monolithic v3 index with %d segments", segs)
+	}
+	if tail[1] > math.MaxInt32 {
+		return nil, fmt.Errorf("gkmeans: id bound %d overflows int32", tail[1])
+	}
+	nextID := int32(tail[1])
+	data, err := vec.ReadMatrix(r)
+	if err != nil {
+		return nil, err
+	}
+	if int64(nextID) < int64(data.N) {
+		return nil, fmt.Errorf("gkmeans: id bound %d below row count %d", nextID, data.N)
+	}
+	table := make([]segmentEntryV3, segs)
+	if err := binary.Read(r, binary.LittleEndian, table); err != nil {
+		return nil, fmt.Errorf("gkmeans: reading segment table: %w", err)
+	}
+	totalRows := int64(0)
+	for _, e := range table {
+		totalRows += int64(e.Rows)
+	}
+	if totalRows != int64(data.N) {
+		return nil, fmt.Errorf("gkmeans: segment table covers %d rows, dataset has %d", totalRows, data.N)
+	}
+	cr := &countingReader{r: r}
+	shards := make([]*Index, segs)
+	bases := make([]int32, segs)
+	idmaps := make([][]int32, segs)
+	gens := make([]uint64, segs)
+	tombs := make([]*store.Bits, segs)
+	row := 0
+	for s, e := range table {
+		rows := int(e.Rows)
+		if e.Flags&^(segFlagTombs|segFlagIDMap) != 0 {
+			return nil, fmt.Errorf("gkmeans: segment %d has unknown flags %#x", s, e.Flags)
+		}
+		if e.Base > math.MaxInt32 {
+			return nil, fmt.Errorf("gkmeans: segment %d base %d overflows int32", s, e.Base)
+		}
+		before := cr.n
+		g, err := knngraph.ReadSection(cr)
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: reading segment %d: %w", s, err)
+		}
+		if got := uint64(cr.n - before); got != e.Size {
+			return nil, fmt.Errorf("gkmeans: segment %d consumed %d bytes, table says %d", s, got, e.Size)
+		}
+		if e.Flags&segFlagTombs != 0 {
+			words := make([]uint64, (rows+63)/64)
+			if err := binary.Read(cr, binary.LittleEndian, words); err != nil {
+				return nil, fmt.Errorf("gkmeans: reading segment %d tombstones: %w", s, err)
+			}
+			t, err := store.BitsFromWords(rows, words)
+			if err != nil {
+				return nil, fmt.Errorf("gkmeans: segment %d: %w", s, err)
+			}
+			tombs[s] = t
+		}
+		if e.Flags&segFlagIDMap != 0 {
+			if flags&flagSharded == 0 {
+				return nil, fmt.Errorf("gkmeans: monolithic v3 index with an id map")
+			}
+			ids := make([]int32, rows)
+			if err := binary.Read(cr, binary.LittleEndian, ids); err != nil {
+				return nil, fmt.Errorf("gkmeans: reading segment %d id map: %w", s, err)
+			}
+			for l, id := range ids {
+				if id < 0 || id >= nextID {
+					return nil, fmt.Errorf("gkmeans: segment %d maps row %d to id %d, outside [0,%d)", s, l, id, nextID)
+				}
+			}
+			idmaps[s] = ids
+			if rows > 0 {
+				bases[s] = ids[0]
+			}
+		} else {
+			if int64(e.Base)+int64(rows) > int64(nextID) {
+				return nil, fmt.Errorf("gkmeans: segment %d ids %d..%d exceed the id bound %d", s, e.Base, int64(e.Base)+int64(rows), nextID)
+			}
+			bases[s] = int32(e.Base)
+		}
+		gens[s] = e.Gen
+		shard, err := NewIndex(shardView(data, row, row+rows), g, WithEntryPoints(entries))
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: segment %d: %w", s, err)
+		}
+		shards[s] = shard
+		row += rows
+	}
+	if flags&flagSharded == 0 {
+		if table[0].Base != 0 {
+			return nil, fmt.Errorf("gkmeans: monolithic v3 index with base %d", table[0].Base)
+		}
+		x := shards[0]
+		x.tombs = tombs
+		if gens[0] != 0 {
+			x.shardGen = gens
+		}
+		x.nextID = nextID
+		return x, nil
+	}
+	return &Index{
+		data: data, shards: shards, shardBase: bases, shardIDs: idmaps,
+		shardGen: gens, tombs: tombs, nextID: nextID,
+		cfg: config{entries: entries, shards: segs},
+	}, nil
 }
 
 // writeFileAtomic writes through a temporary file in path's directory and

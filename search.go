@@ -68,10 +68,14 @@ func (x *Index) checkQueryDim(dim int) {
 // per-shard results merge into one global top-topK with global ids.
 func (x *Index) Search(q []float32, topK, ef int) []Neighbor {
 	x.checkQueryDim(len(q))
+	ef = defaultEf(topK, ef)
 	if x.Sharded() {
-		return x.searchSharded(q, topK, defaultEf(topK, ef))
+		return x.searchSharded(q, topK, ef)
 	}
-	return x.ensureSearcher().Search(q, topK, defaultEf(topK, ef))
+	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
+		return x.searchMonoLive(q, topK, ef)
+	}
+	return x.ensureSearcher().Search(q, topK, ef)
 }
 
 // SearchStats are the cumulative hot-path counters of an index's searcher,
@@ -118,10 +122,14 @@ func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
 	if queries.N > 0 {
 		x.checkQueryDim(queries.Dim)
 	}
+	ef = defaultEf(topK, ef)
 	if x.Sharded() {
-		return x.searchBatchSharded(queries, topK, defaultEf(topK, ef))
+		return x.searchBatchSharded(queries, topK, ef)
 	}
-	return anns.BatchSearch(x.ensureSearcher(), queries, topK, defaultEf(topK, ef), x.cfg.workers)
+	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
+		return x.searchBatchMonoLive(queries, topK, ef)
+	}
+	return anns.BatchSearch(x.ensureSearcher(), queries, topK, ef, x.cfg.workers)
 }
 
 // Recall evaluates the index on a query set against exact ground truth (one
@@ -130,6 +138,9 @@ func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
 func (x *Index) Recall(queries *Matrix, truth [][]int32, k, ef int) float64 {
 	if x.Sharded() {
 		return anns.RecallAtFunc(x.searchSharded, queries, truth, k, defaultEf(k, ef))
+	}
+	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
+		return anns.RecallAtFunc(x.searchMonoLive, queries, truth, k, defaultEf(k, ef))
 	}
 	return anns.RecallAt(x.ensureSearcher(), queries, truth, k, defaultEf(k, ef))
 }

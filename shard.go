@@ -125,9 +125,114 @@ func buildShardLoop(ctx context.Context, data *Matrix, shardCfg config, nShards 
 	return shards, graphTime, nil
 }
 
+// searchLocal answers a query against a monolithic index in shard-local id
+// space, applying no tombstone filter. It is the raw per-shard primitive of
+// the fan-out: the parent owns the tombstones (Delete copies bitmaps at the
+// parent level only) and applies them exactly once in searchShardGlobal —
+// the sub-index must not filter again even when it happens to be a former
+// monolithic index carrying its own bitmap (Append reuses the receiver as
+// shard 0).
+func (x *Index) searchLocal(q []float32, topK, ef int) []Neighbor {
+	return x.ensureSearcher().Search(q, topK, ef)
+}
+
+// searchShardGlobal answers a query against shard s, skips the shard's
+// tombstoned rows, and remaps the survivors to external ids. To keep topK
+// live results available after filtering, the shard search overfetches by
+// the shard's tombstone count (capped at the shard size) — the closest
+// topK+dead rows contain at least the closest topK live ones.
+func (x *Index) searchShardGlobal(s int, q []float32, topK, ef int) []Neighbor {
+	sh := x.shards[s]
+	tomb := x.shardTomb(s)
+	dead := 0
+	if tomb != nil {
+		dead = tomb.Count()
+	}
+	if dead == 0 {
+		return x.remapShard(s, sh.searchLocal(q, topK, ef))
+	}
+	k2 := topK + dead
+	if k2 > sh.N() {
+		k2 = sh.N()
+	}
+	ef2 := ef
+	if ef2 < k2 {
+		ef2 = k2
+	}
+	res := sh.searchLocal(q, k2, ef2)
+	live := res[:0]
+	for _, nb := range res {
+		if tomb.Get(int(nb.ID)) {
+			continue
+		}
+		live = append(live, nb)
+		if len(live) == topK {
+			break
+		}
+	}
+	return x.remapShard(s, live)
+}
+
+// remapShard rewrites shard s's local result ids to external ids, in
+// place: base + local for a contiguous shard, the explicit id map for a
+// compacted one.
+func (x *Index) remapShard(s int, res []Neighbor) []Neighbor {
+	if ids := x.shardIDMap(s); ids != nil {
+		for i := range res {
+			res[i].ID = ids[res[i].ID]
+		}
+		return res
+	}
+	if base := x.shardBaseOf(s); base != 0 {
+		for i := range res {
+			res[i].ID += base
+		}
+	}
+	return res
+}
+
+// searchMonoLive answers a query against a monolithic index that carries
+// tombstones: overfetch by the tombstone count, drop the dead rows, keep
+// the closest topK live ones. Monolithic ids are already external.
+func (x *Index) searchMonoLive(q []float32, topK, ef int) []Neighbor {
+	tomb := x.tombs[0]
+	k2 := topK + tomb.Count()
+	if k2 > x.data.N {
+		k2 = x.data.N
+	}
+	ef2 := ef
+	if ef2 < k2 {
+		ef2 = k2
+	}
+	res := x.searchLocal(q, k2, ef2)
+	live := res[:0]
+	for _, nb := range res {
+		if tomb.Get(int(nb.ID)) {
+			continue
+		}
+		live = append(live, nb)
+		if len(live) == topK {
+			break
+		}
+	}
+	return live
+}
+
+// searchBatchMonoLive is searchMonoLive across a batch, parallel over
+// queries. Each query's result is independent of the worker count.
+func (x *Index) searchBatchMonoLive(queries *Matrix, topK, ef int) [][]Neighbor {
+	out := make([][]Neighbor, queries.N)
+	parallel.For(queries.N, x.cfg.workers, func(lo, hi int) {
+		for qi := lo; qi < hi; qi++ {
+			out[qi] = x.searchMonoLive(queries.Row(qi), topK, ef)
+		}
+	})
+	return out
+}
+
 // searchSharded fans one query out across every shard concurrently — one
 // goroutine per shard, since a single query's latency is exactly what the
-// fan-out buys — and merges the per-shard top-k into the global top-k.
+// fan-out buys — and merges the per-shard live top-k into the global top-k.
 func (x *Index) searchSharded(q []float32, topK, ef int) []Neighbor {
 	parts := make([][]Neighbor, len(x.shards))
 	var wg sync.WaitGroup
@@ -135,11 +240,11 @@ func (x *Index) searchSharded(q []float32, topK, ef int) []Neighbor {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			parts[s] = x.shards[s].Search(q, topK, ef)
+			parts[s] = x.searchShardGlobal(s, q, topK, ef)
 		}(s)
 	}
 	wg.Wait()
-	return mergeShardResults(parts, x.shardBase, topK)
+	return mergeShardResults(parts, topK)
 }
 
 // searchBatchSharded answers a batch against a sharded index. Parallelism
@@ -153,29 +258,28 @@ func (x *Index) searchBatchSharded(queries *Matrix, topK, ef int) [][]Neighbor {
 		scratch := make([][]Neighbor, parts)
 		for qi := lo; qi < hi; qi++ {
 			q := queries.Row(qi)
-			for s, shard := range x.shards {
-				scratch[s] = shard.Search(q, topK, ef)
+			for s := range x.shards {
+				scratch[s] = x.searchShardGlobal(s, q, topK, ef)
 			}
-			out[qi] = mergeShardResults(scratch, x.shardBase, topK)
+			out[qi] = mergeShardResults(scratch, topK)
 		}
 	})
 	return out
 }
 
-// mergeShardResults remaps each shard's local result ids to global ids and
-// keeps the topK closest overall. Ties on distance are broken by ascending
-// id so the merged ranking is deterministic regardless of which shard
-// finished first.
-func mergeShardResults(parts [][]Neighbor, base []int32, topK int) []Neighbor {
+// mergeShardResults merges per-shard result lists — already filtered and
+// remapped to external ids by searchShardGlobal — and keeps the topK
+// closest overall. Ties on distance are broken by ascending id so the
+// merged ranking is deterministic regardless of which shard finished
+// first.
+func mergeShardResults(parts [][]Neighbor, topK int) []Neighbor {
 	total := 0
 	for _, p := range parts {
 		total += len(p)
 	}
 	merged := make([]Neighbor, 0, total)
-	for s, p := range parts {
-		for _, nb := range p {
-			merged = append(merged, Neighbor{ID: base[s] + nb.ID, Dist: nb.Dist})
-		}
+	for _, p := range parts {
+		merged = append(merged, p...)
 	}
 	sort.Slice(merged, func(i, j int) bool {
 		if merged[i].Dist != merged[j].Dist {

@@ -292,3 +292,39 @@ func TestShardsWithClustersErrorsEvenWhenClamped(t *testing.T) {
 		t.Fatal("WithShards + WithClusters accepted on a clamp-to-1 dataset")
 	}
 }
+
+// mergeShardResults is a pure k-way merge over already-remapped parts:
+// equal distances across shard boundaries must break ties by ascending
+// global id, and a topK beyond the surviving candidates returns them all.
+func TestMergeShardResultsTiesAcrossShards(t *testing.T) {
+	parts := [][]Neighbor{
+		{{ID: 10, Dist: 1.0}, {ID: 12, Dist: 2.0}},
+		{{ID: 3, Dist: 1.0}, {ID: 5, Dist: 2.0}},
+		{{ID: 7, Dist: 1.0}},
+	}
+	got := mergeShardResults(parts, 4)
+	want := []Neighbor{{ID: 3, Dist: 1.0}, {ID: 7, Dist: 1.0}, {ID: 10, Dist: 1.0}, {ID: 5, Dist: 2.0}}
+	assertSameNeighbors(t, "equal-distance ties across shards", got, want)
+
+	// Order of the parts must not matter: the merge sorts globally.
+	reversed := [][]Neighbor{parts[2], parts[1], parts[0]}
+	assertSameNeighbors(t, "part order independence", mergeShardResults(reversed, 4), want)
+}
+
+func TestMergeShardResultsTopKBeyondCandidates(t *testing.T) {
+	parts := [][]Neighbor{
+		{{ID: 4, Dist: 0.5}},
+		nil,
+		{{ID: 1, Dist: 0.25}},
+	}
+	got := mergeShardResults(parts, 10)
+	want := []Neighbor{{ID: 1, Dist: 0.25}, {ID: 4, Dist: 0.5}}
+	assertSameNeighbors(t, "topK larger than surviving candidates", got, want)
+
+	if res := mergeShardResults(nil, 3); len(res) != 0 {
+		t.Fatalf("merge of no parts returned %d results", len(res))
+	}
+	if res := mergeShardResults([][]Neighbor{nil, nil}, 3); len(res) != 0 {
+		t.Fatalf("merge of empty parts returned %d results", len(res))
+	}
+}
