@@ -16,12 +16,16 @@ type Neighbor struct {
 // of Query (single) or Queries (batch) must be set. TopK is the number of
 // neighbours to return; Ef bounds the candidate pool and follows the
 // library defaulting (ef <= 0 selects max(4·topK, 32), ef < topK is raised
-// to topK).
+// to topK). NProbe caps how many shards a routed index (gkmeans.WithRouting)
+// scans per query: 0 keeps the index's own default, values at or above the
+// shard count scan everything, and any positive value on an unrouted index
+// is rejected with 400 rather than silently ignored.
 type SearchRequest struct {
 	Query   []float32   `json:"query,omitempty"`
 	Queries [][]float32 `json:"queries,omitempty"`
 	TopK    int         `json:"top_k"`
 	Ef      int         `json:"ef,omitempty"`
+	NProbe  int         `json:"nprobe,omitempty"`
 }
 
 // SearchResponse carries one sorted neighbour list per query; a single-query
@@ -109,10 +113,13 @@ type IndexInfo struct {
 	Dim         int    `json:"dim"`
 	Shards      int    `json:"shards"`
 	HasClusters bool   `json:"has_clusters"`
-	Epoch       uint64 `json:"epoch"`
-	Live        int    `json:"live"`
-	Deleted     int    `json:"deleted"`
-	Pending     int    `json:"pending"`
+	// Routed reports whether the index carries per-shard routing centroids
+	// (gkmeans.WithRouting), which makes SearchRequest.NProbe usable.
+	Routed  bool   `json:"routed,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+	Live    int    `json:"live"`
+	Deleted int    `json:"deleted"`
+	Pending int    `json:"pending"`
 }
 
 // ListResponse is the body of GET /v1/indexes.
@@ -141,6 +148,13 @@ type IndexStats struct {
 	// the quantity the searcher's early-termination rule bounds.
 	DistanceComps      uint64 `json:"distance_comps"`
 	ExpandedCandidates uint64 `json:"expanded_candidates"`
+
+	// Routed-fan-out totals, zero on unrouted indexes. ShardsProbed counts
+	// shards actually scanned across every search; RoutedQueries counts the
+	// queries whose nprobe skipped at least one shard. ShardsProbed/Queries
+	// against the shard count shows how much fan-out routing saves.
+	ShardsProbed  uint64 `json:"shards_probed,omitempty"`
+	RoutedQueries uint64 `json:"routed_queries,omitempty"`
 
 	// Mutation counters. Inserts and Deletes count accepted vectors and
 	// ids; Flushes counts memtable→shard builds; Compactions counts

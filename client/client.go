@@ -4,7 +4,10 @@
 // index listing/registration and serving stats. Sharded indexes
 // (gkmeans.WithShards) serve transparently — search requests and results
 // look exactly like a monolithic index's, IndexInfo.Shards reports the
-// shard count, and only clustering is refused.
+// shard count, and only clustering is refused. An index built with routing
+// centroids (gkmeans.WithRouting, IndexInfo.Routed) additionally accepts a
+// per-query nprobe through SearchNProbe/SearchBatchNProbe, trading a little
+// recall for scanning only the nprobe most promising shards.
 //
 // Stats returns the per-index serving counters (IndexStats): request-level
 // counts — queries, coalesced batches, explicit batch and cluster requests
@@ -220,8 +223,18 @@ func (c *Client) Stats(ctx context.Context, name string) (IndexStats, error) {
 // searches are micro-batched through the index's SearchBatch. ef follows
 // the library defaulting (<=0 selects max(4·topK, 32)).
 func (c *Client) Search(ctx context.Context, name string, q []float32, topK, ef int) ([]Neighbor, error) {
+	return c.SearchNProbe(ctx, name, q, topK, ef, 0)
+}
+
+// SearchNProbe is Search with a per-query shard-probe cap for routed
+// indexes: only the nprobe shards whose routing centroids are closest to q
+// are scanned. nprobe 0 keeps the index's default (all shards unless the
+// server built it with gkmeans.WithNProbe); values at or above the shard
+// count are equivalent to Search. A positive nprobe against an unrouted
+// index is a 400 from the server.
+func (c *Client) SearchNProbe(ctx context.Context, name string, q []float32, topK, ef, nprobe int) ([]Neighbor, error) {
 	var out SearchResponse
-	req := SearchRequest{Query: q, TopK: topK, Ef: ef}
+	req := SearchRequest{Query: q, TopK: topK, Ef: ef, NProbe: nprobe}
 	if err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/search", req, &out); err != nil {
 		return nil, err
 	}
@@ -234,13 +247,19 @@ func (c *Client) Search(ctx context.Context, name string, q []float32, topK, ef 
 // SearchBatch answers every query and returns one sorted neighbour list per
 // query, in order. An empty query set answers locally with no request.
 func (c *Client) SearchBatch(ctx context.Context, name string, queries [][]float32, topK, ef int) ([][]Neighbor, error) {
+	return c.SearchBatchNProbe(ctx, name, queries, topK, ef, 0)
+}
+
+// SearchBatchNProbe is SearchBatch with the per-query shard-probe cap
+// described on SearchNProbe, applied to every query in the batch.
+func (c *Client) SearchBatchNProbe(ctx context.Context, name string, queries [][]float32, topK, ef, nprobe int) ([][]Neighbor, error) {
 	if len(queries) == 0 {
 		// The wire format cannot distinguish an empty batch from an absent
 		// one (omitempty), and there is nothing to ask anyway.
 		return [][]Neighbor{}, nil
 	}
 	var out SearchResponse
-	req := SearchRequest{Queries: queries, TopK: topK, Ef: ef}
+	req := SearchRequest{Queries: queries, TopK: topK, Ef: ef, NProbe: nprobe}
 	if err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/search", req, &out); err != nil {
 		return nil, err
 	}

@@ -19,12 +19,20 @@
 // identical data. A sharded report records its shard count and is only
 // -compare-able against a baseline with the same one.
 //
+// Adding -routing K builds the sharded index with K routing centroids per
+// shard (gkmeans.WithRouting) and -nprobe lists the shard-probe caps to
+// measure per cell, making the recall-vs-work trade of routed fan-out part
+// of the trajectory. -quick-routed is the CI preset for that path, gated
+// against BENCH_search_routed.json.
+//
 // Examples:
 //
 //	gkbench -quick                            # CI smoke preset, ~seconds
 //	gkbench -quick -compare BENCH_search.json # CI perf gate
+//	gkbench -quick-routed -compare BENCH_search_routed.json
 //	gkbench -synth sift -n 50000 -queries 500 -builder nndescent
 //	gkbench -synth sift -n 50000 -shards 4    # sharded index, same grid
+//	gkbench -synth sift -n 50000 -shards 4 -routing 8 -nprobe 1,2,4
 //	gkbench -data sift1m.fvecs -n 100000 -topk 1,10,100 -ef 32,64,128,256
 package main
 
@@ -44,6 +52,7 @@ import (
 type options struct {
 	cfg         bench.SearchBenchConfig
 	quick       bool
+	quickRouted bool
 	dataPath    string
 	out         string
 	quiet       bool
@@ -55,6 +64,7 @@ func main() {
 	var (
 		opt      options
 		quick    = flag.Bool("quick", false, "small fixed preset for CI: sift 2000×128, topK 10, ef 16/32/64, build sweep 1/2/4")
+		quickR   = flag.Bool("quick-routed", false, "small fixed routed preset for CI: sift 4000×128, 4 shards, 4 centroids/shard, nprobe 1/2/4")
 		synth    = flag.String("synth", "sift", "synthetic corpus: sift, gist, glove or vlad")
 		dataPath = flag.String("data", "", "fvecs or bvecs input file (overrides -synth)")
 		n        = flag.Int("n", 20000, "corpus size (synthetic count or file row cap)")
@@ -67,6 +77,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "build + SearchBatch workers (0 = GOMAXPROCS)")
 		builder  = flag.String("builder", "gkmeans", "graph builder: gkmeans (Alg. 3) or nndescent")
 		shards   = flag.Int("shards", 0, "build a sharded index with this many shards (<=1 = monolithic)")
+		routing  = flag.Int("routing", 0, "routing centroids per shard (gkmeans.WithRouting; 0 = unrouted, needs -shards)")
+		nprobes  = flag.String("nprobe", "", "comma-separated shard-probe caps to measure per cell (routed runs only)")
 		bworkers = flag.String("build-workers", "1,2,4", "comma-separated worker counts for the build sweep ('' disables)")
 		topks    = flag.String("topk", "1,10", "comma-separated topK grid")
 		efs      = flag.String("ef", "16,32,64,128", "comma-separated ef grid")
@@ -82,7 +94,8 @@ func main() {
 	)
 	flag.Parse()
 
-	opt.quick, opt.dataPath, opt.out, opt.quiet = *quick, *dataPath, *out, *quiet
+	opt.quick, opt.quickRouted = *quick, *quickR
+	opt.dataPath, opt.out, opt.quiet = *dataPath, *out, *quiet
 	opt.comparePath = *compare
 	opt.thresholds = bench.CompareThresholds{
 		MaxLatencyRegress: *maxP50,
@@ -94,7 +107,8 @@ func main() {
 	opt.cfg = bench.SearchBenchConfig{
 		Dataset: *synth, N: *n, Queries: *queries,
 		Kappa: *kappa, Xi: *xi, Tau: *tau, Seed: *seed,
-		Entries: *entries, Workers: *workers, Builder: *builder, Shards: *shards,
+		Entries: *entries, Workers: *workers, Builder: *builder,
+		Shards: *shards, Routing: *routing,
 	}
 	var err error
 	if opt.cfg.TopKs, err = parseGrid(*topks); err != nil {
@@ -106,6 +120,11 @@ func main() {
 	if *bworkers != "" {
 		if opt.cfg.BuildWorkers, err = parseGrid(*bworkers); err != nil {
 			fatal(fmt.Errorf("-build-workers: %w", err))
+		}
+	}
+	if *nprobes != "" {
+		if opt.cfg.NProbes, err = parseGrid(*nprobes); err != nil {
+			fatal(fmt.Errorf("-nprobe: %w", err))
 		}
 	}
 	if err := run(opt); err != nil {
@@ -132,6 +151,19 @@ func run(opt options) error {
 		// cfg.BuildWorkers is left alone: the -build-workers default is
 		// already the preset's 1/2/4 sweep, and an explicit flag (including
 		// '' to disable) must win over the preset.
+	} else if opt.quickRouted {
+		// The routed CI preset: the smallest corpus where a 4-shard routed
+		// index still separates the nprobe columns (fewer probes → fewer
+		// distance comps, recall within a few points of full fan-out).
+		// nprobe 4 == the shard count, so that column is bit-identical to
+		// unrouted fan-out and anchors the gate.
+		cfg.Dataset, cfg.Data = "sift", nil
+		cfg.N, cfg.Queries = 4000, 100
+		cfg.Kappa, cfg.Xi, cfg.Tau = 10, 25, 4
+		cfg.Shards, cfg.Routing = 4, 4
+		cfg.TopKs, cfg.Efs = []int{10}, []int{64}
+		cfg.NProbes = []int{1, 2, 4}
+		cfg.BuildWorkers = nil
 	} else if opt.dataPath != "" {
 		var err error
 		if cfg.Data, err = gkmeans.LoadVectors(opt.dataPath, cfg.N); err != nil {

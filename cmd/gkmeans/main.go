@@ -7,12 +7,15 @@
 // extension) or a named synthetic corpus (-synth sift|gist|glove|vlad with
 // -n). With -shards N the tool skips clustering and instead builds a
 // sharded search index (N independently built sub-indexes, searched by
-// fan-out; see gkmeans.WithShards), which requires -index. Examples:
+// fan-out; see gkmeans.WithShards), which requires -index; -routing K adds
+// per-shard routing centroids so searches can probe only the nearest
+// shards (gkmeans.WithRouting). Examples:
 //
 //	gkmeans -synth sift -n 10000 -k 500
 //	gkmeans -data sift1m.fvecs -k 10000 -labels out.ivecs -centroids c.fvecs
 //	gkmeans -synth sift -n 50000 -k 1000 -index sift.gkx -progress
 //	gkmeans -data sift1m.bvecs -shards 8 -index sift-sharded.gkx
+//	gkmeans -synth sift -n 50000 -shards 8 -routing 32 -index sift-routed.gkx
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		graphOut  = flag.String("graph", "", "write the k-NN graph to this file")
 		indexOut  = flag.String("index", "", "write the whole search-ready index to this file")
 		shards    = flag.Int("shards", 0, "build a sharded search index instead of clustering (requires -index)")
+		routing   = flag.Int("routing", 0, "routing centroids per shard (requires -shards; searches can then probe only the nearest shards)")
 	)
 	flag.Parse()
 
@@ -53,14 +57,14 @@ func main() {
 	defer stop()
 
 	if err := run(ctx, *dataPath, *synth, *n, *k, *kappa, *xi, *tau, *maxIter, *seed, *trad,
-		*progress, *labelsOut, *centsOut, *graphOut, *indexOut, *shards); err != nil {
+		*progress, *labelsOut, *centsOut, *graphOut, *indexOut, *shards, *routing); err != nil {
 		fmt.Fprintln(os.Stderr, "gkmeans:", err)
 		os.Exit(1)
 	}
 }
 
 func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxIter int,
-	seed int64, trad, progress bool, labelsOut, centsOut, graphOut, indexOut string, shards int) error {
+	seed int64, trad, progress bool, labelsOut, centsOut, graphOut, indexOut string, shards, routing int) error {
 
 	if shards > 1 {
 		switch {
@@ -69,8 +73,13 @@ func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxI
 		case labelsOut != "" || centsOut != "" || graphOut != "":
 			return fmt.Errorf("-shards cannot emit labels, centroids or a single graph (sharded indexes have no global clustering or graph)")
 		}
-	} else if k <= 0 {
-		return fmt.Errorf("-k must be positive, got %d", k)
+	} else {
+		if routing > 0 {
+			return fmt.Errorf("-routing needs -shards: routing centroids direct the sharded fan-out")
+		}
+		if k <= 0 {
+			return fmt.Errorf("-k must be positive, got %d", k)
+		}
 	}
 	var data *gkmeans.Matrix
 	switch {
@@ -97,6 +106,9 @@ func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxI
 	}
 	if shards > 1 {
 		opts = append(opts, gkmeans.WithShards(shards))
+		if routing > 0 {
+			opts = append(opts, gkmeans.WithRouting(routing))
+		}
 	} else {
 		opts = append(opts, gkmeans.WithClusters(k))
 	}
@@ -123,9 +135,13 @@ func run(ctx context.Context, dataPath, synth string, n, k, kappa, xi, tau, maxI
 		return err
 	}
 	if shards > 1 {
-		fmt.Printf("built %d-shard index in %v (graph time %v)\n",
+		routed := ""
+		if idx.Routed() {
+			routed = fmt.Sprintf(", %d routing centroids/shard", idx.RoutingCentroids())
+		}
+		fmt.Printf("built %d-shard index in %v (graph time %v%s)\n",
 			idx.Shards(), time.Since(start).Round(time.Millisecond),
-			idx.GraphTime().Round(time.Millisecond))
+			idx.GraphTime().Round(time.Millisecond), routed)
 		if err := gkmeans.SaveIndex(indexOut, idx); err != nil {
 			return err
 		}

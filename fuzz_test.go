@@ -60,10 +60,14 @@ func FuzzReadIndexFrom(f *testing.F) {
 		}
 		return buf.Bytes()
 	}()
+	// A routed index exercises the v4 layout: the routing flag plus the
+	// centroid trailer after the shard segments.
+	routed := seedBlob(WithShards(2), WithRouting(2))
 	f.Add(mono)
 	f.Add(clustered)
 	f.Add(sharded)
 	f.Add(mutated)
+	f.Add(routed)
 	f.Add([]byte{})
 	f.Add([]byte("GKXI"))
 	// A valid prefix with a lying tail exercises the section-length checks.
@@ -71,6 +75,12 @@ func FuzzReadIndexFrom(f *testing.F) {
 	flipped := append([]byte(nil), sharded...)
 	flipped[8] ^= 0xff // version / shard-count region
 	f.Add(flipped)
+	// Corrupt routing centroids: the trailer sits at the end of a v4 blob,
+	// so a late byte flip lands in the centroid data or its shape words.
+	badCentroid := append([]byte(nil), routed...)
+	badCentroid[len(badCentroid)-3] ^= 0xff
+	f.Add(badCentroid)
+	f.Add(routed[:len(routed)-7]) // truncated routing trailer
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		idx, err := ReadIndexFrom(bytes.NewReader(b))

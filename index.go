@@ -11,6 +11,7 @@ import (
 	"gkmeans/internal/anns"
 	"gkmeans/internal/core"
 	"gkmeans/internal/knngraph"
+	"gkmeans/internal/router"
 	"gkmeans/internal/store"
 )
 
@@ -37,6 +38,13 @@ type Index struct {
 	// an explicit id map (see below).
 	shards    []*Index
 	shardBase []int32
+
+	// route holds the per-shard routing centroids of a WithRouting build
+	// (nil for unrouted indexes); probes counts the fan-out work of a
+	// sharded index. The probes pointer is shared across copy-on-write
+	// mutations so serving counters stay monotone across index swaps.
+	route  *router.Table
+	probes *probeStats
 
 	// Mutation metadata (see mutate.go). The three slices are parallel to
 	// shards on a sharded index; a monolithic index uses entry 0 of tombs
@@ -97,9 +105,15 @@ func Build(ctx context.Context, data *Matrix, opts ...Option) (*Index, error) {
 	if cfg.shards > 1 && cfg.clusterK > 0 {
 		return nil, fmt.Errorf("gkmeans: WithClusters needs a global k-NN graph; it cannot be combined with WithShards")
 	}
+	if cfg.routing > 0 && cfg.shards <= 1 {
+		return nil, fmt.Errorf("gkmeans: WithRouting routes across shards; combine it with WithShards(n), n > 1")
+	}
 	if n := clampShards(cfg.shards, data.N); n > 1 {
 		return buildSharded(ctx, data, cfg, n)
 	}
+	// A dataset too small to split clamps to one shard; a monolithic index
+	// has nothing to route, so the router request is dropped with the shards.
+	cfg.routing = 0
 	return buildMono(ctx, data, cfg)
 }
 

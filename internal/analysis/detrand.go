@@ -21,6 +21,9 @@ var detRandScope = map[string]bool{
 	"gkmeans/internal/kmeans":    true,
 	"gkmeans/internal/knngraph":  true,
 	"gkmeans/internal/nndescent": true,
+	// Shard routing tables are persisted and must be reproducible: the
+	// centroid builds draw exclusively from salted splitmix streams.
+	"gkmeans/internal/router": true,
 	// The mutable-store layer replays WALs into deterministic shard
 	// rebuilds: compaction planning and replay must not depend on chance.
 	"gkmeans/internal/store":    true,

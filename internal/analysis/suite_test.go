@@ -18,6 +18,7 @@ import (
 func TestDetRand(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.DetRand,
 		"gkmeans/internal/kmeans",  // in scope: math/rand import and clock seed flagged
+		"gkmeans/internal/router",  // in scope: routing tables persist and must reproduce
 		"gkmeans/internal/store",   // in scope: the mutable-store layer is deterministic too
 		"gkmeans/internal/dataset", // out of scope: math/rand allowed
 	)

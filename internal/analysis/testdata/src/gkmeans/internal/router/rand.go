@@ -1,0 +1,23 @@
+// Positive detrand fixture: this directory poses as the deterministic
+// package gkmeans/internal/router. Routing centroid tables persist in .gkx
+// files and must be a pure function of (data, k, seed), so chance and
+// wall-clock seeds are banned.
+package router
+
+import (
+	"math/rand" // want `deterministic package gkmeans/internal/router must not import math/rand`
+	"time"
+)
+
+func randomProbeOrder(shards int) int {
+	return rand.New(rand.NewSource(7)).Intn(shards)
+}
+
+func clockSeededCentroids() int64 {
+	return time.Now().UnixNano() // want `wall-clock seed`
+}
+
+// Timing a centroid build for stats is fine.
+func buildElapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

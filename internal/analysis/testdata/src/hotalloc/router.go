@@ -1,0 +1,41 @@
+// Router-shaped hotalloc fixtures: the shard-routing Rank path is annotated
+// //gk:hotpath in the real tree, so this file pins down the forms it must
+// avoid (per-call scratch maps, growing appends, value boxing) and the forms
+// it relies on (caller-provided order/dists buffers, insertion sort).
+package hotalloc
+
+//gk:hotpath
+func rankBad(q []float32, cents [][]float32) []int32 {
+	seen := make(map[int32]float32) // want `makes a map`
+	var order []int32
+	for s := range cents {
+		order = append(order, int32(s)) // want `appends inside a loop`
+		seen[int32(s)] = q[0]
+	}
+	sink := any(q[0]) // want `boxes a float32 into an interface`
+	_ = sink
+	return order
+}
+
+//gk:hotpath
+func rankOK(q []float32, cents [][]float32, order []int32, dists []float32) {
+	for s, c := range cents {
+		d := float32(0)
+		for i := range c {
+			diff := q[i] - c[i]
+			d += diff * diff
+		}
+		dists[s] = d
+		order[s] = int32(s)
+	}
+	// Insertion sort by (dist asc, id asc): no closures, no boxing.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0; j-- {
+			a, b := order[j-1], order[j]
+			if dists[a] < dists[b] || (dists[a] == dists[b] && a < b) {
+				break
+			}
+			order[j-1], order[j] = b, a
+		}
+	}
+}

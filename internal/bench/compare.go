@@ -98,16 +98,19 @@ func CompareReports(old, fresh *SearchReport, th CompareThresholds) ([]Regressio
 		}
 	}
 
-	baseline := make(map[[2]int]SearchPoint, len(old.Search))
+	baseline := make(map[[3]int]SearchPoint, len(old.Search))
 	for _, pt := range old.Search {
-		baseline[[2]int{pt.TopK, pt.Ef}] = pt
+		baseline[[3]int{pt.TopK, pt.Ef, pt.NProbe}] = pt
 	}
 	for _, pt := range fresh.Search {
-		ref, ok := baseline[[2]int{pt.TopK, pt.Ef}]
+		ref, ok := baseline[[3]int{pt.TopK, pt.Ef, pt.NProbe}]
 		if !ok {
 			continue
 		}
 		where := fmt.Sprintf("topK=%d ef=%d", pt.TopK, pt.Ef)
+		if pt.NProbe > 0 {
+			where += fmt.Sprintf(" nprobe=%d", pt.NProbe)
+		}
 		latLimit := ref.P50US * (1 + th.MaxLatencyRegress)
 		if pt.P50US > latLimit && pt.P50US-ref.P50US > th.LatencySlackUS {
 			regs = append(regs, Regression{
@@ -143,6 +146,10 @@ func sameMeasurement(old, fresh *SearchReport) error {
 		{"tau", old.Tau, fresh.Tau},
 		{"seed", old.Seed, fresh.Seed},
 		{"shards", old.Shards, fresh.Shards},
+		// A routed run scans different shard subsets per query than an
+		// unrouted one (and a different router size clusters differently),
+		// so their latency/recall numbers measure different work.
+		{"routing", old.Routing, fresh.Routing},
 	} {
 		if k.o != k.f {
 			return fmt.Errorf("bench: baseline measured %s=%v but this run measured %v — refresh the committed baseline instead of comparing", k.field, k.o, k.f)

@@ -46,6 +46,17 @@ type SearchBenchConfig struct {
 	// SearchStats. The build sweep does not apply to a sharded run.
 	Shards int
 
+	// Routing > 0 builds the sharded index with that many routing centroids
+	// per shard (gkmeans.WithRouting) and makes NProbes a third grid axis:
+	// every (topK, ef) cell is measured once per listed shard-probe cap, so
+	// the recall-vs-work trade of routed fan-out lands in the same report as
+	// the full fan-out it approximates. Ignored when Shards <= 1.
+	Routing int
+	// NProbes lists the per-cell shard-probe caps; 0 means the index default
+	// (full fan-out). Empty, or on an unrouted run, measures the single
+	// nprobe=0 column.
+	NProbes []int
+
 	// BuildWorkers, when non-empty, additionally rebuilds the graph once
 	// per listed worker count and records wall-clock, speedup, rounds and
 	// distance computations — the build half of the perf trajectory. The
@@ -54,10 +65,12 @@ type SearchBenchConfig struct {
 	BuildWorkers []int
 }
 
-// SearchPoint is one (topK, ef) cell of the single-query grid.
+// SearchPoint is one (topK, ef, nprobe) cell of the single-query grid;
+// NProbe is 0 (full fan-out / monolithic) outside routed runs.
 type SearchPoint struct {
 	TopK         int     `json:"top_k"`
 	Ef           int     `json:"ef"`
+	NProbe       int     `json:"nprobe,omitempty"`
 	Recall       float64 `json:"recall"`
 	MeanUS       float64 `json:"mean_us"`
 	P50US        float64 `json:"p50_us"`
@@ -67,10 +80,12 @@ type SearchPoint struct {
 	AvgExpanded  float64 `json:"avg_expanded"`
 }
 
-// BatchPoint is one (topK, ef) cell of the SearchBatch throughput grid.
+// BatchPoint is one (topK, ef, nprobe) cell of the SearchBatch throughput
+// grid.
 type BatchPoint struct {
 	TopK   int     `json:"top_k"`
 	Ef     int     `json:"ef"`
+	NProbe int     `json:"nprobe,omitempty"`
 	QPS    float64 `json:"qps"`
 	WallMS float64 `json:"wall_ms"`
 }
@@ -114,7 +129,8 @@ type SearchReport struct {
 	Xi        int           `json:"xi"`
 	Tau       int           `json:"tau"`
 	Seed      int64         `json:"seed"`
-	Shards    int           `json:"shards,omitempty"` // 0/absent = monolithic
+	Shards    int           `json:"shards,omitempty"`  // 0/absent = monolithic
+	Routing   int           `json:"routing,omitempty"` // routing centroids per shard; 0 = unrouted
 	Build     BuildResult   `json:"build"`
 	Search    []SearchPoint `json:"search"`
 	Batch     []BatchPoint  `json:"search_batch"`
@@ -188,12 +204,12 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 	rep.Build.EntryPoints = s.Entries()
 
 	measureGrid(rep, cfg, queries, exactTruthFor(cfg, data, queries),
-		s.Search,
+		func(q []float32, topK, ef, _ int) []knngraph.Neighbor { return s.Search(q, topK, ef) },
 		func() (dist, expanded uint64) {
 			_, d, e := s.Totals()
 			return d, e
 		},
-		func(topK, ef int) { anns.BatchSearch(s, queries, topK, ef, cfg.Workers) },
+		func(topK, ef, _ int) { anns.BatchSearch(s, queries, topK, ef, cfg.Workers) },
 		logf)
 	return rep, nil
 }
@@ -210,56 +226,64 @@ func exactTruthFor(cfg SearchBenchConfig, data, queries *vec.Matrix) [][]int32 {
 	return anns.ExactTruth(data, queries, maxK, cfg.Workers)
 }
 
-// measureGrid runs the topK×ef measurement protocol shared by the
+// measureGrid runs the topK×ef×nprobe measurement protocol shared by the
 // monolithic and sharded harness paths: per cell, every query is timed
 // through search and scored against truth, per-query work comes from the
 // delta of the cumulative totals (the grid loop is sequential, so the
-// delta is exact), and one batch run records throughput. Changing the
-// protocol — percentiles, recall scoring, new counters — happens here,
-// once, for every path.
+// delta is exact), and one batch run records throughput. Unrouted runs
+// collapse the nprobe axis to the single full fan-out column (nprobe 0).
+// Changing the protocol — percentiles, recall scoring, new counters —
+// happens here, once, for every path.
 func measureGrid(rep *SearchReport, cfg SearchBenchConfig, queries *vec.Matrix, truth [][]int32,
-	search func(q []float32, topK, ef int) []knngraph.Neighbor,
+	search func(q []float32, topK, ef, nprobe int) []knngraph.Neighbor,
 	totals func() (dist, expanded uint64),
-	batch func(topK, ef int),
+	batch func(topK, ef, nprobe int),
 	logf func(format string, args ...any)) {
 
+	nprobes := cfg.NProbes
+	if len(nprobes) == 0 || rep.Routing == 0 {
+		nprobes = []int{0}
+	}
 	for _, topK := range cfg.TopKs {
 		for _, ef := range cfg.Efs {
-			pt := SearchPoint{TopK: topK, Ef: ef}
-			lat := make([]time.Duration, queries.N)
-			var recall float64
-			dist0, expanded0 := totals()
-			for qi := 0; qi < queries.N; qi++ {
-				q := queries.Row(qi)
-				t0 := time.Now()
-				res := search(q, topK, ef)
-				lat[qi] = time.Since(t0)
-				recall += recallOf(res, truth[qi], topK)
-			}
-			dist1, expanded1 := totals()
-			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-			var total time.Duration
-			for _, l := range lat {
-				total += l
-			}
-			nq := float64(queries.N)
-			pt.Recall = recall / nq
-			pt.MeanUS = total.Seconds() * 1e6 / nq
-			pt.P50US = quantileUS(lat, 0.50)
-			pt.P90US = quantileUS(lat, 0.90)
-			pt.P99US = quantileUS(lat, 0.99)
-			pt.AvgDistComps = float64(dist1-dist0) / nq
-			pt.AvgExpanded = float64(expanded1-expanded0) / nq
-			rep.Search = append(rep.Search, pt)
-			logf("search topK=%-3d ef=%-4d recall=%.3f p50=%.0fµs p99=%.0fµs dist=%.0f exp=%.1f",
-				topK, ef, pt.Recall, pt.P50US, pt.P99US, pt.AvgDistComps, pt.AvgExpanded)
+			for _, nprobe := range nprobes {
+				pt := SearchPoint{TopK: topK, Ef: ef, NProbe: nprobe}
+				lat := make([]time.Duration, queries.N)
+				var recall float64
+				dist0, expanded0 := totals()
+				for qi := 0; qi < queries.N; qi++ {
+					q := queries.Row(qi)
+					t0 := time.Now()
+					res := search(q, topK, ef, nprobe)
+					lat[qi] = time.Since(t0)
+					recall += recallOf(res, truth[qi], topK)
+				}
+				dist1, expanded1 := totals()
+				sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+				var total time.Duration
+				for _, l := range lat {
+					total += l
+				}
+				nq := float64(queries.N)
+				pt.Recall = recall / nq
+				pt.MeanUS = total.Seconds() * 1e6 / nq
+				pt.P50US = quantileUS(lat, 0.50)
+				pt.P90US = quantileUS(lat, 0.90)
+				pt.P99US = quantileUS(lat, 0.99)
+				pt.AvgDistComps = float64(dist1-dist0) / nq
+				pt.AvgExpanded = float64(expanded1-expanded0) / nq
+				rep.Search = append(rep.Search, pt)
+				logf("search topK=%-3d ef=%-4d np=%-2d recall=%.3f p50=%.0fµs p99=%.0fµs dist=%.0f exp=%.1f",
+					topK, ef, nprobe, pt.Recall, pt.P50US, pt.P99US, pt.AvgDistComps, pt.AvgExpanded)
 
-			t0 := time.Now()
-			batch(topK, ef)
-			wall := time.Since(t0)
-			bp := BatchPoint{TopK: topK, Ef: ef, QPS: nq / wall.Seconds(), WallMS: wall.Seconds() * 1e3}
-			rep.Batch = append(rep.Batch, bp)
-			logf("batch  topK=%-3d ef=%-4d %.0f qps", topK, ef, bp.QPS)
+				t0 := time.Now()
+				batch(topK, ef, nprobe)
+				wall := time.Since(t0)
+				bp := BatchPoint{TopK: topK, Ef: ef, NProbe: nprobe,
+					QPS: nq / wall.Seconds(), WallMS: wall.Seconds() * 1e3}
+				rep.Batch = append(rep.Batch, bp)
+				logf("batch  topK=%-3d ef=%-4d np=%-2d %.0f qps", topK, ef, nprobe, bp.QPS)
+			}
 		}
 	}
 }
@@ -267,7 +291,7 @@ func measureGrid(rep *SearchReport, cfg SearchBenchConfig, queries *vec.Matrix, 
 // newReport fills in the measurement metadata every harness path shares.
 func newReport(cfg SearchBenchConfig, name string, data, queries *vec.Matrix) *SearchReport {
 	return &SearchReport{
-		Schema:    2,
+		Schema:    3,
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
 		MaxProcs:  runtime.GOMAXPROCS(0),
@@ -302,6 +326,9 @@ func runShardedSearchBench(cfg SearchBenchConfig, name string, data, queries *ve
 	if cfg.Builder != "" {
 		opts = append(opts, gkmeans.WithGraphBuilder(cfg.Builder))
 	}
+	if cfg.Routing > 0 {
+		opts = append(opts, gkmeans.WithRouting(cfg.Routing))
+	}
 	start := time.Now()
 	idx, err := gkmeans.Build(context.Background(), data, opts...)
 	if err != nil {
@@ -309,12 +336,16 @@ func runShardedSearchBench(cfg SearchBenchConfig, name string, data, queries *ve
 	}
 	buildSeconds := time.Since(start).Seconds()
 	rep.Shards = idx.Shards()
-	logf("index built: %d shard(s) in %.2fs", idx.Shards(), buildSeconds)
+	if idx.Routed() {
+		rep.Routing = idx.RoutingCentroids()
+	}
+	logf("index built: %d shard(s), %d routing centroid(s)/shard in %.2fs",
+		idx.Shards(), rep.Routing, buildSeconds)
 	if rep.Shards == 1 {
 		// Build clamped the request down to one shard (dataset too small):
-		// the run measured the monolithic configuration, so leave the
-		// report's shards field 0/absent to keep it comparable with a
-		// monolithic baseline.
+		// the run measured the monolithic configuration (the clamp also drops
+		// the router), so leave the report's shards field 0/absent to keep it
+		// comparable with a monolithic baseline.
 		rep.Shards = 0
 		logf("requested %d shards, but the corpus only supports a monolithic build", cfg.Shards)
 	}
@@ -328,12 +359,12 @@ func runShardedSearchBench(cfg SearchBenchConfig, name string, data, queries *ve
 	}
 
 	measureGrid(rep, cfg, queries, exactTruthFor(cfg, data, queries),
-		idx.Search,
+		idx.SearchNProbe,
 		func() (dist, expanded uint64) {
 			st := idx.SearchStats()
 			return st.DistanceComps, st.ExpandedCandidates
 		},
-		func(topK, ef int) { idx.SearchBatch(queries, topK, ef) },
+		func(topK, ef, nprobe int) { idx.SearchBatchNProbe(queries, topK, ef, nprobe) },
 		logf)
 	return rep, nil
 }
@@ -465,23 +496,35 @@ func quantileUS(sorted []time.Duration, q float64) float64 {
 	return sorted[i].Seconds() * 1e6
 }
 
-// Summary renders the report as an aligned table for terminal output.
+// Summary renders the report as an aligned table for terminal output; a
+// routed run grows an nprobe column (0 = full fan-out).
 func (r *SearchReport) Summary() *Table {
 	shards := ""
 	if r.Shards > 1 {
 		shards = fmt.Sprintf(", %d shards", r.Shards)
 	}
+	if r.Routing > 0 {
+		shards += fmt.Sprintf(", routed (%d centroids/shard)", r.Routing)
+	}
 	t := &Table{
 		Title:  fmt.Sprintf("search benchmark — %s %d×%d, κ=%d τ=%d%s", r.Dataset, r.N, r.Dim, r.Kappa, r.Tau, shards),
 		Header: []string{"topK", "ef", "recall", "mean µs", "p50 µs", "p99 µs", "dist/q", "exp/q", "batch qps"},
+	}
+	if r.Routing > 0 {
+		t.Header = []string{"topK", "ef", "nprobe", "recall", "mean µs", "p50 µs", "p99 µs", "dist/q", "exp/q", "batch qps"}
 	}
 	for i, pt := range r.Search {
 		qps := ""
 		if i < len(r.Batch) {
 			qps = fmt.Sprintf("%.0f", r.Batch[i].QPS)
 		}
-		t.AddRow(d(pt.TopK), d(pt.Ef), f3(pt.Recall), f(pt.MeanUS), f(pt.P50US), f(pt.P99US),
+		row := []string{d(pt.TopK), d(pt.Ef)}
+		if r.Routing > 0 {
+			row = append(row, d(pt.NProbe))
+		}
+		row = append(row, f3(pt.Recall), f(pt.MeanUS), f(pt.P50US), f(pt.P99US),
 			f(pt.AvgDistComps), f(pt.AvgExpanded), qps)
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -18,7 +18,7 @@ func TestRunSearchBenchProducesFullReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != 2 || rep.Dataset != "sift" || rep.N != 375 || rep.Queries != 25 {
+	if rep.Schema != 3 || rep.Dataset != "sift" || rep.N != 375 || rep.Queries != 25 {
 		t.Fatalf("report header wrong: %+v", rep)
 	}
 	if rep.Build.GraphSeconds <= 0 || rep.Build.GraphEdges <= 0 || rep.Build.EntryPoints <= 0 {
@@ -172,6 +172,49 @@ func TestRunSearchBenchSharded(t *testing.T) {
 	mono.Shards = 0
 	if _, err := CompareReports(&mono, rep, CompareThresholds{}); err == nil {
 		t.Fatal("comparing sharded against monolithic baseline did not error")
+	}
+	if _, err := CompareReports(rep, rep, CompareThresholds{}); err != nil {
+		t.Fatalf("self-compare errored: %v", err)
+	}
+}
+
+func TestRunSearchBenchRouted(t *testing.T) {
+	cfg := SearchBenchConfig{
+		Dataset: "sift", N: 400, Queries: 25,
+		Kappa: 6, Xi: 15, Tau: 2, Seed: 7,
+		TopKs: []int{5}, Efs: []int{32},
+		Shards: 3, Routing: 2, NProbes: []int{1, 3},
+	}
+	rep, err := RunSearchBench(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shards != 3 || rep.Routing != 2 {
+		t.Fatalf("report shards/routing = %d/%d, want 3/2", rep.Shards, rep.Routing)
+	}
+	// One (topK, ef) cell × two nprobe columns.
+	if len(rep.Search) != 2 || len(rep.Batch) != 2 {
+		t.Fatalf("grid sizes: %d search, %d batch points", len(rep.Search), len(rep.Batch))
+	}
+	if rep.Search[0].NProbe != 1 || rep.Search[1].NProbe != 3 {
+		t.Fatalf("nprobe columns = %d,%d, want 1,3", rep.Search[0].NProbe, rep.Search[1].NProbe)
+	}
+	// Probing one shard out of three must do strictly less distance work
+	// than full fan-out, and cannot beat its recall.
+	one, all := rep.Search[0], rep.Search[1]
+	if one.AvgDistComps >= all.AvgDistComps {
+		t.Fatalf("nprobe=1 did %f dist comps/query, full fan-out %f — routing saved nothing",
+			one.AvgDistComps, all.AvgDistComps)
+	}
+	if one.Recall > all.Recall {
+		t.Fatalf("nprobe=1 recall %f exceeds full fan-out %f", one.Recall, all.Recall)
+	}
+
+	// A routed report only compares against a baseline with the same router.
+	unrouted := *rep
+	unrouted.Routing = 0
+	if _, err := CompareReports(&unrouted, rep, CompareThresholds{}); err == nil {
+		t.Fatal("comparing routed against unrouted baseline did not error")
 	}
 	if _, err := CompareReports(rep, rep, CompareThresholds{}); err != nil {
 		t.Fatalf("self-compare errored: %v", err)

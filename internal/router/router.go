@@ -1,0 +1,142 @@
+// Package router implements centroid-based shard routing for sharded
+// indexes: a Table holds a few small k-means centroids per shard, and Rank
+// orders the shards by their closest centroid's distance to a query. The
+// fan-out layer then searches only the nprobe best-ranked shards instead of
+// broadcasting to all of them — the IVF-style work/recall trade.
+//
+// Determinism contract: centroid construction goes through the seeded
+// splitmix-backed kmeans machinery (BuildShard), so a table is a pure
+// function of (data, k, seed) at any worker count, and Rank breaks distance
+// ties by ascending shard id, so the probe order is a pure function of the
+// query and the table.
+package router
+
+import (
+	"fmt"
+
+	"gkmeans/internal/kmeans"
+	"gkmeans/internal/vec"
+)
+
+// centroidMaxIter caps the Lloyd iterations of one shard's routing
+// centroids. Routing only needs centroids that sit inside the shard's mass —
+// a handful of refinement passes over k ≪ rows centroids — not a converged
+// clustering.
+const centroidMaxIter = 16
+
+// Table is an immutable set of per-shard routing centroids. Shard s is
+// represented by cents[s], a ki×dim matrix with 1 <= ki <= k (a shard with
+// fewer rows than k holds one centroid per row). Mutation layers build a new
+// Table (sharing unchanged centroid matrices) rather than editing one in
+// place, mirroring the copy-on-write shard discipline.
+type Table struct {
+	k     int // configured centroids per shard (upper bound per entry)
+	dim   int
+	cents []*vec.Matrix
+}
+
+// New validates the per-shard centroid matrices and wraps them in a Table.
+// The slice is retained, not copied; callers hand over ownership.
+func New(k, dim int, cents []*vec.Matrix) (*Table, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("router: centroids per shard must be >= 1, got %d", k)
+	}
+	if dim < 1 {
+		return nil, fmt.Errorf("router: dimensionality must be >= 1, got %d", dim)
+	}
+	if len(cents) == 0 {
+		return nil, fmt.Errorf("router: table needs at least one shard")
+	}
+	for s, m := range cents {
+		if m == nil || m.N < 1 {
+			return nil, fmt.Errorf("router: shard %d has no centroids", s)
+		}
+		if m.N > k {
+			return nil, fmt.Errorf("router: shard %d has %d centroids, config allows %d", s, m.N, k)
+		}
+		if m.Dim != dim {
+			return nil, fmt.Errorf("router: shard %d centroids are %d-dimensional, data is %d-dimensional", s, m.Dim, dim)
+		}
+	}
+	return &Table{k: k, dim: dim, cents: cents}, nil
+}
+
+// BuildShard computes routing centroids for one shard: min(k, rows)
+// k-means++ seeded Lloyd centroids over the shard's rows. Deterministic for
+// a fixed (data, k, seed) at any worker count.
+func BuildShard(data *vec.Matrix, k int, seed int64, workers int) (*vec.Matrix, error) {
+	if data == nil || data.N == 0 {
+		return nil, fmt.Errorf("router: building centroids over an empty shard")
+	}
+	if k > data.N {
+		k = data.N
+	}
+	res, err := kmeans.Lloyd(data, kmeans.Config{
+		K:        k,
+		MaxIter:  centroidMaxIter,
+		Seed:     seed,
+		Workers:  workers,
+		PlusPlus: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("router: shard centroids: %w", err)
+	}
+	return res.Centroids, nil
+}
+
+// K returns the configured centroids-per-shard bound.
+func (t *Table) K() int { return t.k }
+
+// Dim returns the centroid dimensionality.
+func (t *Table) Dim() int { return t.dim }
+
+// Shards returns the number of shards the table routes over.
+func (t *Table) Shards() int { return len(t.cents) }
+
+// Centroids returns shard s's centroid matrix. Treat it as read-only.
+func (t *Table) Centroids(s int) *vec.Matrix { return t.cents[s] }
+
+// TotalCentroids returns the number of centroids across all shards — the
+// distance computations one routed query spends on ranking.
+func (t *Table) TotalCentroids() int {
+	total := 0
+	for _, m := range t.cents {
+		total += m.N
+	}
+	return total
+}
+
+// Rank orders all shards by ascending distance from q to their closest
+// routing centroid, ties broken by ascending shard id. order and dists are
+// caller-provided scratch of length >= Shards(); on return order[:Shards()]
+// holds the shard ids best-first and dists[i] the best-centroid distance of
+// shard order[i]. The caller probes a prefix of order.
+//
+//gk:hotpath
+func (t *Table) Rank(q []float32, order []int32, dists []float32) {
+	n := len(t.cents)
+	for s := 0; s < n; s++ {
+		m := t.cents[s]
+		best := vec.L2Sqr(q, m.Row(0))
+		for r := 1; r < m.N; r++ {
+			if d := vec.L2Sqr(q, m.Row(r)); d < best {
+				best = d
+			}
+		}
+		order[s] = int32(s)
+		dists[s] = best
+	}
+	// Insertion sort by (dist, shard id): n is the shard count — small — and
+	// this keeps the hot path free of the sort.Slice closure allocation.
+	for i := 1; i < n; i++ {
+		od, oi := dists[i], order[i]
+		j := i
+		for j > 0 && (dists[j-1] > od || (dists[j-1] == od && order[j-1] > oi)) {
+			dists[j] = dists[j-1]
+			order[j] = order[j-1]
+			j--
+		}
+		dists[j] = od
+		order[j] = oi
+	}
+}

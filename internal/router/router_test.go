@@ -1,0 +1,143 @@
+package router
+
+import (
+	"math"
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/vec"
+)
+
+func matrixOf(rows ...[]float32) *vec.Matrix {
+	m := vec.NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+func TestNewValidates(t *testing.T) {
+	ok := []*vec.Matrix{matrixOf([]float32{0, 0}), matrixOf([]float32{1, 1})}
+	if _, err := New(1, 2, ok); err != nil {
+		t.Fatalf("valid table rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		k     int
+		dim   int
+		cents []*vec.Matrix
+	}{
+		{"zero k", 0, 2, ok},
+		{"zero dim", 1, 0, ok},
+		{"no shards", 1, 2, nil},
+		{"nil shard", 1, 2, []*vec.Matrix{nil}},
+		{"too many centroids", 1, 2, []*vec.Matrix{matrixOf([]float32{0, 0}, []float32{1, 1})}},
+		{"dim mismatch", 1, 3, ok},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.k, tc.dim, tc.cents); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestRankOrdersByClosestCentroid(t *testing.T) {
+	// Shard 0 owns x≈0, shard 1 x≈10, shard 2 x≈20; shard 1 also holds a
+	// second centroid near 3 — the min over a shard's centroids is what
+	// ranks it, so a query at 3.4 must put shard 1 first despite shard 0's
+	// single centroid being closer than shard 1's main one.
+	table, err := New(2, 1,
+		[]*vec.Matrix{
+			matrixOf([]float32{0}),
+			matrixOf([]float32{10}, []float32{3}),
+			matrixOf([]float32{20}),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Shards() != 3 || table.TotalCentroids() != 4 {
+		t.Fatalf("table reports %d shards, %d centroids", table.Shards(), table.TotalCentroids())
+	}
+	order := make([]int32, 3)
+	dists := make([]float32, 3)
+	table.Rank([]float32{3.4}, order, dists)
+	if order[0] != 1 || order[1] != 0 || order[2] != 2 {
+		t.Fatalf("order = %v, want [1 0 2]", order)
+	}
+	for i := 1; i < len(dists); i++ {
+		if dists[i-1] > dists[i] {
+			t.Fatalf("dists not ascending: %v", dists)
+		}
+	}
+}
+
+func TestRankBreaksTiesByShardID(t *testing.T) {
+	// Three shards with identical centroids: every distance ties, so the
+	// probe order must be the shard ids ascending — at any query.
+	same := []float32{5, 5}
+	table, err := New(1, 2, []*vec.Matrix{matrixOf(same), matrixOf(same), matrixOf(same)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := make([]int32, 3)
+	dists := make([]float32, 3)
+	table.Rank([]float32{1, 9}, order, dists)
+	if order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("tied ranks order %v, want ascending shard ids", order)
+	}
+}
+
+func TestBuildShardDeterministicAcrossWorkers(t *testing.T) {
+	data := dataset.SIFTLike(300, 7)
+	base, err := BuildShard(data, 8, 99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.N != 8 || base.Dim != data.Dim {
+		t.Fatalf("centroids shaped %dx%d, want 8x%d", base.N, base.Dim, data.Dim)
+	}
+	for _, workers := range []int{2, 5} {
+		m, err := BuildShard(data, 8, 99, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFloats(base.Data, m.Data) {
+			t.Fatalf("workers=%d produced different centroids", workers)
+		}
+	}
+	// A different seed must produce a different table (decorrelated streams).
+	other, err := BuildShard(data, 8, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameFloats(base.Data, other.Data) {
+		t.Fatal("seeds 99 and 100 produced identical centroids")
+	}
+}
+
+func TestBuildShardSmallShard(t *testing.T) {
+	// k is clamped to the row count, so a tiny shard still routes.
+	data := dataset.SIFTLike(3, 11)
+	m, err := BuildShard(data, 8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N < 1 || m.N > 3 {
+		t.Fatalf("tiny shard produced %d centroids", m.N)
+	}
+	if _, err := BuildShard(nil, 4, 1, 0); err == nil {
+		t.Fatal("empty shard accepted")
+	}
+}
+
+func sameFloats(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -32,7 +32,7 @@ func BenchmarkCoalescedSearch(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := c.Search(ctx, queries.Row(i%queries.N), 10, 64); err != nil {
+			if _, err := c.Search(ctx, queries.Row(i%queries.N), 10, 64, 0); err != nil {
 				b.Error(err)
 				return
 			}

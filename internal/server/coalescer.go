@@ -14,17 +14,17 @@ import (
 var ErrDraining = errors.New("server: draining, not accepting new work")
 
 // coalescer micro-batches concurrent single-query searches against one
-// index. Each incoming query joins the open batch for its (topK, ef)
-// parameters; a batch is executed — one Index.SearchBatch call fanning the
-// queries across the worker pool — as soon as it reaches maxBatch queries
-// or its collection window expires, whichever comes first. Under load this
-// turns q concurrent HTTP requests into ~q/maxBatch batched searches that
-// share workers instead of contending query by query; an idle server pays
-// at most the window in added latency.
+// index. Each incoming query joins the open batch for its (topK, ef,
+// nprobe) parameters; a batch is executed — one Index.SearchBatch call
+// fanning the queries across the worker pool — as soon as it reaches
+// maxBatch queries or its collection window expires, whichever comes first.
+// Under load this turns q concurrent HTTP requests into ~q/maxBatch batched
+// searches that share workers instead of contending query by query; an idle
+// server pays at most the window in added latency.
 //
-// Results are identical to calling Index.Search directly: batches are
-// grouped by exact (topK, ef), and SearchBatch resolves those parameters
-// the same way Search does.
+// Results are identical to calling Index.SearchNProbe directly: batches are
+// grouped by exact (topK, ef, nprobe), and SearchBatchNProbe resolves those
+// parameters the same way SearchNProbe does.
 //
 // The coalescer holds a provider function, not an index value: the serving
 // layer swaps in new index epochs (inserts, deletes, compaction) while
@@ -45,7 +45,7 @@ type coalescer struct {
 }
 
 // searchKey groups queries that can share one SearchBatch call.
-type searchKey struct{ topK, ef int }
+type searchKey struct{ topK, ef, nprobe int }
 
 // batchGroup is one open batch: the collected queries and one result
 // channel per caller. flushed guards against the double flush that the
@@ -72,7 +72,7 @@ func newCoalescer(get func() *gkmeans.Index, window time.Duration, maxBatch int)
 // Search answers one query through the micro-batcher. It blocks until the
 // query's batch has executed or ctx is done; a query whose caller gave up
 // still executes with its batch (the result is simply dropped).
-func (c *coalescer) Search(ctx context.Context, q []float32, topK, ef int) ([]gkmeans.Neighbor, error) {
+func (c *coalescer) Search(ctx context.Context, q []float32, topK, ef, nprobe int) ([]gkmeans.Neighbor, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -86,10 +86,10 @@ func (c *coalescer) Search(ctx context.Context, q []float32, topK, ef int) ([]gk
 		c.queries.Add(1)
 		c.batches.Add(1)
 		c.bumpMaxFlush(1)
-		return c.get().Search(q, topK, ef), nil
+		return c.get().SearchNProbe(q, topK, ef, nprobe), nil
 	}
 
-	key := searchKey{topK: topK, ef: ef}
+	key := searchKey{topK: topK, ef: ef, nprobe: nprobe}
 	ch := make(chan []gkmeans.Neighbor, 1) // buffered: delivery never blocks on a gone caller
 
 	c.mu.Lock()
@@ -152,7 +152,7 @@ func (c *coalescer) run(g *batchGroup) {
 	c.batches.Add(1)
 	c.bumpMaxFlush(int64(len(g.queries)))
 	m := gkmeans.FromRows(g.queries)
-	res := c.get().SearchBatch(m, g.key.topK, g.key.ef)
+	res := c.get().SearchBatchNProbe(m, g.key.topK, g.key.ef, g.key.nprobe)
 	for i, ch := range g.out {
 		ch <- res[i]
 	}

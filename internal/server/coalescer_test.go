@@ -61,7 +61,7 @@ func TestCoalescerMatchesDirectSearchUnderLoad(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
 				q := queries.Row((g*perG + i) % queries.N)
-				got, err := c.Search(context.Background(), q, 10, 64)
+				got, err := c.Search(context.Background(), q, 10, 64, 0)
 				if err != nil {
 					errs <- err
 					return
@@ -104,7 +104,7 @@ func TestCoalescerSizeTrigger(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err := c.Search(context.Background(), queries.Row(i), 5, 32); err != nil {
+			if _, err := c.Search(context.Background(), queries.Row(i), 5, 32, 0); err != nil {
 				t.Error(err)
 			}
 		}(i)
@@ -132,7 +132,7 @@ func TestCoalescerGroupsByParams(t *testing.T) {
 	run := func(topK, ef int) {
 		defer wg.Done()
 		q := queries.Row(0)
-		got, err := c.Search(context.Background(), q, topK, ef)
+		got, err := c.Search(context.Background(), q, topK, ef, 0)
 		if err != nil {
 			t.Error(err)
 			return
@@ -162,7 +162,7 @@ func TestCoalescerContextCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Search(ctx, queries.Row(0), 5, 32)
+		_, err := c.Search(ctx, queries.Row(0), 5, 32, 0)
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond) // let the query enqueue
@@ -177,7 +177,7 @@ func TestCoalescerContextCancellation(t *testing.T) {
 	}
 
 	// Pre-cancelled contexts never enqueue at all.
-	if _, err := c.Search(ctx, queries.Row(0), 5, 32); err != context.Canceled {
+	if _, err := c.Search(ctx, queries.Row(0), 5, 32, 0); err != context.Canceled {
 		t.Fatalf("pre-cancelled search: got %v, want context.Canceled", err)
 	}
 }
@@ -190,7 +190,7 @@ func TestCoalescerCloseDrains(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		res, err := c.Search(context.Background(), queries.Row(0), 5, 32)
+		res, err := c.Search(context.Background(), queries.Row(0), 5, 32, 0)
 		if err == nil && len(res) != 5 {
 			err = fmt.Errorf("drained search returned %d results, want 5", len(res))
 		}
@@ -207,7 +207,7 @@ func TestCoalescerCloseDrains(t *testing.T) {
 		t.Fatal("Close did not flush the open batch")
 	}
 
-	if _, err := c.Search(context.Background(), queries.Row(0), 5, 32); err != ErrDraining {
+	if _, err := c.Search(context.Background(), queries.Row(0), 5, 32, 0); err != ErrDraining {
 		t.Fatalf("search after Close: got %v, want ErrDraining", err)
 	}
 	c.Close() // idempotent
@@ -218,7 +218,7 @@ func TestCoalescerDisabled(t *testing.T) {
 	idx, queries := sharedIndex(t)
 	c := newCoalescer(func() *gkmeans.Index { return idx }, 0, 32)
 	q := queries.Row(1)
-	got, err := c.Search(context.Background(), q, 7, 40)
+	got, err := c.Search(context.Background(), q, 7, 40, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestCoalescerDisabled(t *testing.T) {
 		t.Fatalf("stats %d/%d/%d, want 1/1/1", nq, nb, maxB)
 	}
 	c.Close()
-	if _, err := c.Search(context.Background(), q, 7, 40); err != ErrDraining {
+	if _, err := c.Search(context.Background(), q, 7, 40, 0); err != ErrDraining {
 		t.Fatalf("disabled coalescer after Close: got %v, want ErrDraining", err)
 	}
 }

@@ -98,6 +98,7 @@ func (e *entry) info() client.IndexInfo {
 		Dim:         idx.Dim(),
 		Shards:      idx.Shards(),
 		HasClusters: idx.Clusters() != nil,
+		Routed:      idx.Routed(),
 		Epoch:       e.epoch(),
 		Live:        idx.Live(),
 		Deleted:     idx.Deleted(),
@@ -122,6 +123,8 @@ func (e *entry) stats(window time.Duration) client.IndexStats {
 		CoalesceWindowNS:   int64(window),
 		DistanceComps:      hot.DistanceComps,
 		ExpandedCandidates: hot.ExpandedCandidates,
+		ShardsProbed:       hot.ShardsProbed,
+		RoutedQueries:      hot.RoutedQueries,
 		Inserts:            e.inserts.Load(),
 		Deletes:            e.deletes.Load(),
 		Flushes:            e.flushes.Load(),

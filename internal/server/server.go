@@ -367,6 +367,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case req.TopK <= 0:
 		writeError(w, http.StatusBadRequest, "top_k must be positive, got %d", req.TopK)
 		return
+	case req.NProbe < 0:
+		writeError(w, http.StatusBadRequest, "nprobe must be non-negative, got %d", req.NProbe)
+		return
+	}
+	if req.NProbe > 0 && !e.index().Routed() {
+		// Silently scanning everything would misreport the recall/latency
+		// trade the caller asked for, so refuse instead.
+		writeError(w, http.StatusBadRequest,
+			"index %q has no routing table (build it with WithRouting); nprobe is not applicable", e.name)
+		return
 	}
 	dim := e.index().Dim()
 	queries := req.Queries
@@ -387,7 +397,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	var results [][]gkmeans.Neighbor
 	if single {
-		res, err := e.coal.Search(r.Context(), req.Query, req.TopK, req.Ef)
+		res, err := e.coal.Search(r.Context(), req.Query, req.TopK, req.Ef, req.NProbe)
 		if err != nil {
 			s.writeSearchError(w, err)
 			return
@@ -396,7 +406,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		e.batchRequests.Add(1)
 		e.batchQueries.Add(int64(len(queries)))
-		results = e.index().SearchBatch(gkmeans.FromRows(queries), req.TopK, req.Ef)
+		results = e.index().SearchBatchNProbe(gkmeans.FromRows(queries), req.TopK, req.Ef, req.NProbe)
 	}
 
 	out := client.SearchResponse{Results: make([][]client.Neighbor, len(results))}

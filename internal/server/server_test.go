@@ -488,3 +488,79 @@ func TestServerServesShardedIndex(t *testing.T) {
 		t.Fatalf("stats = %+v, want 3 shards and non-zero distance comps", stats)
 	}
 }
+
+// TestServerServesRoutedIndex covers the nprobe wire surface: a routed
+// index accepts per-query probe caps (full fan-out staying bit-identical),
+// surfaces the routing counters in /stats, and the validation paths reject
+// bad nprobe values with 400s.
+func TestServerServesRoutedIndex(t *testing.T) {
+	all := dataset.SIFTLike(400, 23)
+	data, queries := dataset.Split(all, 20)
+	idx, err := gkmeans.Build(context.Background(), data,
+		gkmeans.WithShards(4), gkmeans.WithRouting(4),
+		gkmeans.WithKappa(8), gkmeans.WithTau(3), gkmeans.WithSeed(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Window: time.Millisecond, MaxBatch: 8})
+	if err := s.RegisterIndex("routed", idx); err != nil {
+		t.Fatal(err)
+	}
+
+	var list client.ListResponse
+	if w := call(t, s, "GET", "/v1/indexes", "", &list); w.Code != http.StatusOK {
+		t.Fatalf("list: %d %s", w.Code, w.Body.String())
+	}
+	if len(list.Indexes) != 1 || !list.Indexes[0].Routed || list.Indexes[0].Shards != 4 {
+		t.Fatalf("list = %+v, want one routed index with 4 shards", list.Indexes)
+	}
+
+	// nprobe == shard count must match the library's full fan-out exactly.
+	req, _ := json.Marshal(client.SearchRequest{Query: queries.Row(0), TopK: 5, Ef: 64, NProbe: 4})
+	var out client.SearchResponse
+	if w := call(t, s, "POST", "/v1/indexes/routed/search", string(req), &out); w.Code != http.StatusOK {
+		t.Fatalf("search nprobe=4: %d %s", w.Code, w.Body.String())
+	}
+	want := idx.Search(queries.Row(0), 5, 64)
+	if len(out.Results) != 1 || len(out.Results[0]) != len(want) {
+		t.Fatalf("search returned %d lists", len(out.Results))
+	}
+	for i, nb := range out.Results[0] {
+		if nb.ID != want[i].ID || nb.Dist != want[i].Dist {
+			t.Fatalf("nprobe=4 result %d = %+v, want full fan-out %+v", i, nb, want[i])
+		}
+	}
+
+	// A routed batch search with nprobe < shards answers every query and
+	// bumps the routing counters.
+	batchReq, _ := json.Marshal(client.SearchRequest{
+		Queries: [][]float32{queries.Row(1), queries.Row(2)}, TopK: 3, Ef: 32, NProbe: 1})
+	var batchOut client.SearchResponse
+	if w := call(t, s, "POST", "/v1/indexes/routed/search", string(batchReq), &batchOut); w.Code != http.StatusOK {
+		t.Fatalf("batch search nprobe=1: %d %s", w.Code, w.Body.String())
+	}
+	if len(batchOut.Results) != 2 || len(batchOut.Results[0]) != 3 {
+		t.Fatalf("batch search returned %+v, want 2 lists of 3", batchOut.Results)
+	}
+
+	var stats client.IndexStats
+	if w := call(t, s, "GET", "/v1/indexes/routed/stats", "", &stats); w.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", w.Code, w.Body.String())
+	}
+	if !stats.Routed || stats.RoutedQueries != 2 || stats.ShardsProbed == 0 {
+		t.Fatalf("stats = %+v, want routed with 2 routed queries and non-zero shards probed", stats)
+	}
+
+	// Validation: negative nprobe, and positive nprobe on an unrouted index.
+	w := call(t, s, "POST", "/v1/indexes/routed/search",
+		`{"query":[0],"top_k":1,"nprobe":-1}`, nil)
+	if w.Code != http.StatusBadRequest || !strings.Contains(errorOf(t, w), "nprobe") {
+		t.Fatalf("negative nprobe: %d %s, want 400 mentioning nprobe", w.Code, w.Body.String())
+	}
+	plain := newTestServer(t)
+	req2, _ := json.Marshal(client.SearchRequest{Query: make([]float32, 32), TopK: 1, NProbe: 2})
+	w = call(t, plain, "POST", "/v1/indexes/sift/search", string(req2), nil)
+	if w.Code != http.StatusBadRequest || !strings.Contains(errorOf(t, w), "routing") {
+		t.Fatalf("nprobe on unrouted index: %d %s, want 400 mentioning routing", w.Code, w.Body.String())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"gkmeans/internal/checked"
+	"gkmeans/internal/router"
 	"gkmeans/internal/store"
 )
 
@@ -150,6 +151,7 @@ func (x *Index) cloneShell() *Index {
 		data: x.data, graph: x.graph,
 		shards: x.shards, shardBase: x.shardBase,
 		shardIDs: x.shardIDs, shardGen: x.shardGen, tombs: x.tombs,
+		route: x.route, probes: x.probes,
 		clusters: x.clusters, graphTime: x.graphTime, cfg: x.cfg, nextID: x.nextID,
 	}
 	if !x.Sharded() {
@@ -247,7 +249,7 @@ func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
 	shardCfg.shards = 0
 	shardCfg.clusterK = 0
 	shardCfg.progress = nil
-	built, graphTime, err := buildShardLoop(ctx, own, shardCfg, 1, nil)
+	built, graphTime, err := buildShardLoop(ctx, own, shardCfg, []int{own.N}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -270,16 +272,39 @@ func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
 		shards[0] = x
 		tombs[0] = x.shardTomb(0)
 	}
+	gen := x.maxGen() + 1
 	y := &Index{
 		data:      newData,
 		shards:    append(shards, built[0]),
 		shardBase: append(base, bound),
 		shardIDs:  append(ids, nil),
-		shardGen:  append(gens, x.maxGen()+1),
+		shardGen:  append(gens, gen),
 		tombs:     append(tombs, nil),
+		probes:    x.probes,
 		graphTime: x.graphTime + graphTime,
 		cfg:       x.cfg,
 		nextID:    checked.Int32(int(bound) + vectors.N),
+	}
+	if y.probes == nil {
+		y.probes = &probeStats{}
+	}
+	// A routed receiver extends its router: the new shard gets its own
+	// centroids (unchanged shards share theirs), so appended vectors are
+	// routable the moment the new index is swapped in.
+	if x.route != nil {
+		cents := make([]*Matrix, 0, n+1)
+		for s := 0; s < n; s++ {
+			cents = append(cents, x.route.Centroids(s))
+		}
+		m, err := router.BuildShard(own, x.route.K(), routingSeed(x.cfg.seed, gen, n), x.cfg.workers)
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: routing centroids for appended shard: %w", err)
+		}
+		route, err := router.New(x.route.K(), x.data.Dim, append(cents, m))
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: extending shard router: %w", err)
+		}
+		y.route = route
 	}
 	return y, nil
 }
@@ -292,7 +317,10 @@ func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
 // compaction has reclaimed — is an error and no new index is produced.
 // The rows' storage is reclaimed by Compact, not here. A Build-time
 // clustering does not carry over: its labels would keep covering deleted
-// rows.
+// rows. Routing centroids (WithRouting) do carry over unchanged — after
+// deletions they are approximate by design, since recomputing them per
+// delete would put a k-means run on the write path for marginal routing
+// benefit; Compact recomputes the rebuilt shard's centroids exactly.
 func (x *Index) Delete(ids ...int32) (*Index, error) {
 	if len(ids) == 0 {
 		return x, nil
@@ -466,7 +494,7 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 		shardCfg.shards = 0
 		shardCfg.clusterK = 0
 		shardCfg.progress = nil
-		built, graphTime, err := buildShardLoop(ctx, shardView(newData, mergedLo, mergedLo+mergedLive), shardCfg, 1, nil)
+		built, graphTime, err := buildShardLoop(ctx, shardView(newData, mergedLo, mergedLo+mergedLive), shardCfg, []int{mergedLive}, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -494,6 +522,7 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 	var ids [][]int32
 	var gens []uint64
 	var tombs []*store.Bits
+	var cents []*Matrix
 	li := 0
 	for s := 0; s < n; s++ {
 		switch {
@@ -503,6 +532,16 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 			ids = append(ids, mergedMap)
 			gens = append(gens, gen)
 			tombs = append(tombs, nil)
+			if x.route != nil {
+				// The merged shard's rows changed, so its routing centroids
+				// are recomputed from scratch; untargeted shards keep theirs.
+				m, err := router.BuildShard(shardView(newData, mergedLo, mergedLo+mergedLive),
+					x.route.K(), routingSeed(x.cfg.seed, gen, len(shards)-1), x.cfg.workers)
+				if err != nil {
+					return nil, fmt.Errorf("gkmeans: routing centroids for compacted shard: %w", err)
+				}
+				cents = append(cents, m)
+			}
 		case inTarget[s]:
 			// Dropped (either folded into merged, or fully dead).
 		default:
@@ -519,6 +558,9 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 			ids = append(ids, x.shardIDMap(k))
 			gens = append(gens, x.shardGeneration(k))
 			tombs = append(tombs, x.shardTomb(k))
+			if x.route != nil {
+				cents = append(cents, x.route.Centroids(k))
+			}
 		}
 	}
 
@@ -529,9 +571,20 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 		shardIDs:  ids,
 		shardGen:  gens,
 		tombs:     tombs,
+		probes:    x.probes,
 		graphTime: mergedTime,
 		cfg:       x.cfg,
 		nextID:    x.idBound(),
+	}
+	if y.Sharded() && y.probes == nil {
+		y.probes = &probeStats{}
+	}
+	if x.route != nil {
+		route, err := router.New(x.route.K(), newData.Dim, cents)
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: reassembling shard router: %w", err)
+		}
+		y.route = route
 	}
 	return y, nil
 }

@@ -19,6 +19,8 @@ type config struct {
 	entries int
 	builder string
 	shards  int
+	routing int // routing centroids per shard; 0 = no router
+	nprobe  int // default shards probed per query; <=0 = all
 
 	maxIter     int
 	trace       bool
@@ -99,6 +101,38 @@ func WithEntryPoints(entries int) Option { return func(c *config) { c.entries = 
 // other index; it cannot be clustered, so combining WithShards and
 // WithClusters makes Build return an error.
 func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithRouting makes a sharded Build also compute a shard router:
+// centroidsPerShard small k-means centroids per shard (built with the same
+// seeded, worker-count-deterministic machinery as everything else), held in
+// the index and persisted with it. A routed index can answer a query by
+// probing only the nprobe shards whose centroids are closest instead of
+// broadcasting to all of them — see WithNProbe and Index.SearchNProbe for
+// the recall-vs-work trade. Routing changes how Build partitions the data:
+// instead of slicing rows in input order, a coarse k-means pass groups
+// similar rows into the same shard (external ids still name the original
+// input rows, via per-shard id maps), because routing contiguous slices of
+// arbitrarily ordered input would discard recall for no saved work.
+//
+// centroidsPerShard <= 0 disables routing. WithRouting requires
+// WithShards(n), n > 1, and Build returns an error otherwise; if the
+// dataset is too small to actually split, the clamp to a monolithic index
+// drops the router too (a monolithic index has nothing to route).
+//
+// The default keeps current behaviour: without WithRouting (or with
+// nprobe resolving to the shard count) every shard is searched, and the
+// results are bit-identical to the unrouted full fan-out.
+func WithRouting(centroidsPerShard int) Option {
+	return func(c *config) { c.routing = centroidsPerShard }
+}
+
+// WithNProbe sets the default number of shards a routed index probes per
+// query: the nprobe shards whose routing centroids are closest to the query
+// are searched and merged, the rest are skipped. n <= 0 or n >= the shard
+// count probes every shard (bit-identical to the unrouted fan-out).
+// Ignored without WithRouting. Per-call values (SearchNProbe,
+// SearchBatchNProbe) override this default.
+func WithNProbe(n int) Option { return func(c *config) { c.nprobe = n } }
 
 // WithMaxIter caps the clustering optimisation epochs. Default 50; a run
 // stops earlier at the first epoch with no accepted move.

@@ -10,6 +10,7 @@ import (
 
 	"gkmeans/internal/checked"
 	"gkmeans/internal/knngraph"
+	"gkmeans/internal/router"
 	"gkmeans/internal/store"
 	"gkmeans/internal/vec"
 )
@@ -65,23 +66,34 @@ import (
 //	             row deleted) and rows int32 external ids (the id map of
 //	             a compacted segment; absent segments use base + row)
 //
+// Version 4 — routed: written when the index carries a shard router
+// (WithRouting). The body is exactly the v3 layout (the sharded flag is
+// required — only sharded indexes route), followed by one routing trailer:
+//
+//	uint32  routing centroids per shard (k, >= 1)
+//	per segment: matrix of routing centroids (vec.WriteMatrix,
+//	             1 <= rows <= min(k, segment rows), segment dimensionality)
+//
 // The segment table states every segment's exact byte size up front, so a
 // reader can locate, skip or parallel-load segments without parsing them,
 // and a truncated or inconsistent file fails with a clear error instead of
-// a misaligned read. Loaders accept all three versions; writers emit v1
+// a misaligned read. Loaders accept all four versions; writers emit v1
 // for plain monolithic indexes and v2 for plain sharded ones (older
-// readers keep working, and saving an unmutated index stays byte-stable
-// across this change), reserving v3 for indexes that actually carry
-// mutation state. See ARCHITECTURE.md for the full format reference.
+// readers keep working, and saving an unmutated, unrouted index stays
+// byte-stable across this change), reserving v3 for indexes that actually
+// carry mutation state and v4 for routed ones. See ARCHITECTURE.md for the
+// full format reference.
 const (
 	indexMagic          = uint32(0x474b4958) // "GKIX"
 	indexVersionSingle  = uint32(1)
 	indexVersionSharded = uint32(2)
 	indexVersionMutable = uint32(3)
+	indexVersionRouted  = uint32(4)
 
 	flagClusters = uint32(1 << 0)
 	flagSharded  = uint32(1 << 1)
 	flagTombs    = uint32(1 << 2)
+	flagRouting  = uint32(1 << 3)
 
 	// Per-segment flags of the v3 segment table.
 	segFlagTombs = uint32(1 << 0)
@@ -179,11 +191,16 @@ func (x *Index) needsV3() bool {
 // WriteTo serialises the whole index to w and returns the number of bytes
 // written. It implements io.WriterTo. Plain monolithic indexes write the
 // v1 single-segment layout and plain sharded ones the v2 multi-segment
-// one; an index carrying mutation state writes v3.
+// one; an index carrying mutation state writes v3 and a routed one
+// (WithRouting, always sharded) writes v4.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
+	if x.route != nil {
+		err := x.writeMutable(cw, indexVersionRouted)
+		return cw.n, err
+	}
 	if x.needsV3() {
-		err := x.writeV3(cw)
+		err := x.writeMutable(cw, indexVersionMutable)
 		return cw.n, err
 	}
 	if x.Sharded() {
@@ -254,11 +271,12 @@ func (x *Index) writeSharded(cw *countingWriter) error {
 	return nil
 }
 
-// writeV3 emits the mutable layout: the v2 shape extended with the id
-// bound in the header and per-segment generation, base, tombstone bitmap
-// and id map. A monolithic index writes one segment without the sharded
-// flag.
-func (x *Index) writeV3(cw *countingWriter) error {
+// writeMutable emits the mutable layout (version indexVersionMutable) or
+// its routed extension (indexVersionRouted): the v2 shape extended with
+// the id bound in the header and per-segment generation, base, tombstone
+// bitmap and id map; v4 appends the routing-centroid trailer. A monolithic
+// index writes one segment without the sharded flag.
+func (x *Index) writeMutable(cw *countingWriter, version uint32) error {
 	if x.clusters != nil {
 		// Unreachable: every mutation drops or refuses a clustering.
 		return fmt.Errorf("gkmeans: internal error: mutated index carries a clustering")
@@ -271,7 +289,10 @@ func (x *Index) writeV3(cw *countingWriter) error {
 	if x.Deleted() > 0 {
 		flags |= flagTombs
 	}
-	hdr := []uint32{indexMagic, indexVersionMutable, flags, x.diskEntries(),
+	if version == indexVersionRouted {
+		flags |= flagRouting
+	}
+	hdr := []uint32{indexMagic, version, flags, x.diskEntries(),
 		checked.U32(segs), uint32(x.idBound())}
 	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
 		return err
@@ -323,6 +344,16 @@ func (x *Index) writeV3(cw *countingWriter) error {
 			}
 		}
 	}
+	if version == indexVersionRouted {
+		if err := binary.Write(cw, binary.LittleEndian, checked.U32(x.route.K())); err != nil {
+			return err
+		}
+		for s := 0; s < segs; s++ {
+			if _, err := vec.WriteMatrix(cw, x.route.Centroids(s)); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }
 
@@ -345,10 +376,12 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 	case indexVersionSharded:
 		return readSharded(r, flags, entries)
 	case indexVersionMutable:
-		return readV3(r, flags, entries)
+		return readMutable(r, flags, entries, false)
+	case indexVersionRouted:
+		return readMutable(r, flags, entries, true)
 	}
-	return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d, %d or %d)",
-		hdr[1], indexVersionSingle, indexVersionSharded, indexVersionMutable)
+	return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d, %d, %d or %d)",
+		hdr[1], indexVersionSingle, indexVersionSharded, indexVersionMutable, indexVersionRouted)
 }
 
 // readSingle loads the body of a v1 single-segment container.
@@ -445,11 +478,23 @@ func readSharded(r io.Reader, flags uint32, entries int) (*Index, error) {
 	return newShardedIndex(data, shards, config{entries: entries, shards: nShards}), nil
 }
 
-// readV3 loads the body of a v3 mutable container. Every piece of mutation
-// metadata is validated against the dataset and the id bound: a corrupt
-// file fails loudly instead of producing an index whose ids alias or whose
-// tombstones cover rows that do not exist.
-func readV3(r io.Reader, flags uint32, entries int) (*Index, error) {
+// readMutable loads the body of a v3 mutable container or (routed=true) a
+// v4 routed one. Every piece of mutation and routing metadata is validated
+// against the dataset and the id bound: a corrupt file fails loudly
+// instead of producing an index whose ids alias, whose tombstones cover
+// rows that do not exist, or whose routing centroids have the wrong shape.
+func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, error) {
+	if !routed && flags&flagRouting != 0 {
+		return nil, fmt.Errorf("gkmeans: v3 index with the routing flag (flags %#x)", flags)
+	}
+	if routed {
+		if flags&flagRouting == 0 {
+			return nil, fmt.Errorf("gkmeans: v4 index without the routing flag (flags %#x)", flags)
+		}
+		if flags&flagSharded == 0 {
+			return nil, fmt.Errorf("gkmeans: routed index without the sharded flag (flags %#x)", flags)
+		}
+	}
 	var tail [2]uint32
 	if err := binary.Read(r, binary.LittleEndian, tail[:]); err != nil {
 		return nil, fmt.Errorf("gkmeans: reading mutable header: %w", err)
@@ -560,11 +605,43 @@ func readV3(r io.Reader, flags uint32, entries int) (*Index, error) {
 		x.nextID = nextID
 		return x, nil
 	}
-	return &Index{
+	x := &Index{
 		data: data, shards: shards, shardBase: bases, shardIDs: idmaps,
 		shardGen: gens, tombs: tombs, nextID: nextID,
-		cfg: config{entries: entries, shards: segs},
-	}, nil
+		probes: &probeStats{},
+		cfg:    config{entries: entries, shards: segs},
+	}
+	if routed {
+		var k32 uint32
+		if err := binary.Read(cr, binary.LittleEndian, &k32); err != nil {
+			return nil, fmt.Errorf("gkmeans: reading routing header: %w", err)
+		}
+		if k32 < 1 || k32 > math.MaxInt32 {
+			return nil, fmt.Errorf("gkmeans: implausible routing centroid count %d per shard", k32)
+		}
+		k := int(k32)
+		cents := make([]*vec.Matrix, segs)
+		for s := range cents {
+			m, err := vec.ReadMatrix(cr)
+			if err != nil {
+				return nil, fmt.Errorf("gkmeans: reading segment %d routing centroids: %w", s, err)
+			}
+			if m.Dim != data.Dim {
+				return nil, fmt.Errorf("gkmeans: segment %d routing centroids are %d-dimensional, data is %d-dimensional", s, m.Dim, data.Dim)
+			}
+			if want := int(table[s].Rows); m.N > k || m.N > want || m.N < 1 {
+				return nil, fmt.Errorf("gkmeans: segment %d has %d routing centroids for %d rows (config %d per shard)", s, m.N, want, k)
+			}
+			cents[s] = m
+		}
+		route, err := router.New(k, data.Dim, cents)
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: corrupt routing section: %w", err)
+		}
+		x.route = route
+		x.cfg.routing = k
+	}
+	return x, nil
 }
 
 // writeFileAtomic writes through a temporary file in path's directory and

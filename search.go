@@ -65,12 +65,28 @@ func (x *Index) checkQueryDim(dim int) {
 //
 // On a sharded index the query fans out across every shard concurrently
 // (one goroutine per shard, each bounded by the same topK and ef) and the
-// per-shard results merge into one global top-topK with global ids.
+// per-shard results merge into one global top-topK with global ids — unless
+// the index carries a router and a WithNProbe default, in which case only
+// the nprobe nearest shards are searched (see SearchNProbe).
 func (x *Index) Search(q []float32, topK, ef int) []Neighbor {
+	return x.SearchNProbe(q, topK, ef, 0)
+}
+
+// SearchNProbe is Search with an explicit per-query probe count for routed
+// sharded indexes (WithRouting): the query is compared against every
+// shard's routing centroids and only the nprobe shards with the closest
+// centroids are searched before the usual deterministic merge. Smaller
+// nprobe means proportionally fewer distance computations at some recall
+// cost — the work/recall knob of a routed index, next to ef.
+//
+// nprobe <= 0 falls back to the WithNProbe default, and an nprobe at or
+// past the shard count — or any value on an unrouted or monolithic index —
+// probes everything, bit-identical to Search on an unrouted index.
+func (x *Index) SearchNProbe(q []float32, topK, ef, nprobe int) []Neighbor {
 	x.checkQueryDim(len(q))
 	ef = defaultEf(topK, ef)
 	if x.Sharded() {
-		return x.searchSharded(q, topK, ef)
+		return x.searchSharded(q, topK, ef, nprobe)
 	}
 	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
 		return x.searchMonoLive(q, topK, ef)
@@ -85,10 +101,17 @@ func (x *Index) Search(q []float32, topK, ef int) []Neighbor {
 // pool entries expanded through their graph neighbours — the quantity the
 // early-termination rule bounds. Serving layers export them to make the
 // per-query work visible in production.
+// On a sharded index two more counters describe the fan-out: ShardsProbed
+// is the number of per-shard searches actually executed (shard count ×
+// queries on the full fan-out, less when routing skips shards) and
+// RoutedQueries counts the queries for which the router skipped at least
+// one shard. Both stay zero on a monolithic index.
 type SearchStats struct {
 	Queries            uint64
 	DistanceComps      uint64
 	ExpandedCandidates uint64
+	ShardsProbed       uint64
+	RoutedQueries      uint64
 }
 
 // SearchStats returns the index's cumulative search counters. It reports
@@ -116,15 +139,22 @@ func (x *Index) SearchStats() SearchStats {
 // from any goroutine, including concurrently with Search.
 //
 // On a sharded index the workers parallelise across queries and each query
-// scans the shards in order, so the merged results are identical for every
-// worker count.
+// scans its probed shards in a query-determined order, so the merged
+// results are identical for every worker count.
 func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
+	return x.SearchBatchNProbe(queries, topK, ef, 0)
+}
+
+// SearchBatchNProbe is SearchBatch with an explicit per-call probe count
+// for routed sharded indexes; nprobe follows the same resolution as
+// SearchNProbe.
+func (x *Index) SearchBatchNProbe(queries *Matrix, topK, ef, nprobe int) [][]Neighbor {
 	if queries.N > 0 {
 		x.checkQueryDim(queries.Dim)
 	}
 	ef = defaultEf(topK, ef)
 	if x.Sharded() {
-		return x.searchBatchSharded(queries, topK, ef)
+		return x.searchBatchSharded(queries, topK, ef, nprobe)
 	}
 	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
 		return x.searchBatchMonoLive(queries, topK, ef)
@@ -137,7 +167,10 @@ func (x *Index) SearchBatch(queries *Matrix, topK, ef int) [][]Neighbor {
 // average recall@k at the given pool size ef.
 func (x *Index) Recall(queries *Matrix, truth [][]int32, k, ef int) float64 {
 	if x.Sharded() {
-		return anns.RecallAtFunc(x.searchSharded, queries, truth, k, defaultEf(k, ef))
+		search := func(q []float32, topK, ef int) []Neighbor {
+			return x.searchSharded(q, topK, ef, 0)
+		}
+		return anns.RecallAtFunc(search, queries, truth, k, defaultEf(k, ef))
 	}
 	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
 		return anns.RecallAtFunc(x.searchMonoLive, queries, truth, k, defaultEf(k, ef))

@@ -70,14 +70,18 @@ func newShardedIndex(data *Matrix, shards []*Index, cfg config) *Index {
 		base[s] = checked.Int32(row)
 		row += shard.N()
 	}
-	return &Index{data: data, shards: shards, shardBase: base, cfg: cfg}
+	return &Index{data: data, shards: shards, shardBase: base, probes: &probeStats{}, cfg: cfg}
 }
 
 // buildSharded is Build's WithShards(n) path: one monolithic sub-index per
 // contiguous shard, built sequentially so at most one build pipeline (and
 // its scratch memory) is in flight, each using the full WithWorkers
 // parallelism. ctx cancellation is honoured inside every shard build.
+// WithRouting switches to the cluster-aligned routed build (see route.go).
 func buildSharded(ctx context.Context, data *Matrix, cfg config, nShards int) (*Index, error) {
+	if cfg.routing > 0 {
+		return buildRouted(ctx, data, cfg, nShards)
+	}
 	shardCfg := cfg
 	shardCfg.shards = 0
 	shardCfg.progress = nil
@@ -93,7 +97,12 @@ func buildSharded(ctx context.Context, data *Matrix, cfg config, nShards int) (*
 			}
 		}
 	}
-	shards, graphTime, err := buildShardLoop(ctx, data, shardCfg, nShards, progressFor)
+	sizes := make([]int, nShards)
+	for s := range sizes {
+		lo, hi := shardBounds(s, nShards, data.N)
+		sizes[s] = hi - lo
+	}
+	shards, graphTime, err := buildShardLoop(ctx, data, shardCfg, sizes, progressFor)
 	if err != nil {
 		return nil, err
 	}
@@ -102,25 +111,30 @@ func buildSharded(ctx context.Context, data *Matrix, cfg config, nShards int) (*
 	return x, nil
 }
 
-// buildShardLoop builds the n sub-indexes over the contiguous shard views.
-// progressFor, when non-nil, supplies each shard's progress callback.
-func buildShardLoop(ctx context.Context, data *Matrix, shardCfg config, nShards int,
+// buildShardLoop builds one sub-index per entry of sizes over consecutive
+// views of data (which the sizes must cover exactly). progressFor, when
+// non-nil, supplies each shard's progress callback. Callers: the even
+// contiguous split (buildSharded), the coarse-partitioned routed build
+// (buildRouted), and the single-shard builds of Append and Compact.
+func buildShardLoop(ctx context.Context, data *Matrix, shardCfg config, sizes []int,
 	progressFor func(s int) func(stage string, done, total int)) ([]*Index, time.Duration, error) {
 
-	shards := make([]*Index, nShards)
+	shards := make([]*Index, len(sizes))
 	var graphTime time.Duration
-	for s := 0; s < nShards; s++ {
-		lo, hi := shardBounds(s, nShards, data.N)
+	lo := 0
+	for s, size := range sizes {
+		hi := lo + size
 		cfg := shardCfg
 		if progressFor != nil {
 			cfg.progress = progressFor(s)
 		}
 		shard, err := buildMono(ctx, shardView(data, lo, hi), cfg)
 		if err != nil {
-			return nil, 0, fmt.Errorf("gkmeans: building shard %d/%d (rows %d..%d): %w", s, nShards, lo, hi, err)
+			return nil, 0, fmt.Errorf("gkmeans: building shard %d/%d (rows %d..%d): %w", s, len(sizes), lo, hi, err)
 		}
 		shards[s] = shard
 		graphTime += shard.graphTime
+		lo = hi
 	}
 	return shards, graphTime, nil
 }
@@ -230,39 +244,108 @@ func (x *Index) searchBatchMonoLive(queries *Matrix, topK, ef int) [][]Neighbor 
 	return out
 }
 
-// searchSharded fans one query out across every shard concurrently — one
-// goroutine per shard, since a single query's latency is exactly what the
-// fan-out buys — and merges the per-shard live top-k into the global top-k.
-func (x *Index) searchSharded(q []float32, topK, ef int) []Neighbor {
-	parts := make([][]Neighbor, len(x.shards))
+// fanScratch is the per-call scratch of the sharded fan-out: the per-shard
+// result slots plus the router's ranking arrays. Pooled so the fan-out
+// path allocates nothing per query beyond the results themselves.
+type fanScratch struct {
+	parts [][]Neighbor
+	order []int32
+	dists []float32
+}
+
+// grow resizes the scratch for n shards, reusing capacity when it can.
+func (sc *fanScratch) grow(n int) {
+	if cap(sc.parts) < n {
+		sc.parts = make([][]Neighbor, n)
+		sc.order = make([]int32, n)
+		sc.dists = make([]float32, n)
+	}
+	sc.parts = sc.parts[:n]
+	sc.order = sc.order[:n]
+	sc.dists = sc.dists[:n]
+}
+
+// release drops the result references (they belong to the caller now) so a
+// pooled scratch never pins result slices across queries.
+func (sc *fanScratch) release() {
+	for i := range sc.parts {
+		sc.parts[i] = nil
+	}
+}
+
+var fanScratchPool = sync.Pool{New: func() any { return new(fanScratch) }}
+
+// searchSharded answers one query against a sharded index. With a router
+// and an effective nprobe below the shard count, the query is ranked
+// against the routing centroids and only the nprobe best shards are
+// searched; otherwise every shard is (the unrouted path, bit-identical to
+// the pre-router full broadcast — the router is not even consulted). The
+// probed shards run concurrently — one goroutine each, since a single
+// query's latency is exactly what the fan-out buys — and the per-shard
+// live top-k lists merge into the global top-k.
+func (x *Index) searchSharded(q []float32, topK, ef, nprobe int) []Neighbor {
+	n := len(x.shards)
+	np := x.resolveNProbe(nprobe)
+	sc := fanScratchPool.Get().(*fanScratch)
+	sc.grow(n)
 	var wg sync.WaitGroup
-	for s := range x.shards {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			parts[s] = x.searchShardGlobal(s, q, topK, ef)
-		}(s)
+	if np < n {
+		x.route.Rank(q, sc.order, sc.dists)
+		x.noteProbe(np, n, x.route.TotalCentroids())
+		for i := 0; i < np; i++ {
+			wg.Add(1)
+			go func(slot, s int) {
+				defer wg.Done()
+				sc.parts[slot] = x.searchShardGlobal(s, q, topK, ef)
+			}(i, int(sc.order[i]))
+		}
+	} else {
+		x.noteProbe(n, n, 0)
+		for s := 0; s < n; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				sc.parts[s] = x.searchShardGlobal(s, q, topK, ef)
+			}(s)
+		}
 	}
 	wg.Wait()
-	return mergeShardResults(parts, topK)
+	merged := mergeShardResults(sc.parts[:np], topK)
+	sc.release()
+	fanScratchPool.Put(sc)
+	return merged
 }
 
 // searchBatchSharded answers a batch against a sharded index. Parallelism
 // goes across queries (the batch already saturates the cores); within one
-// query the shards are scanned in order, which keeps the merge input — and
-// therefore the output — identical for every worker count.
-func (x *Index) searchBatchSharded(queries *Matrix, topK, ef int) [][]Neighbor {
+// query the probed shards are scanned sequentially in a query-determined
+// order, which keeps the merge input — and therefore the output —
+// identical for every worker count.
+func (x *Index) searchBatchSharded(queries *Matrix, topK, ef, nprobe int) [][]Neighbor {
 	out := make([][]Neighbor, queries.N)
-	parts := len(x.shards)
+	n := len(x.shards)
+	np := x.resolveNProbe(nprobe)
 	parallel.For(queries.N, x.cfg.workers, func(lo, hi int) {
-		scratch := make([][]Neighbor, parts)
+		sc := fanScratchPool.Get().(*fanScratch)
+		sc.grow(n)
 		for qi := lo; qi < hi; qi++ {
 			q := queries.Row(qi)
-			for s := range x.shards {
-				scratch[s] = x.searchShardGlobal(s, q, topK, ef)
+			if np < n {
+				x.route.Rank(q, sc.order, sc.dists)
+				x.noteProbe(np, n, x.route.TotalCentroids())
+				for i := 0; i < np; i++ {
+					sc.parts[i] = x.searchShardGlobal(int(sc.order[i]), q, topK, ef)
+				}
+			} else {
+				x.noteProbe(n, n, 0)
+				for s := 0; s < n; s++ {
+					sc.parts[s] = x.searchShardGlobal(s, q, topK, ef)
+				}
 			}
-			out[qi] = mergeShardResults(scratch, topK)
+			out[qi] = mergeShardResults(sc.parts[:np], topK)
 		}
+		sc.release()
+		fanScratchPool.Put(sc)
 	})
 	return out
 }
@@ -293,9 +376,11 @@ func mergeShardResults(parts [][]Neighbor, topK int) []Neighbor {
 	return merged
 }
 
-// searchStatsSharded aggregates the per-shard counters. Every query visits
-// every shard, so the work counters add up while the logical query count is
-// the maximum any one shard has seen (the shards agree except mid-flight).
+// searchStatsSharded aggregates the per-shard counters: the work counters
+// add up across shards (plus the router's centroid distance computations,
+// zero on the full fan-out), the logical query count comes from the probe
+// counters, and ShardsProbed/RoutedQueries expose how much of the fan-out
+// routing actually skipped.
 func (x *Index) searchStatsSharded() SearchStats {
 	var out SearchStats
 	for _, shard := range x.shards {
@@ -305,6 +390,14 @@ func (x *Index) searchStatsSharded() SearchStats {
 		if st.Queries > out.Queries {
 			out.Queries = st.Queries
 		}
+	}
+	if p := x.probes; p != nil {
+		if q := p.queries.Load(); q > 0 {
+			out.Queries = q
+		}
+		out.ShardsProbed = p.probed.Load()
+		out.RoutedQueries = p.routed.Load()
+		out.DistanceComps += p.routeComps.Load()
 	}
 	return out
 }
