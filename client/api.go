@@ -26,6 +26,12 @@ type SearchRequest struct {
 	TopK    int         `json:"top_k"`
 	Ef      int         `json:"ef,omitempty"`
 	NProbe  int         `json:"nprobe,omitempty"`
+	// TimeoutMS is the request's deadline budget in milliseconds: the
+	// server answers 504 if the search has not completed within it. It can
+	// only tighten the server-wide request timeout, never extend it; 0
+	// means no request-supplied deadline. The Go client fills it from the
+	// context deadline automatically.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // SearchResponse carries one sorted neighbour list per query; a single-query
@@ -165,4 +171,14 @@ type IndexStats struct {
 	Flushes     int64 `json:"flushes"`
 	Compactions int64 `json:"compactions"`
 	Durable     bool  `json:"durable"`
+
+	// Query-cache counters, all zero when the server runs without a cache
+	// (gkserved -cache 0). A hit is a single-query search answered from
+	// the epoch-pinned cache, bit-identical to the cold search it saved;
+	// misses include epoch invalidations after mutations. CacheEntries is
+	// the resident entry count at snapshot time.
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	CacheEvictions int64 `json:"cache_evictions,omitempty"`
+	CacheEntries   int   `json:"cache_entries,omitempty"`
 }

@@ -22,12 +22,18 @@
 // search. IndexInfo reports the mutation state — epoch, live/deleted
 // counts and rows pending their shard build.
 //
-// Every call takes a context and honours its cancellation. Transient
-// failures — connection errors and 502/503/504 responses — are retried
-// with exponential backoff (configurable via WithRetries/WithRetryBackoff)
-// on every call except Register and Insert, the two operations whose blind
-// retry could double-apply (Insert) or misreport (Register) a first
-// attempt that succeeded without a response.
+// Every call takes a context and honours its cancellation; a context
+// deadline is additionally propagated to the server as the search's
+// timeout_ms budget, so a request the client would abandon is answered 504
+// and stops consuming server work. Transient failures are retried
+// (configurable via WithRetries/WithRetryBackoff) on every call except
+// Register and Insert, the two operations whose blind retry could
+// double-apply (Insert) or misreport (Register) a first attempt that
+// succeeded without a response. The retry policy distinguishes the
+// status classes: 429 load sheds retry after the server's Retry-After
+// pacing hint, 502/503/504 retry on the exponential backoff schedule,
+// and every other 4xx is definitive and never retried. Prometheus
+// metrics are available in typed form via Metrics.
 package client
 
 import (
@@ -38,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -93,8 +100,9 @@ func (c *Client) Close() { c.hc.CloseIdleConnections() }
 
 // APIError is a non-2xx response from the server.
 type APIError struct {
-	Status  int    // HTTP status code
-	Message string // server-provided error message
+	Status     int           // HTTP status code
+	Message    string        // server-provided error message
+	RetryAfter time.Duration // parsed Retry-After header, 0 when absent
 }
 
 func (e *APIError) Error() string {
@@ -102,11 +110,63 @@ func (e *APIError) Error() string {
 }
 
 // retryable reports whether a status code signals a transient condition
-// worth retrying: bad gateway, service draining/unavailable, or timeout.
+// worth retrying. The three classes behave differently and the
+// distinction matters:
+//
+//   - 429 (load shed): the server is healthy but at its concurrency
+//     limit. Retried, honouring the server's Retry-After pacing hint —
+//     immediate exponential backoff would re-shed and add load exactly
+//     when the server asked for less.
+//   - 502/503/504 (drain, gateway trouble, timeout): transient
+//     infrastructure conditions, retried a bounded number of times with
+//     exponential backoff.
+//   - every other 4xx is a definitive verdict about the request itself —
+//     retrying a 400/404/409 can only repeat the answer (or, for Insert,
+//     double-apply), so those never retry.
 func retryable(status int) bool {
-	return status == http.StatusBadGateway ||
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusBadGateway ||
 		status == http.StatusServiceUnavailable ||
 		status == http.StatusGatewayTimeout
+}
+
+// parseRetryAfter reads a Retry-After header: delta-seconds or an
+// HTTP-date; 0 when absent or unparseable.
+func parseRetryAfter(h string) time.Duration {
+	if h == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(h); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// timeoutMS converts a context deadline into the wire's timeout_ms budget,
+// rounding up so a 4.2ms budget is sent as 5 rather than truncated to 4.
+// 0 (no deadline, or one already expired — the transport will fail the
+// request itself) means the server applies only its own -timeout.
+func timeoutMS(ctx context.Context) int {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if time.Until(d)%time.Millisecond != 0 {
+		ms++
+	}
+	if ms <= 0 {
+		return 0
+	}
+	return int(ms)
 }
 
 // do runs one API call with retries. in (when non-nil) is marshalled as the
@@ -127,6 +187,12 @@ func (c *Client) doRetries(ctx context.Context, method, path string, in, out any
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			delay := c.backoff << (attempt - 1)
+			// A shed (429) carries the server's own pacing hint; honour it
+			// instead of the local backoff schedule.
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) && apiErr.RetryAfter > 0 {
+				delay = apiErr.RetryAfter
+			}
 			select {
 			case <-ctx.Done():
 				return fmt.Errorf("client: %w (last error: %v)", ctx.Err(), lastErr)
@@ -173,7 +239,11 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e) == nil && e.Error != "" {
 			msg = e.Error
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
+		return &APIError{
+			Status:     resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -234,7 +304,7 @@ func (c *Client) Search(ctx context.Context, name string, q []float32, topK, ef 
 // index is a 400 from the server.
 func (c *Client) SearchNProbe(ctx context.Context, name string, q []float32, topK, ef, nprobe int) ([]Neighbor, error) {
 	var out SearchResponse
-	req := SearchRequest{Query: q, TopK: topK, Ef: ef, NProbe: nprobe}
+	req := SearchRequest{Query: q, TopK: topK, Ef: ef, NProbe: nprobe, TimeoutMS: timeoutMS(ctx)}
 	if err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/search", req, &out); err != nil {
 		return nil, err
 	}
@@ -259,7 +329,7 @@ func (c *Client) SearchBatchNProbe(ctx context.Context, name string, queries [][
 		return [][]Neighbor{}, nil
 	}
 	var out SearchResponse
-	req := SearchRequest{Queries: queries, TopK: topK, Ef: ef, NProbe: nprobe}
+	req := SearchRequest{Queries: queries, TopK: topK, Ef: ef, NProbe: nprobe, TimeoutMS: timeoutMS(ctx)}
 	if err := c.do(ctx, http.MethodPost, "/v1/indexes/"+name+"/search", req, &out); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,257 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Typed access to gkserved's Prometheus /metrics endpoint. The exposition
+// format is line-oriented text (version 0.0.4); ParseMetrics implements
+// enough of it for gkserved's output and any similarly conventional
+// exporter: HELP/TYPE comment headers, escaped label values, +Inf/NaN
+// sample values, and histogram series. The parser is also what the server
+// tests use to prove /metrics stays well-formed.
+
+// MetricFamily is one named metric with its metadata and every sample that
+// belongs to it. Histogram families collect their _bucket/_sum/_count
+// series as samples under the base name.
+type MetricFamily struct {
+	Name    string
+	Help    string
+	Type    string // counter, gauge, histogram, summary or untyped
+	Samples []Sample
+}
+
+// Sample is one exposition line: the literal series name (for histograms
+// this keeps the _bucket/_sum/_count suffix), its label set and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Metrics fetches and parses the server's Prometheus exposition. The
+// result is ordered as exported; look up families by name with Find.
+func (c *Client) Metrics(ctx context.Context) ([]MetricFamily, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &APIError{Status: resp.StatusCode, Message: resp.Status}
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// Find returns the named family from a parsed exposition, or false.
+func Find(families []MetricFamily, name string) (MetricFamily, bool) {
+	for _, f := range families {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return MetricFamily{}, false
+}
+
+// ParseMetrics parses a Prometheus text-format (0.0.4) exposition. Samples
+// whose name extends a declared family with a _bucket, _sum or _count
+// suffix are attached to that family; samples with no TYPE declaration get
+// an implicit untyped family. Malformed lines are errors, not skips — the
+// point of parsing in tests is to reject drift.
+func ParseMetrics(r io.Reader) ([]MetricFamily, error) {
+	var (
+		families []MetricFamily
+		byName   = map[string]int{}
+	)
+	ensure := func(name string) *MetricFamily {
+		if i, ok := byName[name]; ok {
+			return &families[i]
+		}
+		byName[name] = len(families)
+		families = append(families, MetricFamily{Name: name, Type: "untyped"})
+		return &families[len(families)-1]
+	}
+	// familyOf resolves a sample name to its family, honouring histogram
+	// and summary suffixes only when the base family was declared.
+	familyOf := func(sample string) *MetricFamily {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(sample, suffix)
+			if base == sample {
+				continue
+			}
+			if i, ok := byName[base]; ok && (families[i].Type == "histogram" || families[i].Type == "summary") {
+				return &families[i]
+			}
+		}
+		return ensure(sample)
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				f := ensure(fields[2])
+				if len(fields) >= 4 {
+					f.Type = strings.TrimSpace(fields[3])
+				}
+			} else if len(fields) >= 3 && fields[1] == "HELP" {
+				f := ensure(fields[2])
+				if len(fields) >= 4 {
+					f.Help = unescapeHelp(fields[3])
+				}
+			}
+			continue // any other comment is legal and ignored
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", lineNo, err)
+		}
+		f := familyOf(name)
+		f.Samples = append(f.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// parseSample parses `name{label="v",...} value [timestamp]`.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[i:]
+	if rest[0] == '{' {
+		end, lbls, lerr := parseLabels(rest)
+		if lerr != nil {
+			return "", nil, 0, fmt.Errorf("sample %q: %w", line, lerr)
+		}
+		labels = lbls
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp]", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels parses a `{k="v",...}` block starting at s[0] == '{' and
+// returns the index just past the closing brace.
+func parseLabels(s string) (end int, labels map[string]string, err error) {
+	labels = map[string]string{}
+	i := 1
+	for {
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		key := s[i : i+eq]
+		if key == "" {
+			return 0, nil, fmt.Errorf("empty label name")
+		}
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q: unquoted value", key)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("label %q: unterminated value", key)
+			}
+			switch s[i] {
+			case '\\':
+				if i+1 >= len(s) {
+					return 0, nil, fmt.Errorf("label %q: dangling escape", key)
+				}
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("label %q: bad escape \\%c", key, s[i+1])
+				}
+				i += 2
+				continue
+			case '"':
+				i++
+			default:
+				b.WriteByte(s[i])
+				i++
+				continue
+			}
+			break
+		}
+		labels[key] = b.String()
+	}
+}
+
+func validMetricName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// SortedLabelKeys returns a sample's label names in stable order — a
+// convenience for callers rendering or diffing metric sets.
+func (s Sample) SortedLabelKeys() []string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

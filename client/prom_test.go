@@ -1,0 +1,126 @@
+package client
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleExposition = `# HELP gkserved_requests_total Requests served, by endpoint and status code.
+# TYPE gkserved_requests_total counter
+gkserved_requests_total{endpoint="search",code="200"} 41
+gkserved_requests_total{endpoint="search",code="400"} 1
+# HELP gkserved_request_duration_seconds Request latency.
+# TYPE gkserved_request_duration_seconds histogram
+gkserved_request_duration_seconds_bucket{endpoint="search",le="0.001"} 12
+gkserved_request_duration_seconds_bucket{endpoint="search",le="+Inf"} 42
+gkserved_request_duration_seconds_sum{endpoint="search"} 0.618
+gkserved_request_duration_seconds_count{endpoint="search"} 42
+# TYPE gkserved_inflight_requests gauge
+gkserved_inflight_requests 3
+gkserved_untyped_thing{note="escaped \"quote\" and \\ and \n newline"} 1.5
+`
+
+func TestParseMetrics(t *testing.T) {
+	families, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs, ok := Find(families, "gkserved_requests_total")
+	if !ok || reqs.Type != "counter" || len(reqs.Samples) != 2 {
+		t.Fatalf("requests family = %+v", reqs)
+	}
+	if reqs.Help == "" || reqs.Samples[0].Labels["endpoint"] != "search" || reqs.Samples[0].Value != 41 {
+		t.Fatalf("requests sample 0 = %+v (help %q)", reqs.Samples[0], reqs.Help)
+	}
+
+	// Histogram series attach to their declared base family, keeping their
+	// literal names.
+	hist, ok := Find(families, "gkserved_request_duration_seconds")
+	if !ok || hist.Type != "histogram" {
+		t.Fatalf("histogram family = %+v", hist)
+	}
+	if len(hist.Samples) != 4 {
+		t.Fatalf("histogram collected %d samples, want 4", len(hist.Samples))
+	}
+	names := map[string]bool{}
+	for _, s := range hist.Samples {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"gkserved_request_duration_seconds_bucket",
+		"gkserved_request_duration_seconds_sum",
+		"gkserved_request_duration_seconds_count",
+	} {
+		if !names[want] {
+			t.Fatalf("histogram missing %s series", want)
+		}
+	}
+	if hist.Samples[1].Labels["le"] != "+Inf" || hist.Samples[1].Value != 42 {
+		t.Fatalf("+Inf bucket = %+v", hist.Samples[1])
+	}
+
+	gauge, ok := Find(families, "gkserved_inflight_requests")
+	if !ok || gauge.Type != "gauge" || len(gauge.Samples) != 1 || gauge.Samples[0].Value != 3 {
+		t.Fatalf("gauge family = %+v", gauge)
+	}
+
+	// An undeclared sample gets an implicit untyped family; label escapes
+	// decode.
+	un, ok := Find(families, "gkserved_untyped_thing")
+	if !ok || un.Type != "untyped" {
+		t.Fatalf("untyped family = %+v", un)
+	}
+	if note := un.Samples[0].Labels["note"]; note != "escaped \"quote\" and \\ and \n newline" {
+		t.Fatalf("label unescaped to %q", note)
+	}
+	if keys := un.Samples[0].SortedLabelKeys(); len(keys) != 1 || keys[0] != "note" {
+		t.Fatalf("SortedLabelKeys = %v", keys)
+	}
+
+	if _, ok := Find(families, "nope"); ok {
+		t.Fatal("Find invented a family")
+	}
+}
+
+func TestParseMetricsRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_at_all\n",
+		"bad name{x=\"y\"} 1\n",
+		"9starts_with_digit 1\n",
+		"unterminated{x=\"y\n",
+		"unquoted{x=y} 1\n",
+		"bad_escape{x=\"\\q\"} 1\n",
+		"trailing{x=\"y\"} 1 2 3\n",
+		"not_a_number{} abc\n",
+	} {
+		if _, err := ParseMetrics(strings.NewReader(bad)); err == nil {
+			t.Errorf("malformed line %q parsed without error", strings.TrimSpace(bad))
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	if d := parseRetryAfter(""); d != 0 {
+		t.Fatalf("empty header parsed to %v", d)
+	}
+	if d := parseRetryAfter("5"); d != 5*time.Second {
+		t.Fatalf("delta-seconds parsed to %v", d)
+	}
+	if d := parseRetryAfter("-3"); d != 0 {
+		t.Fatalf("negative delta parsed to %v", d)
+	}
+	if d := parseRetryAfter("garbage"); d != 0 {
+		t.Fatalf("garbage parsed to %v", d)
+	}
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(future); d < 80*time.Second || d > 91*time.Second {
+		t.Fatalf("HTTP-date parsed to %v", d)
+	}
+	past := time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)
+	if d := parseRetryAfter(past); d != 0 {
+		t.Fatalf("past HTTP-date parsed to %v", d)
+	}
+}

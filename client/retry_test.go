@@ -1,0 +1,129 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gkmeans/client"
+)
+
+func readJSON(r *http.Request, dst any) error {
+	defer r.Body.Close()
+	return json.NewDecoder(r.Body).Decode(dst)
+}
+
+// A 429 shed is retried, but on the server's Retry-After schedule rather
+// than the client's own backoff: with a 1ms backoff and a 1s Retry-After,
+// the second attempt must not arrive before the hint elapses.
+func TestClient429HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var gap atomic.Int64 // ns between first and second attempt
+	var first time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			first = time.Now()
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"server at concurrency limit"}`, http.StatusTooManyRequests)
+		default:
+			gap.Store(int64(time.Since(first)))
+			w.Write([]byte(`{"status":"ok"}`))
+		}
+	}))
+	defer ts.Close()
+
+	cl := client.New(ts.URL, client.WithRetries(2), client.WithRetryBackoff(time.Millisecond))
+	defer cl.Close()
+	if err := cl.Health(context.Background()); err != nil {
+		t.Fatalf("shed-then-ok request failed: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	if d := time.Duration(gap.Load()); d < 900*time.Millisecond {
+		t.Fatalf("retry arrived %v after the 429; Retry-After of 1s was not honoured", d)
+	}
+}
+
+// A 429 without success within the retry budget surfaces as an APIError
+// carrying the parsed Retry-After, so callers can keep pacing themselves.
+func TestClient429ErrorCarriesRetryAfter(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"shed"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	cl := client.New(ts.URL, client.WithRetries(0))
+	defer cl.Close()
+	err := cl.Health(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("error = %v, want APIError 429", err)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+	}
+}
+
+// 504 joins 502/503 as a bounded-retry transient: the budget is spent, then
+// the error surfaces.
+func TestClient504RetriedBounded(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"search deadline exceeded"}`, http.StatusGatewayTimeout)
+	}))
+	defer ts.Close()
+
+	cl := client.New(ts.URL, client.WithRetries(2), client.WithRetryBackoff(time.Millisecond))
+	defer cl.Close()
+	err := cl.Health(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGatewayTimeout {
+		t.Fatalf("error = %v, want APIError 504", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (initial + 2 retries)", got)
+	}
+}
+
+// A context deadline is forwarded to the server as timeout_ms on search
+// requests, and only on them.
+func TestClientForwardsDeadlineAsTimeoutMS(t *testing.T) {
+	var seen atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req client.SearchRequest
+		if err := readJSON(r, &req); err != nil {
+			t.Errorf("decoding search request: %v", err)
+		}
+		seen.Store(int64(req.TimeoutMS))
+		w.Write([]byte(`{"results":[[]]}`))
+	}))
+	defer ts.Close()
+
+	cl := client.New(ts.URL, client.WithRetries(0))
+	defer cl.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cl.Search(ctx, "x", []float32{1}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ms := seen.Load(); ms <= 0 || ms > 5000 {
+		t.Fatalf("timeout_ms = %d, want in (0, 5000]", ms)
+	}
+
+	// Without a deadline the field stays zero (omitted on the wire).
+	if _, err := cl.Search(context.Background(), "x", []float32{1}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ms := seen.Load(); ms != 0 {
+		t.Fatalf("timeout_ms = %d without a deadline, want 0", ms)
+	}
+}

@@ -25,11 +25,23 @@
 // of the trajectory. -quick-routed is the CI preset for that path, gated
 // against BENCH_search_routed.json.
 //
+// With -http URL the harness instead drives a live gkserved daemon through
+// the Go client at -http-conc concurrency, cycling -http-distinct distinct
+// queries so a cache-enabled server (gkserved -cache) answers the repeats
+// from its epoch-invalidated query cache; the report (BENCH_http.json)
+// records end-to-end latency percentiles plus the server's cache hit/miss
+// deltas. -quick-http is the self-contained preset: it builds a small index
+// in-process, serves it over a loopback listener twice — cache off, then
+// cache on — and commits both runs to one report, so the file itself shows
+// the p50 the cache saves.
+//
 // Examples:
 //
 //	gkbench -quick                            # CI smoke preset, ~seconds
 //	gkbench -quick -compare BENCH_search.json # CI perf gate
 //	gkbench -quick-routed -compare BENCH_search_routed.json
+//	gkbench -quick-http                       # cache-off vs cache-on, in-process
+//	gkbench -http http://127.0.0.1:8080 -http-index sift -http-conc 32
 //	gkbench -synth sift -n 50000 -queries 500 -builder nndescent
 //	gkbench -synth sift -n 50000 -shards 4    # sharded index, same grid
 //	gkbench -synth sift -n 50000 -shards 4 -routing 8 -nprobe 1,2,4
@@ -55,9 +67,13 @@ type options struct {
 	quickRouted bool
 	dataPath    string
 	out         string
+	outSet      bool
 	quiet       bool
 	comparePath string
 	thresholds  bench.CompareThresholds
+
+	httpCfg   bench.HTTPBenchConfig
+	quickHTTP bool
 }
 
 func main() {
@@ -82,8 +98,15 @@ func main() {
 		bworkers = flag.String("build-workers", "1,2,4", "comma-separated worker counts for the build sweep ('' disables)")
 		topks    = flag.String("topk", "1,10", "comma-separated topK grid")
 		efs      = flag.String("ef", "16,32,64,128", "comma-separated ef grid")
-		out      = flag.String("out", "BENCH_search.json", "JSON report path ('' disables)")
+		out      = flag.String("out", "BENCH_search.json", "JSON report path ('' disables; http modes default to BENCH_http.json)")
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+
+		httpURL   = flag.String("http", "", "drive a live gkserved at this base URL instead of benching in-process")
+		httpIndex = flag.String("http-index", "", "served index name to query (http mode)")
+		httpConc  = flag.Int("http-conc", 8, "concurrent client workers (http modes)")
+		httpReqs  = flag.Int("http-requests", 2000, "timed search requests (http modes)")
+		httpDist  = flag.Int("http-distinct", 64, "distinct query pool cycled by the workload (http modes)")
+		quickHTTP = flag.Bool("quick-http", false, "self-contained cache-off vs cache-on HTTP preset over a loopback server")
 
 		compare   = flag.String("compare", "", "baseline report to diff against; regressions fail the run")
 		maxP50    = flag.Float64("max-p50-regress", 0.25, "allowed fractional p50 latency increase per cell")
@@ -94,9 +117,19 @@ func main() {
 	)
 	flag.Parse()
 
-	opt.quick, opt.quickRouted = *quick, *quickR
+	opt.quick, opt.quickRouted, opt.quickHTTP = *quick, *quickR, *quickHTTP
 	opt.dataPath, opt.out, opt.quiet = *dataPath, *out, *quiet
 	opt.comparePath = *compare
+	opt.httpCfg = bench.HTTPBenchConfig{
+		BaseURL: *httpURL, Index: *httpIndex,
+		Concurrency: *httpConc, Requests: *httpReqs, Distinct: *httpDist,
+		TopK: 10, Ef: 64, Seed: *seed,
+	}
+	flag.Visit(func(fl *flag.Flag) {
+		if fl.Name == "out" {
+			opt.outSet = true
+		}
+	})
 	opt.thresholds = bench.CompareThresholds{
 		MaxLatencyRegress: *maxP50,
 		MaxBuildRegress:   *maxBuild,
@@ -138,6 +171,9 @@ func fatal(err error) {
 }
 
 func run(opt options) error {
+	if opt.quickHTTP || opt.httpCfg.BaseURL != "" {
+		return runHTTP(opt)
+	}
 	cfg := opt.cfg
 	if opt.quick {
 		// The CI smoke preset: small enough for seconds, large enough that
@@ -231,6 +267,60 @@ func run(opt options) error {
 		fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 	}
 	return fmt.Errorf("%d perf regression(s) vs %s — investigate, or refresh the baseline if the change is intentional", len(regs), opt.comparePath)
+}
+
+// runHTTP is the HTTP-mode entry: -http drives a live daemon, -quick-http
+// serves a fresh in-process index twice (cache off/on) over loopback. The
+// single measured grid cell is the first value of the -topk/-ef grids.
+func runHTTP(opt options) error {
+	cfg := opt.httpCfg
+	cfg.TopK, cfg.Ef = opt.cfg.TopKs[0], opt.cfg.Efs[0]
+	logf := func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	}
+	if opt.quiet {
+		logf = nil
+	}
+
+	var (
+		rep *bench.HTTPReport
+		err error
+	)
+	if opt.quickHTTP {
+		// The preset corpus/cache sizing: big enough that a cold search
+		// costs visibly more than a cache hit, small enough for CI seconds.
+		// The cache holds the whole distinct pool, so after warmup every
+		// cache-on request is a hit.
+		rep, err = bench.RunHTTPCachePair(cfg, 4000, 4096, logf)
+	} else {
+		rep, err = bench.RunHTTPBench(cfg, logf)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	fmt.Print(rep.Summary().Render())
+	if len(rep.Runs) == 2 && rep.Runs[0].P50US > 0 {
+		fmt.Printf("cache-on p50 is %.1f%% of cache-off (%.0fµs vs %.0fµs)\n",
+			100*rep.Runs[1].P50US/rep.Runs[0].P50US, rep.Runs[1].P50US, rep.Runs[0].P50US)
+	}
+
+	out := opt.out
+	if !opt.outSet {
+		out = "BENCH_http.json"
+	}
+	if out != "" {
+		blob, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("report written to", out)
+	}
+	return nil
 }
 
 // parseGrid parses a comma-separated list of positive ints.

@@ -15,7 +15,17 @@
 // fragmented shards back into dense ones and checkpoints the index to
 // DIR/<name>.gkx. Without -data, mutations are accepted but volatile.
 //
+// For heavy traffic the daemon hardens the read path with -timeout (every
+// search/cluster request is answered 504 once its deadline expires;
+// clients can tighten it per request), -max-inflight (excess concurrent
+// searches are shed with 429 + Retry-After instead of queueing) and
+// -cache (an epoch-invalidated per-index LRU of single-query results —
+// hits are bit-identical to cold searches and mutations invalidate them
+// via the index epoch). Prometheus metrics are exported at /metrics; see
+// OPERATIONS.md for the full runbook.
+//
 //	gkserved -listen :8080 -data /var/lib/gkserved \
+//	    -timeout 2s -max-inflight 256 -cache 65536 \
 //	    -index sift=sift.gkx -index glove=glove.gkx
 //
 //	curl localhost:8080/healthz
@@ -25,6 +35,7 @@
 //	curl -d '{"ids":[17,42]}' localhost:8080/v1/indexes/sift/delete
 //	curl -d '{"name":"new","path":"new.gkx"}' localhost:8080/v1/indexes
 //	curl localhost:8080/debug/vars
+//	curl localhost:8080/metrics
 //
 // On SIGINT/SIGTERM the daemon drains: the health check flips to 503, open
 // micro-batches are flushed, in-flight requests finish (up to -drain), and
@@ -75,6 +86,10 @@ func main() {
 		compact  = flag.Duration("compact-interval", time.Minute, "background compaction period (0 disables)")
 		tombs    = flag.Float64("compact-tomb-ratio", store.DefaultPolicy.TombRatio, "deleted/rows ratio that queues a shard for compaction")
 		frags    = flag.Int("compact-fragments", store.DefaultPolicy.MaxFragments, "shard count above which the smallest shards are merged")
+		timeout  = flag.Duration("timeout", 0, "server-wide search/cluster deadline, answered with 504 when exceeded (0 disables)")
+		inflight = flag.Int("max-inflight", 0, "concurrent search/cluster requests admitted before shedding 429s (0 disables)")
+		retryAft = flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint attached to shed (429) responses")
+		cache    = flag.Int("cache", 0, "per-index query-cache capacity in entries, epoch-invalidated (0 disables)")
 	)
 	flag.Var(&indexes, "index", "serve a persisted index as name=path.gkx (repeatable)")
 	flag.Parse()
@@ -86,6 +101,10 @@ func main() {
 		MemtableThreshold: *memtable,
 		Policy:            store.Policy{TombRatio: *tombs, MaxFragments: *frags},
 		CompactInterval:   *compact,
+		RequestTimeout:    *timeout,
+		MaxInFlight:       *inflight,
+		RetryAfter:        *retryAft,
+		CacheSize:         *cache,
 	}
 	logger := log.New(os.Stderr, "gkserved: ", log.LstdFlags)
 	if err := run(logger, *listen, cfg, *drain, indexes); err != nil {

@@ -175,13 +175,23 @@
 // A persisted index can be served over HTTP without linking this library:
 // the gkserved daemon (cmd/gkserved) loads .gkx files into a named
 // registry and exposes search, insert, delete, clustering, index listing,
-// hot registration, stats and /debug/vars metrics as a JSON API. Its hot
-// path micro-batches: concurrent single-query searches are coalesced for
-// a short window and answered through one SearchBatch call, so callers
-// share the worker pool. On SIGTERM it drains in-flight work before
-// exiting.
+// hot registration, stats, /debug/vars and Prometheus /metrics as a JSON
+// API. Its hot path micro-batches: concurrent single-query searches are
+// coalesced for a short window and answered through one SearchBatch call,
+// so callers share the worker pool. On SIGTERM it drains in-flight work
+// before exiting.
 //
-//	gkserved -listen :8080 -index sift=sift.gkx -data /var/lib/gkserved
+//	gkserved -listen :8080 -index sift=sift.gkx -data /var/lib/gkserved \
+//	    -timeout 2s -max-inflight 256 -cache 65536
+//
+// The read path is hardened for production traffic: -timeout bounds
+// every search (clients tighten it per request via their context
+// deadline; expiry answers 504 without disturbing the rest of the
+// micro-batch), -max-inflight sheds excess concurrency with 429 +
+// Retry-After before reading the body, and -cache adds a per-index LRU
+// of single-query results invalidated through the index epoch — a hit is
+// bit-identical to the cold search and can never cross a mutation. The
+// OPERATIONS.md runbook documents every flag and metric family.
 //
 // Writes ride the mutation API: inserts buffer in a memtable and build a
 // new shard at a threshold, deletes tombstone immediately, and each index
@@ -193,7 +203,10 @@
 // path and checkpoints.
 //
 // The typed Go client lives in gkmeans/client; results are identical to
-// calling Index.Search in-process:
+// calling Index.Search in-process, the context deadline is forwarded as
+// the request's timeout_ms, and retries follow the serving contract (429
+// waits out Retry-After, 502/503/504 back off boundedly, other 4xx never
+// retry):
 //
 //	cl := client.New("http://localhost:8080")
 //	nbs, err := cl.Search(ctx, "sift", q, 10, 64)

@@ -47,12 +47,15 @@ type coalescer struct {
 // searchKey groups queries that can share one SearchBatch call.
 type searchKey struct{ topK, ef, nprobe int }
 
-// batchGroup is one open batch: the collected queries and one result
-// channel per caller. flushed guards against the double flush that the
-// size trigger and the window timer could otherwise race into.
+// batchGroup is one open batch: the collected queries, one result channel
+// per caller, and each caller's context so a query whose deadline already
+// expired can be dropped at execution time. flushed guards against the
+// double flush that the size trigger and the window timer could otherwise
+// race into.
 type batchGroup struct {
 	key     searchKey
 	queries [][]float32
+	ctxs    []context.Context
 	out     []chan []gkmeans.Neighbor
 	timer   *time.Timer
 	flushed bool
@@ -105,6 +108,7 @@ func (c *coalescer) Search(ctx context.Context, q []float32, topK, ef, nprobe in
 		c.groups[key] = g
 	}
 	g.queries = append(g.queries, q)
+	g.ctxs = append(g.ctxs, ctx)
 	g.out = append(g.out, ch)
 	full := len(g.queries) >= c.maxBatch
 	if full {
@@ -148,12 +152,31 @@ func (c *coalescer) flush(g *batchGroup) {
 }
 
 // run executes one claimed batch and delivers each caller its result list.
+// Queries whose caller's context is already done — deadline expired or
+// connection gone while the batch collected — are dropped before the
+// SearchBatch call: one timed-out request must not cost its batch-mates
+// any work, let alone poison their results. Per-query results are
+// independent (SearchBatch is query-parallel, not query-coupled), so the
+// survivors' neighbours are bit-identical with or without the dropped
+// rows.
 func (c *coalescer) run(g *batchGroup) {
+	live := g.queries[:0]
+	out := g.out[:0]
+	for i, ctx := range g.ctxs {
+		if ctx.Err() != nil {
+			continue // caller is gone; its buffered channel just gets no send
+		}
+		live = append(live, g.queries[i])
+		out = append(out, g.out[i])
+	}
+	if len(live) == 0 {
+		return // every caller timed out while the batch collected
+	}
 	c.batches.Add(1)
-	c.bumpMaxFlush(int64(len(g.queries)))
-	m := gkmeans.FromRows(g.queries)
+	c.bumpMaxFlush(int64(len(live)))
+	m := gkmeans.FromRows(live)
 	res := c.get().SearchBatchNProbe(m, g.key.topK, g.key.ef, g.key.nprobe)
-	for i, ch := range g.out {
+	for i, ch := range out {
 		ch <- res[i]
 	}
 }

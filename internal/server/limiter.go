@@ -1,0 +1,68 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// limiter is the load-shedding concurrency gate in front of the expensive
+// endpoints (search, cluster). It admits at most max requests at a time and
+// rejects the rest immediately with 429 + Retry-After instead of queueing
+// them: under overload, queued work only converts into collapsed tail
+// latency and timed-out clients, while an early 429 costs the shed caller
+// one cheap round trip and keeps the admitted requests fast. max <= 0
+// disables the gate.
+//
+// The gate is a single atomic counter, not a semaphore: shedding must stay
+// O(1) and allocation-free precisely when the server is busiest.
+type limiter struct {
+	max        int64
+	retryAfter time.Duration
+
+	inflight atomic.Int64
+	shed     atomic.Int64 // requests rejected with 429
+}
+
+func newLimiter(max int, retryAfter time.Duration) *limiter {
+	if retryAfter <= 0 {
+		retryAfter = DefaultRetryAfter
+	}
+	return &limiter{max: int64(max), retryAfter: retryAfter}
+}
+
+// acquire tries to admit one request. The counter is incremented first and
+// repaired on rejection, so two racing requests cannot both slip under the
+// limit.
+func (l *limiter) acquire() bool {
+	if l.max <= 0 {
+		return true
+	}
+	if l.inflight.Add(1) > l.max {
+		l.inflight.Add(-1)
+		l.shed.Add(1)
+		return false
+	}
+	return true
+}
+
+// release returns an admitted request's slot.
+func (l *limiter) release() {
+	if l.max > 0 {
+		l.inflight.Add(-1)
+	}
+}
+
+// reject writes the 429 shed response. Retry-After is the client's retry
+// contract: honour it, then retry — the Go client in gkmeans/client does
+// both (see OPERATIONS.md "Load shedding").
+func (l *limiter) reject(w http.ResponseWriter) {
+	secs := int(l.retryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeError(w, http.StatusTooManyRequests,
+		"server at concurrency limit (%d in flight); retry after %ds", l.max, secs)
+}

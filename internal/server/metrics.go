@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,10 +16,19 @@ import (
 // the sort performed when /debug/vars is scraped.
 const latWindow = 1024
 
-// metrics tracks per-endpoint request counts and latency quantiles plus a
-// server-wide in-flight gauge, exported as JSON at /debug/vars (the expvar
-// convention, but instance-scoped: no process-global registry, so many
-// servers can coexist in one process/test binary).
+// durationBuckets are the upper bounds (seconds) of the request-latency
+// histogram exported at /metrics. They span sub-millisecond cache hits to
+// multi-second cluster calls; Prometheus appends the implicit +Inf bucket.
+var durationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// metrics tracks per-endpoint request counts, status codes, latency
+// quantiles and histogram buckets, plus a server-wide in-flight gauge.
+// Everything is instance-scoped (no process-global registry, so many
+// servers can coexist in one process/test binary) and exported twice: as
+// JSON at /debug/vars (the expvar convention) and in Prometheus text
+// format at /metrics (see Server.serveMetrics).
 type metrics struct {
 	inflight atomic.Int64
 
@@ -29,10 +39,14 @@ type metrics struct {
 type endpointMetrics struct {
 	count atomic.Int64
 
-	mu     sync.Mutex
-	ring   [latWindow]float64 // latency in milliseconds
-	pos    int
-	filled int
+	mu      sync.Mutex
+	ring    [latWindow]float64 // latency in milliseconds
+	pos     int
+	filled  int
+	codes   map[int]int64 // HTTP status → responses
+	buckets []int64       // non-cumulative counts per durationBuckets bound
+	over    int64         // observations above the last bound (the +Inf bucket)
+	sumNS   int64         // total observed latency, for the histogram _sum
 }
 
 func newMetrics() *metrics {
@@ -45,21 +59,39 @@ func (m *metrics) endpoint(name string) *endpointMetrics {
 	defer m.mu.Unlock()
 	em, ok := m.endpoints[name]
 	if !ok {
-		em = &endpointMetrics{}
+		em = &endpointMetrics{
+			codes:   make(map[int]int64),
+			buckets: make([]int64, len(durationBuckets)),
+		}
 		m.endpoints[name] = em
 	}
 	return em
 }
 
-// observe records one completed request.
-func (em *endpointMetrics) observe(d time.Duration) {
+// observe records one completed request and the status code it answered
+// with.
+func (em *endpointMetrics) observe(d time.Duration, code int) {
 	em.count.Add(1)
 	ms := float64(d) / float64(time.Millisecond)
+	secs := d.Seconds()
 	em.mu.Lock()
 	em.ring[em.pos] = ms
 	em.pos = (em.pos + 1) % latWindow
 	if em.filled < latWindow {
 		em.filled++
+	}
+	em.codes[code]++
+	em.sumNS += int64(d)
+	placed := false
+	for i, ub := range durationBuckets {
+		if secs <= ub {
+			em.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		em.over++
 	}
 	em.mu.Unlock()
 }
@@ -89,18 +121,50 @@ func (em *endpointMetrics) quantiles() (p50, p90, p99 float64) {
 	return rank(0.50), rank(0.90), rank(0.99)
 }
 
+// histSnapshot copies the histogram state: per-code counts, cumulative
+// bucket counts (Prometheus buckets are cumulative on the wire), the +Inf
+// total and the latency sum in seconds.
+func (em *endpointMetrics) histSnapshot() (codes map[int]int64, cum []int64, total int64, sumSeconds float64) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	codes = make(map[int]int64, len(em.codes))
+	for c, n := range em.codes {
+		codes[c] = n
+	}
+	cum = make([]int64, len(em.buckets))
+	running := int64(0)
+	for i, n := range em.buckets {
+		running += n
+		cum[i] = running
+	}
+	return codes, cum, running + em.over, float64(em.sumNS) / 1e9
+}
+
+// statusRecorder captures the status code a handler wrote so instrument
+// can attribute the request; an untouched recorder means an implicit 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
 // instrument wraps a handler with the in-flight gauge and per-endpoint
-// count/latency tracking under name.
+// count/status/latency tracking under name.
 func (m *metrics) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	em := m.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		m.inflight.Add(1)
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		defer func() {
-			em.observe(time.Since(start))
+			em.observe(time.Since(start), sr.code)
 			m.inflight.Add(-1)
 		}()
-		h(w, r)
+		h(sr, r)
 	}
 }
 
@@ -134,4 +198,179 @@ func (m *metrics) serveVars(w http.ResponseWriter, _ *http.Request) {
 		"endpoints":  eps,
 		"goroutines": runtime.NumGoroutine(),
 	})
+}
+
+// promWriter accumulates Prometheus text-format exposition. Families are
+// emitted in one block each (HELP, TYPE, then samples) as the format
+// requires; float formatting uses the shortest round-trip representation.
+type promWriter struct {
+	buf []byte
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	p.buf = append(p.buf, "# HELP "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, help...)
+	p.buf = append(p.buf, "\n# TYPE "...)
+	p.buf = append(p.buf, name...)
+	p.buf = append(p.buf, ' ')
+	p.buf = append(p.buf, typ...)
+	p.buf = append(p.buf, '\n')
+}
+
+// sample writes one line: name{labels} value. labels alternate key, value
+// and are emitted in the given order; values are escaped per the format
+// (backslash, double quote, newline).
+func (p *promWriter) sample(name string, labels []string, value float64) {
+	p.buf = append(p.buf, name...)
+	if len(labels) > 0 {
+		p.buf = append(p.buf, '{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				p.buf = append(p.buf, ',')
+			}
+			p.buf = append(p.buf, labels[i]...)
+			p.buf = append(p.buf, '=', '"')
+			for _, r := range labels[i+1] {
+				switch r {
+				case '\\':
+					p.buf = append(p.buf, '\\', '\\')
+				case '"':
+					p.buf = append(p.buf, '\\', '"')
+				case '\n':
+					p.buf = append(p.buf, '\\', 'n')
+				default:
+					p.buf = append(p.buf, string(r)...)
+				}
+			}
+			p.buf = append(p.buf, '"')
+		}
+		p.buf = append(p.buf, '}')
+	}
+	p.buf = append(p.buf, ' ')
+	if value == float64(int64(value)) {
+		p.buf = strconv.AppendInt(p.buf, int64(value), 10)
+	} else {
+		p.buf = strconv.AppendFloat(p.buf, value, 'g', -1, 64)
+	}
+	p.buf = append(p.buf, '\n')
+}
+
+// serveMetrics renders the Prometheus text-format exposition at /metrics:
+// the per-endpoint request counters and latency histograms, the in-flight
+// and shed gauges, and the per-index serving, mutation and cache series.
+// Every exported series is documented in OPERATIONS.md.
+func (s *Server) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.met.mu.Lock()
+	names := make([]string, 0, len(s.met.endpoints))
+	for name := range s.met.endpoints {
+		names = append(names, name)
+	}
+	s.met.mu.Unlock()
+	sort.Strings(names)
+
+	p := &promWriter{}
+
+	p.family("gkserved_requests_total", "Requests served, by endpoint and HTTP status code.", "counter")
+	for _, name := range names {
+		codes, _, _, _ := s.met.endpoint(name).histSnapshot()
+		cs := make([]int, 0, len(codes))
+		for c := range codes {
+			cs = append(cs, c)
+		}
+		sort.Ints(cs)
+		for _, c := range cs {
+			p.sample("gkserved_requests_total",
+				[]string{"endpoint", name, "code", strconv.Itoa(c)}, float64(codes[c]))
+		}
+	}
+
+	p.family("gkserved_request_duration_seconds", "Request latency, by endpoint.", "histogram")
+	for _, name := range names {
+		_, cum, total, sum := s.met.endpoint(name).histSnapshot()
+		for i, ub := range durationBuckets {
+			p.sample("gkserved_request_duration_seconds_bucket",
+				[]string{"endpoint", name, "le", strconv.FormatFloat(ub, 'g', -1, 64)}, float64(cum[i]))
+		}
+		p.sample("gkserved_request_duration_seconds_bucket",
+			[]string{"endpoint", name, "le", "+Inf"}, float64(total))
+		p.sample("gkserved_request_duration_seconds_sum", []string{"endpoint", name}, sum)
+		p.sample("gkserved_request_duration_seconds_count", []string{"endpoint", name}, float64(total))
+	}
+
+	p.family("gkserved_inflight_requests", "Requests currently being served.", "gauge")
+	p.sample("gkserved_inflight_requests", nil, float64(s.met.inflight.Load()))
+
+	p.family("gkserved_shed_total", "Requests rejected with 429 by the concurrency limiter.", "counter")
+	p.sample("gkserved_shed_total", nil, float64(s.limiter.shed.Load()))
+
+	p.family("gkserved_deadline_exceeded_total", "Searches that returned 504 after their deadline expired.", "counter")
+	p.sample("gkserved_deadline_exceeded_total", nil, float64(s.deadlineExceeded.Load()))
+
+	entries := s.reg.list()
+	indexGauge := func(name, help string, val func(*entry) float64) {
+		p.family(name, help, "gauge")
+		for _, e := range entries {
+			p.sample(name, []string{"index", e.name}, val(e))
+		}
+	}
+	indexCounter := func(name, help string, val func(*entry) float64) {
+		p.family(name, help, "counter")
+		for _, e := range entries {
+			p.sample(name, []string{"index", e.name}, val(e))
+		}
+	}
+
+	indexGauge("gkserved_index_epoch", "Epoch of the served index snapshot (bumps on every published mutation).",
+		func(e *entry) float64 { return float64(e.epoch()) })
+	indexGauge("gkserved_index_live_rows", "Searchable (non-tombstoned) rows.",
+		func(e *entry) float64 { return float64(e.index().Live()) })
+	indexGauge("gkserved_index_deleted_rows", "Tombstoned rows awaiting compaction.",
+		func(e *entry) float64 { return float64(e.index().Deleted()) })
+	indexGauge("gkserved_index_pending_rows", "Inserted rows buffered ahead of their shard build.",
+		func(e *entry) float64 { return float64(e.pending.Load()) })
+	indexCounter("gkserved_queries_total", "Queries answered (single and batch rows).",
+		func(e *entry) float64 {
+			q, _, _ := e.coal.Stats()
+			return float64(q + e.batchQueries.Load())
+		})
+	indexCounter("gkserved_coalesced_batches_total", "SearchBatch executions on the micro-batching path.",
+		func(e *entry) float64 {
+			_, b, _ := e.coal.Stats()
+			return float64(b)
+		})
+	indexCounter("gkserved_distance_comps_total", "Distance-kernel evaluations across all searches.",
+		func(e *entry) float64 { return float64(e.index().SearchStats().DistanceComps) })
+	indexCounter("gkserved_inserts_total", "Vectors accepted by /insert.",
+		func(e *entry) float64 { return float64(e.inserts.Load()) })
+	indexCounter("gkserved_deletes_total", "Ids accepted by /delete.",
+		func(e *entry) float64 { return float64(e.deletes.Load()) })
+	indexCounter("gkserved_flushes_total", "Memtable flushes (incremental shard builds).",
+		func(e *entry) float64 { return float64(e.flushes.Load()) })
+	indexCounter("gkserved_compactions_total", "Compaction rounds applied.",
+		func(e *entry) float64 { return float64(e.compactions.Load()) })
+
+	p.family("gkserved_cache_hits_total", "Query-cache hits.", "counter")
+	for _, e := range entries {
+		h, _, _ := e.cache.counters()
+		p.sample("gkserved_cache_hits_total", []string{"index", e.name}, float64(h))
+	}
+	p.family("gkserved_cache_misses_total", "Query-cache misses (including epoch invalidations).", "counter")
+	for _, e := range entries {
+		_, ms, _ := e.cache.counters()
+		p.sample("gkserved_cache_misses_total", []string{"index", e.name}, float64(ms))
+	}
+	p.family("gkserved_cache_evictions_total", "Query-cache LRU evictions.", "counter")
+	for _, e := range entries {
+		_, _, ev := e.cache.counters()
+		p.sample("gkserved_cache_evictions_total", []string{"index", e.name}, float64(ev))
+	}
+	p.family("gkserved_cache_entries", "Query-cache resident entries.", "gauge")
+	for _, e := range entries {
+		p.sample("gkserved_cache_entries", []string{"index", e.name}, float64(e.cache.len()))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(p.buf)
 }

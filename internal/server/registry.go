@@ -34,10 +34,11 @@ var errDuplicate = errors.New("already registered")
 // memtable contents must agree, so there is exactly one writer at a time
 // per index. Search never touches mu.
 type entry struct {
-	name string
-	path string // source .gkx file, "" for in-process registration
-	cur  store.Versioned[*gkmeans.Index]
-	coal *coalescer
+	name  string
+	path  string // source .gkx file, "" for in-process registration
+	cur   store.Versioned[*gkmeans.Index]
+	coal  *coalescer
+	cache *queryCache // nil when Config.CacheSize is 0
 
 	// Write path, guarded by mu. wal is nil when the server has no data
 	// dir (mutations are accepted but volatile). mem buffers inserted
@@ -63,11 +64,13 @@ type entry struct {
 
 // newEntry wires an entry around its initial index. The coalescer takes
 // the provider function, not the index value, so in-flight micro-batches
-// always run against the newest epoch.
-func newEntry(name, path string, idx *gkmeans.Index, window time.Duration, maxBatch int) *entry {
+// always run against the newest epoch; the query cache (nil when disabled)
+// is pinned to that epoch sequence.
+func newEntry(name, path string, idx *gkmeans.Index, window time.Duration, maxBatch, cacheSize int) *entry {
 	e := &entry{
 		name:   name,
 		path:   path,
+		cache:  newQueryCache(cacheSize),
 		mem:    store.NewMemtable(idx.Dim()),
 		memDel: make(map[int32]bool),
 	}
@@ -112,10 +115,11 @@ func (e *entry) info() client.IndexInfo {
 func (e *entry) stats(window time.Duration) client.IndexStats {
 	queries, batches, maxBatch := e.coal.Stats()
 	hot := e.index().SearchStats()
+	hits, misses, evictions := e.cache.counters()
 	return client.IndexStats{
 		IndexInfo:          e.info(),
 		Path:               e.path,
-		Queries:            queries + e.batchQueries.Load(),
+		Queries:            queries + e.batchQueries.Load() + hits,
 		Batches:            batches,
 		MaxBatch:           maxBatch,
 		BatchRequests:      e.batchRequests.Load(),
@@ -130,6 +134,10 @@ func (e *entry) stats(window time.Duration) client.IndexStats {
 		Flushes:            e.flushes.Load(),
 		Compactions:        e.compactions.Load(),
 		Durable:            e.wal != nil,
+		CacheHits:          hits,
+		CacheMisses:        misses,
+		CacheEvictions:     evictions,
+		CacheEntries:       e.cache.len(),
 	}
 }
 

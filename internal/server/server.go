@@ -2,7 +2,19 @@
 // named gkmeans indexes served over a /v1 JSON API, with micro-batched
 // single-query search (concurrent requests coalesce into SearchBatch calls
 // that share the worker pool), graph-supported clustering, hot index
-// registration, instance-scoped /debug/vars metrics and graceful drain.
+// registration, instance-scoped metrics (/debug/vars JSON and Prometheus
+// text format at /metrics) and graceful drain.
+//
+// The read path is hardened for production traffic: every search passes
+// deadline → limiter → cache → coalescer → fan-out. Per-request deadlines
+// (Config.RequestTimeout, tightened per request by timeout_ms) answer 504
+// when the time budget expires, without costing a coalesced batch its
+// other members; the concurrency limiter (Config.MaxInFlight) sheds excess
+// load with 429 + Retry-After before queueing collapses tail latency; and
+// the per-index query cache (Config.CacheSize) serves repeated single
+// queries bit-identically to a cold search, keyed by (query bytes, topK,
+// ef, nprobe) and invalidated by the index epoch so a hit can never cross
+// a mutation. See OPERATIONS.md for the operator view of all of it.
 //
 // Served indexes are mutable: /insert appends vectors and /delete
 // tombstones rows. Each mutation publishes a copy-on-write index snapshot
@@ -18,6 +30,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -26,6 +39,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"gkmeans"
@@ -34,11 +48,15 @@ import (
 	"gkmeans/internal/wal"
 )
 
-// Defaults for the micro-batching coalescer and the write path; see Config.
+// Defaults for the micro-batching coalescer, the write path and the
+// hardening knobs; see Config.
 const (
 	DefaultWindow            = time.Millisecond
 	DefaultMaxBatch          = 32
 	DefaultMemtableThreshold = 256
+	// DefaultRetryAfter is the Retry-After hint sent with a 429 when the
+	// concurrency limiter sheds a request.
+	DefaultRetryAfter = time.Second
 )
 
 // maxBodyBytes bounds request bodies (a batch of a few thousand
@@ -72,6 +90,24 @@ type Config struct {
 	// CompactInterval is the period of the background compactor; 0
 	// disables it (CompactNow still works).
 	CompactInterval time.Duration
+
+	// RequestTimeout is the server-wide deadline for search and cluster
+	// requests: work still queued or running when it expires is answered
+	// with 504. A request can only tighten it (SearchRequest.TimeoutMS),
+	// never extend it. 0 disables the server-wide deadline.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently admitted search and cluster requests;
+	// the excess is shed immediately with 429 + Retry-After instead of
+	// queueing into collapsed tail latency. 0 disables the limiter.
+	MaxInFlight int
+	// RetryAfter is the Retry-After hint attached to shed (429) responses;
+	// 0 selects DefaultRetryAfter.
+	RetryAfter time.Duration
+	// CacheSize is the per-index query-cache capacity in entries (cached
+	// single-query results keyed by query bytes, topK, ef and nprobe,
+	// invalidated by the index epoch). 0 disables caching.
+	CacheSize int
+
 	// Logger receives serving events; nil discards them.
 	Logger *log.Logger
 }
@@ -80,10 +116,13 @@ type Config struct {
 // register indexes, then mount Handler on any http.Server. Safe for
 // concurrent use.
 type Server struct {
-	cfg Config
-	reg *registry
-	met *metrics
-	mux *http.ServeMux
+	cfg     Config
+	reg     *registry
+	met     *metrics
+	limiter *limiter
+	mux     *http.ServeMux
+
+	deadlineExceeded atomic.Int64 // searches answered with 504
 
 	draining chan struct{} // closed when shutdown begins
 }
@@ -106,6 +145,7 @@ func New(cfg Config) *Server {
 		cfg.Policy = store.DefaultPolicy
 	}
 	s := &Server{cfg: cfg, reg: newRegistry(), met: newMetrics(), draining: make(chan struct{})}
+	s.limiter = newLimiter(cfg.MaxInFlight, cfg.RetryAfter)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.met.instrument("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /v1/indexes", s.met.instrument("list", s.handleList))
@@ -116,6 +156,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/indexes/{name}/delete", s.met.instrument("delete", s.handleDelete))
 	s.mux.HandleFunc("POST /v1/indexes/{name}/cluster", s.met.instrument("cluster", s.handleCluster))
 	s.mux.HandleFunc("GET /debug/vars", s.met.instrument("debug_vars", s.met.serveVars))
+	s.mux.HandleFunc("GET /metrics", s.met.instrument("metrics", s.serveMetrics))
 	if cfg.CompactInterval > 0 {
 		go s.compactLoop()
 	}
@@ -147,7 +188,7 @@ func (s *Server) registerIndex(name, path string, idx *gkmeans.Index) error {
 	if !nameRE.MatchString(name) {
 		return fmt.Errorf("invalid index name %q", name)
 	}
-	e := newEntry(name, path, idx, s.cfg.Window, s.cfg.MaxBatch)
+	e := newEntry(name, path, idx, s.cfg.Window, s.cfg.MaxBatch, s.cfg.CacheSize)
 	e.threshold = s.cfg.MemtableThreshold
 	if s.cfg.DataDir != "" {
 		if err := s.setupDurability(e); err != nil {
@@ -344,11 +385,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, e.stats(s.cfg.Window))
 }
 
+// searchContext derives the effective deadline for one search or cluster
+// request: the server-wide RequestTimeout, tightened (never extended) by a
+// client-supplied timeout_ms. With neither set, the request context is
+// returned as-is.
+func (s *Server) searchContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if t := time.Duration(timeoutMS) * time.Millisecond; timeoutMS > 0 && (d <= 0 || t < d) {
+		d = t
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	// Shed before reading the body: an overloaded server should spend as
+	// close to zero work as possible on the requests it rejects.
+	if !s.limiter.acquire() {
+		s.limiter.reject(w)
+		return
+	}
+	defer s.limiter.release()
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -369,6 +432,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	case req.NProbe < 0:
 		writeError(w, http.StatusBadRequest, "nprobe must be non-negative, got %d", req.NProbe)
+		return
+	case req.TimeoutMS < 0:
+		writeError(w, http.StatusBadRequest, "timeout_ms must be non-negative, got %d", req.TimeoutMS)
 		return
 	}
 	if req.NProbe > 0 && !e.index().Routed() {
@@ -395,18 +461,47 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	ctx, cancel := s.searchContext(r, req.TimeoutMS)
+	defer cancel()
+
 	var results [][]gkmeans.Neighbor
 	if single {
-		res, err := e.coal.Search(r.Context(), req.Query, req.TopK, req.Ef, req.NProbe)
-		if err != nil {
-			s.writeSearchError(w, err)
-			return
+		// The read path of the hardening pipeline: deadline → limiter
+		// (above) → cache → coalescer → fan-out. The epoch is captured
+		// before the search and re-checked before the insert, so a result
+		// computed while a mutation published can never be cached — and a
+		// hit can never cross an epoch (see queryCache).
+		epoch := e.cur.Epoch()
+		if res, hit := e.cache.get(req.Query, req.TopK, req.Ef, req.NProbe, epoch); hit {
+			results = [][]gkmeans.Neighbor{res}
+		} else {
+			res, err := e.coal.Search(ctx, req.Query, req.TopK, req.Ef, req.NProbe)
+			if err != nil {
+				s.writeSearchError(w, err)
+				return
+			}
+			if e.cur.Epoch() == epoch {
+				e.cache.put(req.Query, req.TopK, req.Ef, req.NProbe, epoch, res)
+			}
+			results = [][]gkmeans.Neighbor{res}
 		}
-		results = [][]gkmeans.Neighbor{res}
 	} else {
 		e.batchRequests.Add(1)
 		e.batchQueries.Add(int64(len(queries)))
-		results = e.index().SearchBatchNProbe(gkmeans.FromRows(queries), req.TopK, req.Ef, req.NProbe)
+		// An explicit batch is one bounded SearchBatch call; it cannot be
+		// preempted mid-flight, so the deadline is enforced by answering
+		// 504 when it expires first (the computation's results are
+		// discarded). The goroutine never outlives the batch.
+		done := make(chan [][]gkmeans.Neighbor, 1)
+		go func() {
+			done <- e.index().SearchBatchNProbe(gkmeans.FromRows(queries), req.TopK, req.Ef, req.NProbe)
+		}()
+		select {
+		case results = <-done:
+		case <-ctx.Done():
+			s.writeSearchError(w, ctx.Err())
+			return
+		}
 	}
 
 	out := client.SearchResponse{Results: make([][]client.Neighbor, len(results))}
@@ -420,12 +515,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
-// writeSearchError maps coalescer errors to status codes.
+// writeSearchError maps coalescer and deadline errors to status codes: a
+// draining server answers 503 (retry another replica), an expired deadline
+// 504 (the request's time budget ran out server-side), and a client-side
+// cancellation 408 (the caller was already gone).
 func (s *Server) writeSearchError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining")
-	default: // context cancellation: the client went away or timed out
+	case errors.Is(err, context.DeadlineExceeded):
+		s.deadlineExceeded.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "search deadline exceeded")
+	default:
 		writeError(w, http.StatusRequestTimeout, "search aborted: %v", err)
 	}
 }
@@ -435,6 +536,13 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	// Clustering shares the limiter with search: both are the expensive,
+	// sheddable read-side work the concurrency cap exists for.
+	if !s.limiter.acquire() {
+		s.limiter.reject(w)
+		return
+	}
+	defer s.limiter.release()
 	e, ok := s.lookup(w, r)
 	if !ok {
 		return
@@ -464,8 +572,15 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != 0 {
 		opts = append(opts, gkmeans.WithSeed(req.Seed))
 	}
-	res, err := idx.Cluster(r.Context(), req.K, opts...)
+	ctx, cancel := s.searchContext(r, 0)
+	defer cancel()
+	res, err := idx.Cluster(ctx, req.K, opts...)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.deadlineExceeded.Add(1)
+			writeError(w, http.StatusGatewayTimeout, "cluster deadline exceeded")
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "clustering failed: %v", err)
 		return
 	}

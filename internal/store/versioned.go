@@ -19,6 +19,17 @@ type snapshot[T any] struct {
 	epoch uint64
 }
 
+// Epoch returns the current epoch without loading the value — the cheap
+// read the serving layer's query cache uses to decide whether a cached
+// result is still current.
+func (v *Versioned[T]) Epoch() uint64 {
+	s := v.p.Load()
+	if s == nil {
+		return 0
+	}
+	return s.epoch
+}
+
 // Load returns the current value and its epoch (0 when nothing was ever
 // stored).
 func (v *Versioned[T]) Load() (T, uint64) {
