@@ -114,9 +114,14 @@ type DeleteResponse struct {
 // version; Live/Deleted split N by tombstone state, and Pending counts
 // inserted rows buffered ahead of their shard build.
 type IndexInfo struct {
-	Name        string `json:"name"`
-	N           int    `json:"n"`
-	Dim         int    `json:"dim"`
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+	// DType is the element type the index stores its dataset in ("float32"
+	// or "uint8"). On a uint8 index every query and inserted vector value
+	// must be an exact byte (an integer in [0,255]); the server rejects
+	// anything else with 400.
+	DType       string `json:"dtype"`
 	Shards      int    `json:"shards"`
 	HasClusters bool   `json:"has_clusters"`
 	// Routed reports whether the index carries per-shard routing centroids

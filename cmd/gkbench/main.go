@@ -25,6 +25,13 @@
 // of the trajectory. -quick-routed is the CI preset for that path, gated
 // against BENCH_search_routed.json.
 //
+// With -dtype uint8 the corpus (which must be exactly byte-valued — the
+// synthetic sift corpus and real bvecs data are) is indexed at one byte per
+// value and scanned with the exact integer kernels; recall and work
+// counters match the float32 run bit for bit, while dataset_bytes records
+// the 4x memory saving. -dtype composes with -quick (the CI uint8 gate,
+// against BENCH_u8_quick.json) and with -shards/-routing.
+//
 // With -http URL the harness instead drives a live gkserved daemon through
 // the Go client at -http-conc concurrency, cycling -http-distinct distinct
 // queries so a cache-enabled server (gkserved -cache) answers the repeats
@@ -92,6 +99,7 @@ func main() {
 		entries  = flag.Int("entries", 0, "search entry points (0 = default)")
 		workers  = flag.Int("workers", 0, "build + SearchBatch workers (0 = GOMAXPROCS)")
 		builder  = flag.String("builder", "gkmeans", "graph builder: gkmeans (Alg. 3) or nndescent")
+		dtype    = flag.String("dtype", "float32", "dataset element type: float32, or uint8 for the integer distance path (byte-valued corpora only; composes with -quick and -shards)")
 		shards   = flag.Int("shards", 0, "build a sharded index with this many shards (<=1 = monolithic)")
 		routing  = flag.Int("routing", 0, "routing centroids per shard (gkmeans.WithRouting; 0 = unrouted, needs -shards)")
 		nprobes  = flag.String("nprobe", "", "comma-separated shard-probe caps to measure per cell (routed runs only)")
@@ -141,7 +149,7 @@ func main() {
 		Dataset: *synth, N: *n, Queries: *queries,
 		Kappa: *kappa, Xi: *xi, Tau: *tau, Seed: *seed,
 		Entries: *entries, Workers: *workers, Builder: *builder,
-		Shards: *shards, Routing: *routing,
+		Shards: *shards, Routing: *routing, DType: *dtype,
 	}
 	var err error
 	if opt.cfg.TopKs, err = parseGrid(*topks); err != nil {

@@ -64,8 +64,9 @@
 // multi-segment layout with a segment table; a mutated index (see
 // Mutation below) writes the v3 layout carrying tombstones and id maps;
 // a routed index (see Sharding) writes the v4 layout appending the
-// routing-centroid trailer; loaders accept all four. See ARCHITECTURE.md
-// for the byte-level format reference.
+// routing-centroid trailer; a uint8 index (see the dtype section) writes
+// the v5 layout storing the dataset as raw bytes; loaders accept all
+// five. See ARCHITECTURE.md for the byte-level format reference.
 //
 //	err = gkmeans.SaveIndex("sift.gkx", idx)
 //	idx, err = gkmeans.LoadIndex("sift.gkx")
@@ -144,6 +145,29 @@
 // Deleted expose the per-shard state compaction decisions are made from —
 // the background compactor in gkserved feeds them through a policy to
 // pick tombstone-heavy and fragmented shards.
+//
+// # The uint8 distance path
+//
+// Byte-valued corpora (SIFT1B-style .bvecs) do not need float32 storage:
+// WithDType(DTypeUint8) keeps the dataset at one byte per value and scans
+// candidates with exact integer kernels, and BuildU8 skips the float
+// detour entirely for data loaded as bytes:
+//
+//	data, err := dataset.LoadBvecsU8("sift.bvecs", 0)
+//	idx, err := gkmeans.BuildU8(ctx, data, gkmeans.WithShards(4))
+//
+// Because byte values and their squared-distance partial sums are exact
+// in float32, and graphs are built over a transient widened copy of each
+// shard, a uint8 index returns bit-identical results and work counters
+// to the float32 index on the same data — at a quarter of the dataset
+// memory (BENCH_u8_50k.json: 6.4 MB vs 25.5 MB for 50k×128) and lower
+// search latency from the reduced scan bandwidth. Queries remain
+// []float32 but every value must be an exact byte (an integer in 0–255):
+// Search panics otherwise, like a dimension mismatch, CheckByteValues
+// pre-validates, and gkserved turns violations into 400s. Sharding,
+// routing and the whole mutation chain preserve the dtype; clustering
+// requires float32 centroids and is the one excluded feature. DType,
+// DataU8 and ParseDType round out the API.
 //
 // # Build parallelism and determinism
 //

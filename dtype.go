@@ -1,0 +1,177 @@
+package gkmeans
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"gkmeans/internal/vec"
+)
+
+// The uint8 distance path: SIFT1B-style bvecs data is byte-valued, and
+// widening it to float32 at load pays 4x the memory and scan bandwidth the
+// data needs. An index built with WithDType(DTypeUint8) — or directly from
+// a *U8Matrix via BuildU8 — keeps the dataset as bytes and computes
+// candidate distances with exact integer kernels (vec.L2SqrU8 and its
+// early-abandoning variant). Graph construction still runs over a
+// transient widened copy of each shard, so the graph — and therefore every
+// search result and work counter — is bit-identical to the float32 path on
+// the same data; only the resident dataset and the per-candidate scans
+// shrink. Queries stay []float32 at the API, but on a uint8 index every
+// query value must be an exact byte (an integer in [0,255]); Search panics
+// otherwise, like a dimension mismatch, and serving layers reject such
+// requests up front with CheckByteValues.
+
+// DType identifies the element type an index stores its dataset in.
+type DType uint8
+
+const (
+	// DTypeFloat32 is the default: float32 rows, float32 kernels.
+	DTypeFloat32 DType = iota
+	// DTypeUint8 stores byte rows and scans them with exact integer
+	// kernels. Build input must be exactly byte-valued.
+	DTypeUint8
+)
+
+// String returns the wire name of the dtype ("float32", "uint8").
+func (d DType) String() string {
+	switch d {
+	case DTypeFloat32:
+		return "float32"
+	case DTypeUint8:
+		return "uint8"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// ParseDType maps a wire name back to a DType; "" means DTypeFloat32.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "", "float32":
+		return DTypeFloat32, nil
+	case "uint8":
+		return DTypeUint8, nil
+	}
+	return 0, fmt.Errorf("gkmeans: unknown dtype %q (want float32 or uint8)", s)
+}
+
+// U8Matrix is a row-major uint8 dataset, aliased from the vec layer like
+// Matrix and Graph.
+type U8Matrix = vec.U8Matrix
+
+// NewU8Matrix allocates a zeroed n×d uint8 matrix.
+func NewU8Matrix(n, d int) *U8Matrix { return vec.NewU8Matrix(n, d) }
+
+// WithDType selects the dataset element type Build stores and scans. With
+// DTypeUint8 every input value must be an exact byte (an integer in
+// [0,255]) — Build returns an error naming the first offender otherwise —
+// and the index stores the dataset at 1 byte per value. BuildU8 skips the
+// float32 detour entirely for data already loaded as bytes
+// (dataset.LoadBvecsU8).
+func WithDType(dt DType) Option { return func(c *config) { c.dtype = dt } }
+
+// DType returns the element type of the indexed dataset.
+func (x *Index) DType() DType {
+	if x.u8 != nil {
+		return DTypeUint8
+	}
+	return DTypeFloat32
+}
+
+// DataU8 returns the byte dataset of a uint8 index, or nil for a float32
+// one. Treat it as read-only; for a sharded index this is the full dataset.
+func (x *Index) DataU8() *U8Matrix { return x.u8 }
+
+// CheckByteValues reports whether every value of q is an exact byte (an
+// integer in [0,255]) — the query precondition of a uint8 index. On a
+// float32 index it always returns nil. Serving layers call it to turn a
+// bad request into an error before the search path panics.
+func (x *Index) CheckByteValues(q []float32) error {
+	if x.u8 == nil {
+		return nil
+	}
+	for i, v := range q {
+		if !(v >= 0 && v <= 255) || v != float32(uint8(v)) {
+			return fmt.Errorf("gkmeans: value %v at dim %d is not an exact byte (index dtype uint8)", v, i)
+		}
+	}
+	return nil
+}
+
+// BuildU8 is Build for data already held as bytes: it indexes data without
+// ever materialising a full float32 copy of it (graph construction widens
+// one shard at a time, transiently). The resulting index is identical to
+// Build(ctx, data.Widen(), append(opts, WithDType(DTypeUint8))...) — same
+// graph, same search results, same counters — at a quarter of the resident
+// dataset memory. WithClusters is refused: clustering needs float32
+// centroids over the full dataset.
+func BuildU8(ctx context.Context, data *U8Matrix, opts ...Option) (*Index, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if data == nil || data.N == 0 {
+		return nil, fmt.Errorf("gkmeans: BuildU8 needs a non-empty dataset")
+	}
+	if int64(data.N) > math.MaxInt32 {
+		return nil, fmt.Errorf("gkmeans: dataset has %d rows; sample ids are int32", data.N)
+	}
+	return buildU8(ctx, data, applyOptions(config{}, opts))
+}
+
+// buildU8 is the uint8 dispatch mirroring Build's: validate the option
+// set, then route to the monolithic, sharded or routed build. cfg.dtype is
+// forced to DTypeUint8 so every shard and clone reports the right dtype.
+func buildU8(ctx context.Context, data *U8Matrix, cfg config) (*Index, error) {
+	cfg.dtype = DTypeUint8
+	if cfg.clusterK > 0 {
+		return nil, fmt.Errorf("gkmeans: WithClusters needs float32 centroids over the full dataset; a uint8 index cannot cluster")
+	}
+	if cfg.routing > 0 && cfg.shards <= 1 {
+		return nil, fmt.Errorf("gkmeans: WithRouting routes across shards; combine it with WithShards(n), n > 1")
+	}
+	if n := clampShards(cfg.shards, data.N); n > 1 {
+		if cfg.routing > 0 {
+			return buildRouted(ctx, nil, data, cfg, n)
+		}
+		return buildSharded(ctx, nil, data, cfg, n)
+	}
+	cfg.routing = 0
+	return buildMonoU8(ctx, data, cfg)
+}
+
+// buildMonoU8 builds one uint8 monolithic index: the graph is constructed
+// over a transient widened copy (bit-identical to the float32 build, since
+// bytes are exact in float32), then dropped — only the byte matrix and the
+// graph stay resident.
+func buildMonoU8(ctx context.Context, data *U8Matrix, cfg config) (*Index, error) {
+	x, err := buildMono(ctx, data.Widen(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	x.data = nil
+	x.u8 = data
+	return x, nil
+}
+
+// newU8Index wraps a byte dataset and a pre-built graph, mirroring
+// NewIndex's validations; the persistence loader assembles v5 segments
+// through it.
+func newU8Index(data *U8Matrix, g *Graph, cfg config) (*Index, error) {
+	if data == nil || data.N == 0 {
+		return nil, fmt.Errorf("gkmeans: a uint8 index needs a non-empty dataset")
+	}
+	if int64(data.N) > math.MaxInt32 {
+		return nil, fmt.Errorf("gkmeans: dataset has %d rows; sample ids are int32", data.N)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("gkmeans: a uint8 index needs a graph")
+	}
+	if g.N() != data.N {
+		return nil, fmt.Errorf("gkmeans: graph has %d nodes for %d samples", g.N(), data.N)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gkmeans: invalid graph: %w", err)
+	}
+	cfg.dtype = DTypeUint8
+	return &Index{u8: data, graph: g, cfg: cfg}, nil
+}

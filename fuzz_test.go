@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gkmeans/internal/dataset"
+	"gkmeans/internal/vec"
 )
 
 // FuzzReadIndexFrom hammers the .gkx container parser with mutated bytes.
@@ -63,6 +64,26 @@ func FuzzReadIndexFrom(f *testing.F) {
 	// A routed index exercises the v4 layout: the routing flag plus the
 	// centroid trailer after the shard segments.
 	routed := seedBlob(WithShards(2), WithRouting(2))
+	// v5 blobs exercise the uint8 layout: the dtype word in the header and
+	// the byte-packed dataset, monolithic and sharded+routed.
+	u8Blob := func(opts ...Option) []byte {
+		u8, err := vec.U8FromMatrix(dataset.SIFTLike(60, 3))
+		if err != nil {
+			f.Fatal(err)
+		}
+		idx, err := BuildU8(context.Background(), u8,
+			append([]Option{WithKappa(4), WithXi(10), WithTau(2), WithSeed(5)}, opts...)...)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	u8Mono := u8Blob()
+	u8Routed := u8Blob(WithShards(2), WithRouting(2))
 	f.Add(mono)
 	f.Add(clustered)
 	f.Add(sharded)
@@ -81,6 +102,17 @@ func FuzzReadIndexFrom(f *testing.F) {
 	badCentroid[len(badCentroid)-3] ^= 0xff
 	f.Add(badCentroid)
 	f.Add(routed[:len(routed)-7]) // truncated routing trailer
+	f.Add(u8Mono)
+	f.Add(u8Routed)
+	// A lying dtype word on an otherwise valid v5 blob exercises the
+	// double-pinned dtype check (header flag AND dtype word must agree).
+	badDtype := append([]byte(nil), u8Mono...)
+	badDtype[16] ^= 0xff
+	f.Add(badDtype)
+	// The uint8 flag forced onto a float v1 blob exercises the inverse check.
+	badFlag := append([]byte(nil), mono...)
+	badFlag[8] |= 1 << 4
+	f.Add(badFlag)
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		idx, err := ReadIndexFrom(bytes.NewReader(b))

@@ -13,6 +13,7 @@ import (
 	"gkmeans/internal/knngraph"
 	"gkmeans/internal/router"
 	"gkmeans/internal/store"
+	"gkmeans/internal/vec"
 )
 
 // Index is an immutable bundle of a dataset, its approximate k-NN graph and
@@ -29,8 +30,9 @@ import (
 // contiguous row ranges, and Search/SearchBatch merge the per-shard results
 // (see shard.go). A sharded index has no global graph and no clustering.
 type Index struct {
-	data  *Matrix
-	graph *Graph // nil when sharded
+	data  *Matrix       // float32 dataset; nil on a uint8 index
+	u8    *vec.U8Matrix // byte dataset of a WithDType(DTypeUint8)/BuildU8 index
+	graph *Graph        // nil when sharded
 
 	// shards holds the per-shard sub-indexes of a sharded index (nil for a
 	// monolithic one); shardBase[s] is the external id of shard s's first
@@ -100,6 +102,18 @@ func Build(ctx context.Context, data *Matrix, opts ...Option) (*Index, error) {
 		return nil, fmt.Errorf("gkmeans: dataset has %d rows; sample ids are int32", data.N)
 	}
 	cfg := applyOptions(config{}, opts)
+	// WithDType(DTypeUint8): narrow the (exactly byte-valued) input and run
+	// the uint8 build path — same graphs and results, 4x less dataset memory.
+	if cfg.dtype == DTypeUint8 {
+		u8, err := vec.U8FromMatrix(data)
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: WithDType(DTypeUint8): %w", err)
+		}
+		return buildU8(ctx, u8, cfg)
+	}
+	if cfg.dtype != DTypeFloat32 {
+		return nil, fmt.Errorf("gkmeans: unsupported dtype %s", cfg.dtype)
+	}
 	// Checked before the shard-count clamp: the option conflict must error
 	// even when a tiny dataset would clamp the request down to one shard.
 	if cfg.shards > 1 && cfg.clusterK > 0 {
@@ -109,7 +123,7 @@ func Build(ctx context.Context, data *Matrix, opts ...Option) (*Index, error) {
 		return nil, fmt.Errorf("gkmeans: WithRouting routes across shards; combine it with WithShards(n), n > 1")
 	}
 	if n := clampShards(cfg.shards, data.N); n > 1 {
-		return buildSharded(ctx, data, cfg, n)
+		return buildSharded(ctx, data, nil, cfg, n)
 	}
 	// A dataset too small to split clamps to one shard; a monolithic index
 	// has nothing to route, so the router request is dropped with the shards.
@@ -175,8 +189,10 @@ func NewIndex(data *Matrix, g *Graph, opts ...Option) (*Index, error) {
 	return &Index{data: data, graph: g, cfg: applyOptions(config{}, opts)}, nil
 }
 
-// Data returns the indexed dataset. Treat it as read-only. For a sharded
-// index this is the full dataset; the shards hold row-range views of it.
+// Data returns the indexed float32 dataset, or nil for a uint8 index
+// (whose byte dataset is available from DataU8). Treat it as read-only.
+// For a sharded index this is the full dataset; the shards hold row-range
+// views of it.
 func (x *Index) Data() *Matrix { return x.data }
 
 // Graph returns the underlying k-NN graph, or nil for a sharded index
@@ -195,11 +211,27 @@ func (x *Index) Shards() int {
 	return len(x.shards)
 }
 
+// rows and dims resolve the dataset shape across dtypes: exactly one of
+// data and u8 is non-nil on every index.
+func (x *Index) rows() int {
+	if x.u8 != nil {
+		return x.u8.N
+	}
+	return x.data.N
+}
+
+func (x *Index) dims() int {
+	if x.u8 != nil {
+		return x.u8.Dim
+	}
+	return x.data.Dim
+}
+
 // N returns the number of indexed samples.
-func (x *Index) N() int { return x.data.N }
+func (x *Index) N() int { return x.rows() }
 
 // Dim returns the dimensionality of the indexed samples.
-func (x *Index) Dim() int { return x.data.Dim }
+func (x *Index) Dim() int { return x.dims() }
 
 // Clusters returns the clustering computed at Build time via WithClusters,
 // or nil when none was requested.
@@ -223,6 +255,9 @@ func (x *Index) Cluster(ctx context.Context, k int, opts ...Option) (*Result, er
 	}
 	if x.Sharded() {
 		return nil, fmt.Errorf("gkmeans: clustering needs a global k-NN graph; a sharded index has none (build without WithShards to cluster)")
+	}
+	if x.u8 != nil {
+		return nil, fmt.Errorf("gkmeans: clustering needs float32 data; a uint8 index cannot cluster (build with DTypeFloat32)")
 	}
 	if t := x.shardTomb(0); t != nil && t.Count() > 0 {
 		return nil, fmt.Errorf("gkmeans: clustering would include %d deleted rows; compact the index first", t.Count())

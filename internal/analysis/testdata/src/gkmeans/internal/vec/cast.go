@@ -37,3 +37,40 @@ func notNarrowing(v int32, w uint32) (int32, int64) {
 func constantConversion() int32 {
 	return int32(1 << 10)
 }
+
+// u8AccumulatorWidening: the uint8 kernel idiom — widening byte operands
+// into int32 stripe accumulators — never narrows, so none of it is flagged.
+func u8AccumulatorWidening(a, b []byte) int32 {
+	var s0, s1 int32
+	for i := 0; i+2 <= len(a); i += 2 {
+		d0 := int32(a[i]) - int32(b[i])
+		d1 := int32(a[i+1]) - int32(b[i+1])
+		s0 += d0 * d0
+		s1 += d1 * d1
+	}
+	return s0 + s1
+}
+
+// u8SumNarrowedUnguarded: totalling per-row kernel results in int64 and
+// narrowing the total back to the id width without a bounds check is the
+// overflow this analyzer exists for.
+func u8SumNarrowedUnguarded(rows [][]byte, q []byte) int32 {
+	var total int64
+	for _, r := range rows {
+		total += int64(u8AccumulatorWidening(r, q))
+	}
+	return int32(total) // want `unguarded int32\(int64\) narrowing`
+}
+
+// u8SumNarrowedGuarded: the same narrowing under an explicit MaxInt32
+// check is deliberate and passes.
+func u8SumNarrowedGuarded(rows [][]byte, q []byte) int32 {
+	var total int64
+	for _, r := range rows {
+		total += int64(u8AccumulatorWidening(r, q))
+	}
+	if total > math.MaxInt32 {
+		panic("overflow")
+	}
+	return int32(total)
+}

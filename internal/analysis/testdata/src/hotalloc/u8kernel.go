@@ -1,0 +1,57 @@
+// hotalloc fixtures for the uint8 distance-kernel idioms: a 4-way unrolled
+// integer kernel with stripe accumulators is allocation-free and must pass
+// the annotated check clean; the same kernel sprouting an allocation — a
+// per-call diff buffer or an accumulator boxed for logging — is flagged.
+package hotalloc
+
+//gk:hotpath
+func hotU8KernelOK(a, b []byte) int32 {
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := int32(a[i]) - int32(b[i])
+		d1 := int32(a[i+1]) - int32(b[i+1])
+		d2 := int32(a[i+2]) - int32(b[i+2])
+		d3 := int32(a[i+3]) - int32(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := int32(a[i]) - int32(b[i])
+		s0 += d * d
+	}
+	return ((s0 + s1) + s2) + s3
+}
+
+//gk:hotpath
+func hotU8KernelBad(a, b []byte) int32 {
+	diffs := []int32{} // want `builds a slice literal`
+	for i := range a {
+		d := int32(a[i]) - int32(b[i])
+		diffs = append(diffs, d*d) // want `appends inside a loop`
+	}
+	var sum int32
+	for _, d := range diffs {
+		sum += d
+	}
+	trace := any(sum) // want `boxes a int32 into an interface`
+	_ = trace
+	return sum
+}
+
+// coldU8Kernel is unannotated: the identical allocating shape draws no
+// diagnostics outside a //gk:hotpath function.
+func coldU8Kernel(a, b []byte) int32 {
+	diffs := []int32{}
+	for i := range a {
+		d := int32(a[i]) - int32(b[i])
+		diffs = append(diffs, d*d)
+	}
+	var sum int32
+	for _, d := range diffs {
+		sum += d
+	}
+	return sum
+}

@@ -42,7 +42,11 @@ import (
 // through a sync.Pool, so a single Searcher is safe for concurrent use from
 // any number of goroutines.
 type Searcher struct {
-	data  *vec.Matrix
+	data *vec.Matrix   // float32 rows; nil on a uint8 searcher
+	u8   *vec.U8Matrix // uint8 rows; nil on a float32 searcher
+	n    int           // rows in whichever matrix backs the searcher
+	dim  int
+
 	g     *knngraph.Graph
 	entry []int32 // fixed, evenly spread entry points
 
@@ -88,6 +92,9 @@ type searchScratch struct {
 	visited []int32
 	stamp   int32
 	pool    []candidate
+	// q8 is the byte view of the current query on a uint8 searcher,
+	// preallocated here so the per-query narrowing never allocates.
+	q8 []uint8
 }
 
 // candidate is a pool entry during search.
@@ -104,27 +111,45 @@ type candidate struct {
 // component of the graph and guarantees at least one entry point inside
 // each, making recall independent of component coverage.
 func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, error) {
-	if g.N() != data.N {
-		return nil, fmt.Errorf("anns: graph has %d nodes for %d samples", g.N(), data.N)
+	return newSearcher(&Searcher{data: data, n: data.N, dim: data.Dim, g: g}, nEntry)
+}
+
+// NewSearcherU8 builds a searcher over a uint8 dataset: identical graph,
+// entry-point and pool machinery, with candidate distances computed by the
+// exact integer kernels (L2SqrU8/L2SqrBoundU8) directly on the byte rows.
+// Queries stay []float32 at the API, but every value must be an exact byte
+// (an integer in [0,255]) — Search panics otherwise, the same contract as a
+// dimension mismatch.
+func NewSearcherU8(data *vec.U8Matrix, g *knngraph.Graph, nEntry int) (*Searcher, error) {
+	return newSearcher(&Searcher{u8: data, n: data.N, dim: data.Dim, g: g}, nEntry)
+}
+
+func newSearcher(s *Searcher, nEntry int) (*Searcher, error) {
+	n := s.n
+	if s.g.N() != n {
+		return nil, fmt.Errorf("anns: graph has %d nodes for %d samples", s.g.N(), n)
 	}
-	if data.N == 0 {
+	if n == 0 {
 		return nil, fmt.Errorf("anns: empty dataset")
 	}
 	// Ids are int32 end to end (graph lists, CSR, results); a larger dataset
 	// cannot be addressed and must be rejected, not truncated.
-	if int64(data.N) > math.MaxInt32 {
-		return nil, fmt.Errorf("anns: dataset has %d rows; ids are int32", data.N)
+	if int64(n) > math.MaxInt32 {
+		return nil, fmt.Errorf("anns: dataset has %d rows; ids are int32", n)
 	}
 	if nEntry <= 0 {
 		nEntry = 16
 	}
-	if nEntry > data.N {
-		nEntry = data.N
+	if nEntry > n {
+		nEntry = n
 	}
-	s := &Searcher{data: data, g: g}
-	n := data.N
+	isU8, dim := s.u8 != nil, s.dim
 	s.scratch.New = func() any {
-		return &searchScratch{visited: make([]int32, n)}
+		sc := &searchScratch{visited: make([]int32, n)}
+		if isU8 {
+			sc.q8 = make([]uint8, dim)
+		}
+		return sc
 	}
 	if err := s.buildCSR(); err != nil {
 		return nil, err
@@ -157,7 +182,7 @@ func NewSearcher(data *vec.Matrix, g *knngraph.Graph, nEntry int) (*Searcher, er
 // a fill pass writes forward edges then the reverse edges missing from the
 // target's own list. Built once per Searcher; every query reads it.
 func (s *Searcher) buildCSR() error {
-	g, n := s.g, s.data.N
+	g, n := s.g, s.n
 	deg := make([]int32, n)
 	for i, list := range g.Lists {
 		deg[i] += int32(len(list))
@@ -214,7 +239,7 @@ func (s *Searcher) Entries() int { return len(s.entry) }
 // an iterative DFS (the CSR holds both edge directions, so directed reach
 // equals undirected components).
 func (s *Searcher) components() []int32 {
-	n := s.data.N
+	n := s.n
 	comp := make([]int32, n)
 	for i := range comp {
 		comp[i] = -1
@@ -294,6 +319,13 @@ func (s *Searcher) search(q []float32, topK, ef int, exhaust bool) ([]knngraph.N
 	}
 	sc.stamp++
 	stamp := sc.stamp
+	// On a uint8 searcher, narrow the query once into the scratch byte
+	// buffer; the candidate loop then runs the exact integer kernels.
+	u8 := s.u8 != nil
+	q8 := sc.q8
+	if u8 {
+		convertQueryU8(q, q8)
+	}
 
 	// cur is the index of the first unexpanded pool entry: entries before it
 	// are all expanded, so each iteration resumes there instead of rescanning
@@ -324,7 +356,11 @@ func (s *Searcher) search(q []float32, topK, ef int, exhaust bool) ([]knngraph.N
 		}
 		sc.visited[e] = stamp
 		st.Dist++
-		insert(e, vec.L2Sqr(q, s.data.Row(int(e))))
+		if u8 {
+			insert(e, float32(vec.L2SqrU8(q8, s.u8.Row(int(e)))))
+		} else {
+			insert(e, vec.L2Sqr(q, s.data.Row(int(e))))
+		}
 	}
 
 	sinceImprove := 0
@@ -366,7 +402,16 @@ func (s *Searcher) search(q []float32, topK, ef int, exhaust bool) ([]knngraph.N
 				bound = pool[len(pool)-1].dist
 			}
 			st.Dist++
-			d := vec.L2SqrBound(q, s.data.Row(int(id)), bound)
+			var d float32
+			if u8 {
+				// U8Bound never abandons a candidate the float32 kernel
+				// would admit, and integer L2 on byte data is exact, so the
+				// pool the uint8 path builds is identical to the float path's
+				// whenever the widened data equals the byte data.
+				d = float32(vec.L2SqrBoundU8(q8, s.u8.Row(int(id)), vec.U8Bound(bound)))
+			} else {
+				d = vec.L2SqrBound(q, s.data.Row(int(id)), bound)
+			}
 			if d >= bound {
 				continue
 			}
@@ -395,6 +440,19 @@ func (s *Searcher) search(q []float32, topK, ef int, exhaust bool) ([]knngraph.N
 	s.nDist.Add(uint64(st.Dist))
 	s.nExpanded.Add(uint64(st.Expanded))
 	return out, st
+}
+
+// convertQueryU8 narrows a float32 query onto dst for the integer kernels.
+// A query that is not exact bytes has no exact integer distance to byte
+// data, so narrowing it would silently change results; panicking matches
+// the dimension-mismatch contract (a caller bug, not a data condition).
+func convertQueryU8(q []float32, dst []uint8) {
+	for i, v := range q {
+		if !(v >= 0 && v <= 255) || v != float32(uint8(v)) {
+			panic(fmt.Sprintf("anns: query value %v at dim %d is not an exact byte (uint8 searcher)", v, i))
+		}
+		dst[i] = uint8(v)
+	}
 }
 
 // RecallAt evaluates the searcher on a query set against exact ground truth

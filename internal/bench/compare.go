@@ -136,8 +136,19 @@ func sameMeasurement(old, fresh *SearchReport) error {
 		field string
 		o, f  any
 	}
+	// Dtype normalisation: schema <= 3 baselines predate the field and
+	// measured float32. A uint8 run scans different kernels over different
+	// memory than a float32 one, so the two are refresh-not-compare.
+	od, fd := old.DType, fresh.DType
+	if od == "" {
+		od = "float32"
+	}
+	if fd == "" {
+		fd = "float32"
+	}
 	for _, k := range []key{
 		{"dataset", old.Dataset, fresh.Dataset},
+		{"dtype", od, fd},
 		{"n", old.N, fresh.N},
 		{"dim", old.Dim, fresh.Dim},
 		{"queries", old.Queries, fresh.Queries},

@@ -168,6 +168,32 @@ func TestCompareReportsRejectsIncomparableConfigs(t *testing.T) {
 	}
 }
 
+func TestCompareReportsRejectsDTypeMismatch(t *testing.T) {
+	// A uint8 run scans different kernels over different memory than a
+	// float32 one — refuse the diff and demand a baseline refresh.
+	old := baselineReport()
+	fresh := cloneReport(old)
+	fresh.DType = "uint8"
+	if _, err := CompareReports(old, fresh, CompareThresholds{}); err == nil ||
+		!strings.Contains(err.Error(), "dtype") {
+		t.Fatalf("uint8 run vs float32 baseline: err = %v, want dtype refusal", err)
+	}
+	// Schema <= 3 baselines predate the field and measured float32, so an
+	// empty dtype on either side matches an explicit "float32".
+	old.DType = ""
+	fresh = cloneReport(old)
+	fresh.DType = "float32"
+	if _, err := CompareReports(old, fresh, CompareThresholds{}); err != nil {
+		t.Fatalf("empty baseline dtype should match float32: %v", err)
+	}
+	old.DType = "uint8"
+	fresh = cloneReport(old)
+	fresh.DType = "uint8"
+	if _, err := CompareReports(old, fresh, CompareThresholds{}); err != nil {
+		t.Fatalf("matching uint8 dtypes should compare: %v", err)
+	}
+}
+
 func TestLoadReportRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "bench.json")

@@ -40,6 +40,13 @@ type SearchBenchConfig struct {
 	Workers int    // build + SearchBatch parallelism (<=0 selects GOMAXPROCS)
 	Builder string // graph builder: core.BuilderGKMeans ("" default) or core.BuilderNNDescent
 
+	// DType selects the dataset element type the index stores and scans:
+	// "" or "float32" (default), or "uint8" for the integer distance path
+	// (the corpus must be exactly byte-valued — SIFT-style data is). The
+	// graph, recall and work counters are identical across dtypes by
+	// construction; what moves is dataset memory (4x) and scan bandwidth.
+	DType string
+
 	// Shards > 1 benchmarks a sharded index (gkmeans.WithShards) through
 	// the public fan-out path instead of the single searcher: same grid,
 	// same recall protocol, per-query work read from the aggregated
@@ -117,23 +124,29 @@ type BuildResult struct {
 
 // SearchReport is the full harness output; it marshals to BENCH_search.json.
 type SearchReport struct {
-	Schema    int           `json:"schema"`
-	CreatedAt string        `json:"created_at"`
-	GoVersion string        `json:"go_version"`
-	MaxProcs  int           `json:"maxprocs"`
-	Dataset   string        `json:"dataset"`
-	N         int           `json:"n"`
-	Dim       int           `json:"dim"`
-	Queries   int           `json:"queries"`
-	Kappa     int           `json:"kappa"`
-	Xi        int           `json:"xi"`
-	Tau       int           `json:"tau"`
-	Seed      int64         `json:"seed"`
-	Shards    int           `json:"shards,omitempty"`  // 0/absent = monolithic
-	Routing   int           `json:"routing,omitempty"` // routing centroids per shard; 0 = unrouted
-	Build     BuildResult   `json:"build"`
-	Search    []SearchPoint `json:"search"`
-	Batch     []BatchPoint  `json:"search_batch"`
+	Schema    int    `json:"schema"`
+	CreatedAt string `json:"created_at"`
+	GoVersion string `json:"go_version"`
+	MaxProcs  int    `json:"maxprocs"`
+	Dataset   string `json:"dataset"`
+	N         int    `json:"n"`
+	Dim       int    `json:"dim"`
+	Queries   int    `json:"queries"`
+	Kappa     int    `json:"kappa"`
+	Xi        int    `json:"xi"`
+	Tau       int    `json:"tau"`
+	Seed      int64  `json:"seed"`
+	Shards    int    `json:"shards,omitempty"`  // 0/absent = monolithic
+	Routing   int    `json:"routing,omitempty"` // routing centroids per shard; 0 = unrouted
+	// DType is the dataset element type of the run ("float32"/"uint8";
+	// absent on schema <= 3 baselines, which measured float32), and
+	// DatasetBytes the resident bytes of the indexed dataset — the number
+	// the uint8 path divides by 4.
+	DType        string        `json:"dtype,omitempty"`
+	DatasetBytes int64         `json:"dataset_bytes,omitempty"`
+	Build        BuildResult   `json:"build"`
+	Search       []SearchPoint `json:"search"`
+	Batch        []BatchPoint  `json:"search_batch"`
 }
 
 // RunSearchBench executes the harness. logf, when non-nil, receives
@@ -148,6 +161,11 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 	if len(cfg.TopKs) == 0 || len(cfg.Efs) == 0 {
 		return nil, fmt.Errorf("bench: empty topK/ef grid")
 	}
+	dt, err := gkmeans.ParseDType(cfg.DType)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DType = dt.String()
 
 	corpus := cfg.Data
 	name := cfg.Dataset
@@ -172,6 +190,20 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 
 	rep := newReport(cfg, name, data, queries)
 
+	// The uint8 path narrows the (byte-valued) corpus up front; the graph is
+	// still built over the float rows — bytes are exact in float32, so the
+	// graph and every downstream number except dataset bytes is identical.
+	var dataU8 *vec.U8Matrix
+	if dt == gkmeans.DTypeUint8 {
+		dataU8, err = vec.U8FromMatrix(data)
+		if err != nil {
+			return nil, fmt.Errorf("bench: -dtype uint8 needs a byte-valued corpus: %w", err)
+		}
+		rep.DatasetBytes = int64(len(dataU8.Data))
+		logf("uint8 dataset: %d bytes resident (float32 would be %d)",
+			len(dataU8.Data), 4*len(data.Data))
+	}
+
 	gc := core.GraphConfig{
 		Kappa: cfg.Kappa, Xi: cfg.Xi, Tau: cfg.Tau, Seed: cfg.Seed,
 		Workers: cfg.Workers, Builder: cfg.Builder,
@@ -195,7 +227,12 @@ func RunSearchBench(cfg SearchBenchConfig, logf func(format string, args ...any)
 	}
 
 	start = time.Now()
-	s, err := anns.NewSearcher(data, g, cfg.Entries)
+	var s *anns.Searcher
+	if dataU8 != nil {
+		s, err = anns.NewSearcherU8(dataU8, g, cfg.Entries)
+	} else {
+		s, err = anns.NewSearcher(data, g, cfg.Entries)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -291,18 +328,20 @@ func measureGrid(rep *SearchReport, cfg SearchBenchConfig, queries *vec.Matrix, 
 // newReport fills in the measurement metadata every harness path shares.
 func newReport(cfg SearchBenchConfig, name string, data, queries *vec.Matrix) *SearchReport {
 	return &SearchReport{
-		Schema:    3,
-		CreatedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		MaxProcs:  runtime.GOMAXPROCS(0),
-		Dataset:   name,
-		N:         data.N,
-		Dim:       data.Dim,
-		Queries:   queries.N,
-		Kappa:     cfg.Kappa,
-		Xi:        cfg.Xi,
-		Tau:       cfg.Tau,
-		Seed:      cfg.Seed,
+		Schema:       4,
+		CreatedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:    runtime.Version(),
+		MaxProcs:     runtime.GOMAXPROCS(0),
+		Dataset:      name,
+		N:            data.N,
+		Dim:          data.Dim,
+		Queries:      queries.N,
+		Kappa:        cfg.Kappa,
+		Xi:           cfg.Xi,
+		Tau:          cfg.Tau,
+		Seed:         cfg.Seed,
+		DType:        cfg.DType,
+		DatasetBytes: 4 * int64(len(data.Data)),
 	}
 }
 
@@ -329,12 +368,20 @@ func runShardedSearchBench(cfg SearchBenchConfig, name string, data, queries *ve
 	if cfg.Routing > 0 {
 		opts = append(opts, gkmeans.WithRouting(cfg.Routing))
 	}
+	if cfg.DType == "uint8" {
+		opts = append(opts, gkmeans.WithDType(gkmeans.DTypeUint8))
+	}
 	start := time.Now()
 	idx, err := gkmeans.Build(context.Background(), data, opts...)
 	if err != nil {
 		return nil, err
 	}
 	buildSeconds := time.Since(start).Seconds()
+	if u8 := idx.DataU8(); u8 != nil {
+		rep.DatasetBytes = int64(len(u8.Data))
+		logf("uint8 dataset: %d bytes resident (float32 would be %d)",
+			len(u8.Data), 4*len(data.Data))
+	}
 	rep.Shards = idx.Shards()
 	if idx.Routed() {
 		rep.Routing = idx.RoutingCentroids()
@@ -505,6 +552,9 @@ func (r *SearchReport) Summary() *Table {
 	}
 	if r.Routing > 0 {
 		shards += fmt.Sprintf(", routed (%d centroids/shard)", r.Routing)
+	}
+	if r.DType == "uint8" {
+		shards += ", uint8"
 	}
 	t := &Table{
 		Title:  fmt.Sprintf("search benchmark — %s %d×%d, κ=%d τ=%d%s", r.Dataset, r.N, r.Dim, r.Kappa, r.Tau, shards),

@@ -18,8 +18,11 @@ func TestRunSearchBenchProducesFullReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Schema != 3 || rep.Dataset != "sift" || rep.N != 375 || rep.Queries != 25 {
+	if rep.Schema != 4 || rep.Dataset != "sift" || rep.N != 375 || rep.Queries != 25 {
 		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.DType != "float32" || rep.DatasetBytes != int64(4*375*128) {
+		t.Fatalf("dtype header wrong: dtype=%q dataset_bytes=%d", rep.DType, rep.DatasetBytes)
 	}
 	if rep.Build.GraphSeconds <= 0 || rep.Build.GraphEdges <= 0 || rep.Build.EntryPoints <= 0 {
 		t.Fatalf("build section not populated: %+v", rep.Build)
@@ -218,5 +221,53 @@ func TestRunSearchBenchRouted(t *testing.T) {
 	}
 	if _, err := CompareReports(rep, rep, CompareThresholds{}); err != nil {
 		t.Fatalf("self-compare errored: %v", err)
+	}
+}
+
+// The -dtype uint8 axis must run the integer path on both the monolithic
+// and sharded branches, record the byte-sized dataset, and — because the
+// synthetic sift corpus is byte-valued and the integer kernels are exact —
+// reproduce the float32 run's recall and work counters identically.
+func TestRunSearchBenchUint8(t *testing.T) {
+	base := SearchBenchConfig{
+		Dataset: "sift", N: 400, Queries: 25,
+		Kappa: 6, Xi: 15, Tau: 2, Seed: 7,
+		TopKs: []int{5}, Efs: []int{16, 32},
+	}
+	for _, shards := range []int{0, 3} {
+		f32cfg, u8cfg := base, base
+		f32cfg.Shards, u8cfg.Shards = shards, shards
+		u8cfg.DType = "uint8"
+		f32rep, err := RunSearchBench(f32cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u8rep, err := RunSearchBench(u8cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u8rep.DType != "uint8" {
+			t.Fatalf("shards=%d: report dtype %q", shards, u8rep.DType)
+		}
+		if u8rep.DatasetBytes*4 != f32rep.DatasetBytes {
+			t.Fatalf("shards=%d: dataset bytes %d (uint8) vs %d (float32), want 4x",
+				shards, u8rep.DatasetBytes, f32rep.DatasetBytes)
+		}
+		for i := range f32rep.Search {
+			fp, up := f32rep.Search[i], u8rep.Search[i]
+			if fp.Recall != up.Recall || fp.AvgDistComps != up.AvgDistComps || fp.AvgExpanded != up.AvgExpanded {
+				t.Fatalf("shards=%d cell %d: float32 (recall %v dist %v exp %v) vs uint8 (recall %v dist %v exp %v)",
+					shards, i, fp.Recall, fp.AvgDistComps, fp.AvgExpanded, up.Recall, up.AvgDistComps, up.AvgExpanded)
+			}
+		}
+		// Different-dtype reports are refresh-not-compare.
+		if _, err := CompareReports(f32rep, u8rep, CompareThresholds{}); err == nil {
+			t.Fatalf("shards=%d: comparing uint8 against float32 baseline did not error", shards)
+		}
+	}
+	bad := base
+	bad.DType = "int16"
+	if _, err := RunSearchBench(bad, nil); err == nil {
+		t.Fatal("unknown dtype accepted")
 	}
 }

@@ -81,6 +81,77 @@ func TestLoadBvecsFile(t *testing.T) {
 	}
 }
 
+// TestReadBvecsU8MatchesWidened pins the dtype parity at the load layer:
+// a uint8 load widened after the fact is element-identical to the widening
+// loader, including under maxN truncation and the Split holdout.
+func TestReadBvecsU8MatchesWidened(t *testing.T) {
+	m := SIFTLike(25, 1)
+	var buf bytes.Buffer
+	if err := WriteBvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	wide, err := ReadBvecs(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u8, err := ReadBvecsU8(bytes.NewReader(raw), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u8.Widen().Equal(wide) {
+		t.Fatal("uint8 load does not match widened load")
+	}
+	u8Trunc, err := ReadBvecsU8(bytes.NewReader(raw), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u8Trunc.N != 4 {
+		t.Fatalf("read %d vectors", u8Trunc.N)
+	}
+	dataF, queriesF := Split(wide, 5)
+	dataU, queriesU := SplitU8(u8, 5)
+	if !dataU.Widen().Equal(dataF) || !queriesU.Widen().Equal(queriesF) {
+		t.Fatal("SplitU8 does not match Split")
+	}
+}
+
+func TestReadBvecsU8RejectsGarbage(t *testing.T) {
+	if _, err := ReadBvecsU8(bytes.NewReader([]byte{0, 0, 0, 0}), 0); err == nil {
+		t.Fatal("zero dimension should error")
+	}
+	var buf bytes.Buffer
+	if err := WriteBvecs(&buf, SIFTLike(1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBvecsU8(bytes.NewReader(raw[:len(raw)-3]), 0); err == nil {
+		t.Fatal("truncated payload should error")
+	}
+}
+
+func TestLoadBvecsU8(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bvecs")
+	m := SIFTLike(8, 5)
+	var buf bytes.Buffer
+	if err := WriteBvecs(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBvecsU8(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Widen().Equal(m) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadBvecsU8(filepath.Join(t.TempDir(), "missing"), 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
 func TestSplit(t *testing.T) {
 	m := Uniform(100, 4, 6)
 	data, queries := Split(m, 10)

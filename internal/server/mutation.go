@@ -70,12 +70,20 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			"index %q has a Build-time clustering and cannot accept inserts; rebuild it without clusters", e.name)
 		return
 	}
-	dim := e.index().Dim()
+	idx := e.index()
+	dim := idx.Dim()
 	flat := make([]float32, 0, len(req.Vectors)*dim)
 	for i, row := range req.Vectors {
 		if len(row) != dim {
 			writeError(w, http.StatusBadRequest,
 				"vector %d has dimensionality %d, index %q has %d", i, len(row), e.name, dim)
+			return
+		}
+		// On a uint8 index every inserted value must be an exact byte;
+		// rejecting here keeps bad vectors out of the WAL, where they would
+		// fail every later flush and replay instead.
+		if err := idx.CheckByteValues(row); err != nil {
+			writeError(w, http.StatusBadRequest, "vector %d: %v", i, err)
 			return
 		}
 		flat = append(flat, row...)

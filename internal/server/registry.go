@@ -99,6 +99,7 @@ func (e *entry) info() client.IndexInfo {
 		Name:        e.name,
 		N:           idx.N(),
 		Dim:         idx.Dim(),
+		DType:       idx.DType().String(),
 		Shards:      idx.Shards(),
 		HasClusters: idx.Clusters() != nil,
 		Routed:      idx.Routed(),

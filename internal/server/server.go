@@ -202,8 +202,8 @@ func (s *Server) registerIndex(name, path string, idx *gkmeans.Index) error {
 		return err
 	}
 	cur := e.index()
-	s.logf("serving index %q: %d×%d (clusters: %v, durable: %v, pending: %d)",
-		name, cur.N(), cur.Dim(), cur.Clusters() != nil, e.wal != nil, e.mem.Rows())
+	s.logf("serving index %q: %d×%d %s (clusters: %v, durable: %v, pending: %d)",
+		name, cur.N(), cur.Dim(), cur.DType(), cur.Clusters() != nil, e.wal != nil, e.mem.Rows())
 	return nil
 }
 
@@ -444,7 +444,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			"index %q has no routing table (build it with WithRouting); nprobe is not applicable", e.name)
 		return
 	}
-	dim := e.index().Dim()
+	idx := e.index()
+	dim := idx.Dim()
 	queries := req.Queries
 	if single {
 		queries = [][]float32{req.Query}
@@ -453,6 +454,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if len(q) != dim {
 			writeError(w, http.StatusBadRequest,
 				"query %d has dimensionality %d, index %q has %d", i, len(q), e.name, dim)
+			return
+		}
+		// A uint8 index scans byte rows with integer kernels; a query value
+		// that is not an exact byte is a caller error (like a dimension
+		// mismatch), answered 400 before the search path would panic.
+		if err := idx.CheckByteValues(q); err != nil {
+			writeError(w, http.StatusBadRequest, "query %d: %v", i, err)
 			return
 		}
 	}

@@ -1,0 +1,263 @@
+package vec
+
+import (
+	"math"
+	"testing"
+)
+
+// Kernel-equivalence suite: the unrolled hot-path kernels must be
+// bit-identical to the scalar references in scalar.go at every length
+// 0..130 (every tail residue of the 4-wide loops and several abandonBlock
+// boundaries), and the bounded kernels must equal the unbounded ones
+// whenever the full distance is below the bound. Float32 addition is not
+// associative, so these tests pin the accumulation order itself — any
+// rewrite that reorders a single addition fails here before it can break
+// the determinism and early-abandon tests upstream.
+
+// testLCG is a tiny deterministic generator for test vectors; the suite
+// must not depend on math/rand ordering across Go versions.
+type testLCG uint64
+
+func (g *testLCG) next() uint32 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint32(*g >> 32)
+}
+
+// f32 returns a finite float32 in roughly [-8, 8) with a fractional part,
+// so squared sums exercise real rounding (not exact small integers).
+func (g *testLCG) f32() float32 {
+	return float32(int32(g.next()%1024)-512) / 64
+}
+
+func (g *testLCG) u8() uint8 { return uint8(g.next()) }
+
+func testVecs(n int, seed uint64) (a, b []float32) {
+	g := testLCG(seed)
+	a = make([]float32, n)
+	b = make([]float32, n)
+	for i := range a {
+		a[i] = g.f32()
+		b[i] = g.f32()
+	}
+	return a, b
+}
+
+func testVecsU8(n int, seed uint64) (a, b []uint8) {
+	g := testLCG(seed)
+	a = make([]uint8, n)
+	b = make([]uint8, n)
+	for i := range a {
+		a[i] = g.u8()
+		b[i] = g.u8()
+	}
+	return a, b
+}
+
+// maxEquivLen covers all tail residues of the 4-wide loops plus several
+// abandonBlock (32) boundaries of the bounded kernels.
+const maxEquivLen = 130
+
+func TestDotMatchesScalarReference(t *testing.T) {
+	for n := 0; n <= maxEquivLen; n++ {
+		a, b := testVecs(n, uint64(n)+1)
+		got := Dot(a, b)
+		want := dotScalar(a, b)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("len %d: Dot=%x scalar=%x", n, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+func TestL2SqrMatchesScalarReference(t *testing.T) {
+	for n := 0; n <= maxEquivLen; n++ {
+		a, b := testVecs(n, uint64(n)+101)
+		got := L2Sqr(a, b)
+		want := l2SqrScalar(a, b)
+		if math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("len %d: L2Sqr=%x scalar=%x", n, math.Float32bits(got), math.Float32bits(want))
+		}
+	}
+}
+
+func TestL2SqrU8MatchesScalarReference(t *testing.T) {
+	for n := 0; n <= maxEquivLen; n++ {
+		a, b := testVecsU8(n, uint64(n)+201)
+		if got, want := L2SqrU8(a, b), l2SqrU8Scalar(a, b); got != want {
+			t.Fatalf("len %d: L2SqrU8=%d scalar=%d", n, got, want)
+		}
+	}
+}
+
+// TestL2SqrBoundBelowBound pins the bit-identical-below-bound contract: at
+// every length and for bounds above the full distance, L2SqrBound returns
+// exactly L2Sqr's bits; for bounds at or below it, the partial it returns
+// is >= the bound.
+func TestL2SqrBoundBelowBound(t *testing.T) {
+	for n := 0; n <= maxEquivLen; n++ {
+		a, b := testVecs(n, uint64(n)+301)
+		full := L2Sqr(a, b)
+		for _, bound := range []float32{
+			full + 1, full*2 + 1, math.MaxFloat32, float32(math.Inf(1)),
+		} {
+			got := L2SqrBound(a, b, bound)
+			if math.Float32bits(got) != math.Float32bits(full) {
+				t.Fatalf("len %d bound %g: L2SqrBound=%x L2Sqr=%x", n, bound, math.Float32bits(got), math.Float32bits(full))
+			}
+		}
+		for _, bound := range []float32{0, full / 2, full} {
+			if got := L2SqrBound(a, b, bound); got < bound {
+				t.Fatalf("len %d: abandoned partial %g below bound %g", n, got, bound)
+			}
+		}
+	}
+}
+
+func TestL2SqrBoundU8BelowBound(t *testing.T) {
+	for n := 0; n <= maxEquivLen; n++ {
+		a, b := testVecsU8(n, uint64(n)+401)
+		full := L2SqrU8(a, b)
+		for _, bound := range []int32{full + 1, math.MaxInt32} {
+			if got := L2SqrBoundU8(a, b, bound); got != full {
+				t.Fatalf("len %d bound %d: L2SqrBoundU8=%d L2SqrU8=%d", n, bound, got, full)
+			}
+		}
+		for _, bound := range []int32{0, full / 2, full} {
+			if got := L2SqrBoundU8(a, b, bound); got < bound {
+				t.Fatalf("len %d: abandoned partial %d below bound %d", n, got, bound)
+			}
+		}
+	}
+}
+
+// TestL2SqrU8MatchesWidenedFloat proves the exactness claim behind the
+// uint8 path: on byte data of SIFT-like dimensionality, integer L2 equals
+// the float32 kernel on the widened copy bit-for-bit, because every
+// float32 stripe partial stays far below 2²⁴.
+func TestL2SqrU8MatchesWidenedFloat(t *testing.T) {
+	for n := 0; n <= maxEquivLen; n++ {
+		a, b := testVecsU8(n, uint64(n)+501)
+		af := make([]float32, n)
+		bf := make([]float32, n)
+		for i := range a {
+			af[i] = float32(a[i])
+			bf[i] = float32(b[i])
+		}
+		want := L2Sqr(af, bf)
+		if got := float32(L2SqrU8(a, b)); got != want {
+			t.Fatalf("len %d: u8=%g float=%g", n, got, want)
+		}
+	}
+}
+
+// TestU8Bound pins the conversion's safety property: an integer partial
+// reaching U8Bound(b) implies its float32 view reaches b, so the integer
+// kernel never abandons a candidate the float kernel would have admitted.
+func TestU8Bound(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want int32
+	}{
+		{-1, 0},
+		{0, 0},
+		{float32(math.NaN()), 0},
+		{0.5, 1},
+		{1, 1},
+		{1.5, 2},
+		{65025, 65025},
+		{65025.5, 65026},
+		{float32(math.MaxInt32), math.MaxInt32},
+		{math.MaxFloat32, math.MaxInt32},
+		{float32(math.Inf(1)), math.MaxInt32},
+	}
+	for _, c := range cases {
+		if got := U8Bound(c.in); got != c.want {
+			t.Fatalf("U8Bound(%g) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	g := testLCG(7)
+	for i := 0; i < 10000; i++ {
+		bound := float32(g.next()%(1<<26)) / 8
+		t32 := U8Bound(bound)
+		if float64(t32) < float64(bound) {
+			t.Fatalf("U8Bound(%g) = %d below the bound", bound, t32)
+		}
+		if t32 > 0 && float64(t32-1) >= math.Ceil(float64(bound)) {
+			t.Fatalf("U8Bound(%g) = %d is not minimal", bound, t32)
+		}
+	}
+}
+
+// FuzzKernelEquivalence cross-checks every kernel against its scalar
+// reference (and the bounded kernels against the unbounded ones) on
+// fuzzer-chosen vectors, lengths and bounds. Wired into the CI fuzz job.
+func FuzzKernelEquivalence(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, math.Float32bits(12))
+	f.Add([]byte{255, 0, 255, 0, 255, 0, 255, 0}, math.Float32bits(1e9))
+	f.Fuzz(func(t *testing.T, raw []byte, boundBits uint32) {
+		n := len(raw) / 2
+		au, bu := raw[:n], raw[n:2*n]
+		if got, want := L2SqrU8(au, bu), l2SqrU8Scalar(au, bu); got != want {
+			t.Fatalf("L2SqrU8=%d scalar=%d", got, want)
+		}
+		fullU := L2SqrU8(au, bu)
+		boundU := int32(boundBits & math.MaxInt32)
+		gotU := L2SqrBoundU8(au, bu, boundU)
+		if fullU < boundU && gotU != fullU {
+			t.Fatalf("L2SqrBoundU8=%d below bound %d but L2SqrU8=%d", gotU, boundU, fullU)
+		}
+		if fullU >= boundU && gotU < boundU {
+			t.Fatalf("abandoned partial %d below bound %d", gotU, boundU)
+		}
+
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := 0; i < n; i++ {
+			// Finite, fraction-bearing floats derived from the raw bytes.
+			a[i] = float32(int8(au[i])) / 4
+			b[i] = float32(int8(bu[i])) / 4
+		}
+		if got, want := Dot(a, b), dotScalar(a, b); math.Float32bits(got) != math.Float32bits(want) {
+			t.Fatalf("Dot=%x scalar=%x", math.Float32bits(got), math.Float32bits(want))
+		}
+		full := L2Sqr(a, b)
+		if want := l2SqrScalar(a, b); math.Float32bits(full) != math.Float32bits(want) {
+			t.Fatalf("L2Sqr=%x scalar=%x", math.Float32bits(full), math.Float32bits(want))
+		}
+		bound := math.Float32frombits(boundBits)
+		got := L2SqrBound(a, b, bound)
+		if full < bound && math.Float32bits(got) != math.Float32bits(full) {
+			t.Fatalf("L2SqrBound=%x below bound %g but L2Sqr=%x", math.Float32bits(got), bound, math.Float32bits(full))
+		}
+		if full >= bound && got < bound {
+			t.Fatalf("abandoned partial %g below bound %g", got, bound)
+		}
+
+		if bound > 0 && !math.IsNaN(float64(bound)) {
+			if t32 := U8Bound(bound); float64(t32) < float64(bound) && t32 != math.MaxInt32 {
+				t.Fatalf("U8Bound(%g) = %d below the bound", bound, t32)
+			}
+		}
+	})
+}
+
+func BenchmarkL2Sqr128(b *testing.B) {
+	a, c := testVecs(128, 1)
+	b.SetBytes(2 * 4 * 128)
+	for i := 0; i < b.N; i++ {
+		sinkF = L2Sqr(a, c)
+	}
+}
+
+func BenchmarkL2SqrU8128(b *testing.B) {
+	a, c := testVecsU8(128, 1)
+	b.SetBytes(2 * 128)
+	for i := 0; i < b.N; i++ {
+		sinkI = L2SqrU8(a, c)
+	}
+}
+
+var (
+	sinkF float32
+	sinkI int32
+)

@@ -1,0 +1,90 @@
+package vec
+
+import "math"
+
+// Integer distance kernels for U8Matrix rows. Each squared difference is at
+// most 255² = 65025 and U8Matrix caps Dim at MaxU8Dim, so the int32
+// accumulators can never overflow and the results are exact — no float
+// rounding anywhere. Because integer addition is associative, the 4-way
+// unrolling below changes nothing about the result, only the throughput.
+
+// L2SqrU8 returns the exact squared Euclidean distance between two byte
+// vectors as an int32. The slices must have equal length ≤ MaxU8Dim.
+//
+//gk:hotpath
+func L2SqrU8(a, b []uint8) int32 {
+	var s0, s1, s2, s3 int32
+	n := len(a)
+	b = b[:n] // eliminate bounds checks in the loop body
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := int32(a[i]) - int32(b[i])
+		d1 := int32(a[i+1]) - int32(b[i+1])
+		d2 := int32(a[i+2]) - int32(b[i+2])
+		d3 := int32(a[i+3]) - int32(b[i+3])
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := int32(a[i]) - int32(b[i])
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// L2SqrBoundU8 returns L2SqrU8(a, b) unless the running sum reaches bound
+// partway through — then it abandons the computation and returns the
+// partial sum (which is ≥ bound; squared distances only grow). The bound
+// check cadence matches the float32 L2SqrBound (every abandonBlock
+// elements), and whenever the full distance is below bound the returned
+// value equals L2SqrU8(a, b) exactly.
+//
+//gk:hotpath
+func L2SqrBoundU8(a, b []uint8, bound int32) int32 {
+	var s0, s1, s2, s3 int32
+	n := len(a)
+	b = b[:n]
+	i := 0
+	for i+4 <= n {
+		stop := i + abandonBlock
+		if stop+4 > n {
+			stop = n
+		}
+		for ; i+4 <= stop; i += 4 {
+			d0 := int32(a[i]) - int32(b[i])
+			d1 := int32(a[i+1]) - int32(b[i+1])
+			d2 := int32(a[i+2]) - int32(b[i+2])
+			d3 := int32(a[i+3]) - int32(b[i+3])
+			s0 += d0 * d0
+			s1 += d1 * d1
+			s2 += d2 * d2
+			s3 += d3 * d3
+		}
+		if s := s0 + s1 + s2 + s3; s >= bound {
+			return s
+		}
+	}
+	for ; i < n; i++ {
+		d := int32(a[i]) - int32(b[i])
+		s0 += d * d
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// U8Bound converts a float32 abandonment bound into an int32 bound for
+// L2SqrBoundU8: the smallest integer t with float32(t) ≥ bound, clamped to
+// [0, MaxInt32]. An integer partial sum reaching t therefore implies the
+// float32 view of that sum reaches bound, so the integer kernel never
+// abandons a candidate the float32 kernel would have admitted — the
+// property the uint8/float32 search-parity tests pin.
+func U8Bound(bound float32) int32 {
+	if !(bound > 0) {
+		return 0
+	}
+	if bound >= float32(math.MaxInt32) {
+		return math.MaxInt32
+	}
+	return int32(math.Ceil(float64(bound)))
+}

@@ -1,0 +1,55 @@
+package vec
+
+// Scalar reference kernels. These are the pinned semantics of the unrolled
+// hot-path kernels in dist.go and dist_u8.go: one element at a time, with
+// the exact accumulation order the unrolled loops produce. They are never
+// called on a hot path — the kernel-equivalence test suite (and the
+// FuzzKernelEquivalence target) diff the unrolled kernels against them
+// bit-for-bit at every tail residue, so any future rewrite of the unrolled
+// loops that changes a single ULP of any result fails the suite.
+//
+// Float32 addition is not associative, so the float32 references must
+// replicate the unrolled loops' striped accumulation to be bit-identical:
+// element i of the 4-wide region accumulates into lane i%4, the scalar tail
+// into lane 0, and the reduction is ((s0+s1)+s2)+s3. Integer addition is
+// associative, so the uint8 reference is a plain left-to-right loop.
+
+// dotScalar is the bit-exact scalar reference for Dot.
+func dotScalar(a, b []float32) float32 {
+	var s [4]float32
+	n := len(a) &^ 3
+	for i := 0; i < n; i++ {
+		s[i%4] += a[i] * b[i]
+	}
+	for i := n; i < len(a); i++ {
+		s[0] += a[i] * b[i]
+	}
+	return ((s[0] + s[1]) + s[2]) + s[3]
+}
+
+// l2SqrScalar is the bit-exact scalar reference for L2Sqr (and for
+// L2SqrBound whenever the full distance is below the bound).
+func l2SqrScalar(a, b []float32) float32 {
+	var s [4]float32
+	n := len(a) &^ 3
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s[i%4] += d * d
+	}
+	for i := n; i < len(a); i++ {
+		d := a[i] - b[i]
+		s[0] += d * d
+	}
+	return ((s[0] + s[1]) + s[2]) + s[3]
+}
+
+// l2SqrU8Scalar is the exact reference for L2SqrU8: integer sums are
+// associative, so plain left-to-right accumulation is the full contract.
+func l2SqrU8Scalar(a, b []uint8) int32 {
+	var s int32
+	for i := range a {
+		d := int32(a[i]) - int32(b[i])
+		s += d * d
+	}
+	return s
+}

@@ -8,6 +8,7 @@ import (
 	"gkmeans/internal/checked"
 	"gkmeans/internal/router"
 	"gkmeans/internal/store"
+	"gkmeans/internal/vec"
 )
 
 // Mutation: Append, Delete and Compact grow, shrink and consolidate an
@@ -43,7 +44,7 @@ func (x *Index) idBound() int32 {
 	if x.nextID > 0 {
 		return x.nextID
 	}
-	return checked.Int32(x.data.N)
+	return checked.Int32(x.rows())
 }
 
 // IDBound returns the exclusive upper bound of the external ids in use:
@@ -65,7 +66,7 @@ func (x *Index) shardRows(s int) int {
 	if x.Sharded() {
 		return x.shards[s].N()
 	}
-	return x.data.N
+	return x.rows()
 }
 
 // shardTomb returns shard s's tombstone bitmap, or nil when the shard has
@@ -148,7 +149,7 @@ func (x *Index) Live() int { return x.N() - x.Deleted() }
 // sync fields themselves are never copied.
 func (x *Index) cloneShell() *Index {
 	y := &Index{
-		data: x.data, graph: x.graph,
+		data: x.data, u8: x.u8, graph: x.graph,
 		shards: x.shards, shardBase: x.shardBase,
 		shardIDs: x.shardIDs, shardGen: x.shardGen, tombs: x.tombs,
 		route: x.route, probes: x.probes,
@@ -170,7 +171,7 @@ func (x *Index) locate(id int32) (shard, local int, ok bool) {
 		return 0, 0, false
 	}
 	if !x.Sharded() {
-		if int(id) < x.data.N {
+		if int(id) < x.rows() {
 			return 0, int(id), true
 		}
 		return 0, 0, false
@@ -220,8 +221,8 @@ func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
 	if vectors == nil || vectors.N == 0 {
 		return nil, fmt.Errorf("gkmeans: Append needs a non-empty vector set")
 	}
-	if vectors.Dim != x.data.Dim {
-		return nil, fmt.Errorf("gkmeans: appending %d-dimensional vectors to a %d-dimensional index", vectors.Dim, x.data.Dim)
+	if vectors.Dim != x.dims() {
+		return nil, fmt.Errorf("gkmeans: appending %d-dimensional vectors to a %d-dimensional index", vectors.Dim, x.dims())
 	}
 	if vectors.N < minShardRows {
 		return nil, fmt.Errorf("gkmeans: Append needs at least %d vectors to build a shard graph, got %d", minShardRows, vectors.N)
@@ -235,21 +236,37 @@ func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
 	}
 
 	// The parent matrix is rebuilt as old rows + new rows (persistence and
-	// Data() expect one contiguous dataset), but the new shard is built
-	// over its own copy of the vectors: a shard must not pin a whole
-	// concatenated matrix in memory once a later Append replaces it.
-	total := x.data.N + vectors.N
-	newData := NewMatrix(total, x.data.Dim)
-	copy(newData.Data[:len(x.data.Data)], x.data.Data)
-	copy(newData.Data[len(x.data.Data):], vectors.Data)
-	own := NewMatrix(vectors.N, vectors.Dim)
-	copy(own.Data, vectors.Data)
+	// Data()/DataU8() expect one contiguous dataset), but the new shard is
+	// built over its own copy of the vectors: a shard must not pin a whole
+	// concatenated matrix in memory once a later Append replaces it. On a
+	// uint8 index the incoming vectors are narrowed up front — every value
+	// must be an exact byte, like a query — and the appended shard stays
+	// bytes end to end.
+	total := x.rows() + vectors.N
+	var newData, own *Matrix
+	var newU8, ownU8 *vec.U8Matrix
+	if x.u8 != nil {
+		v8, err := vec.U8FromMatrix(vectors)
+		if err != nil {
+			return nil, fmt.Errorf("gkmeans: Append on a uint8 index: %w", err)
+		}
+		newU8 = vec.NewU8Matrix(total, x.u8.Dim)
+		copy(newU8.Data[:len(x.u8.Data)], x.u8.Data)
+		copy(newU8.Data[len(x.u8.Data):], v8.Data)
+		ownU8 = v8 // U8FromMatrix already allocated an independent copy
+	} else {
+		newData = NewMatrix(total, x.data.Dim)
+		copy(newData.Data[:len(x.data.Data)], x.data.Data)
+		copy(newData.Data[len(x.data.Data):], vectors.Data)
+		own = NewMatrix(vectors.N, vectors.Dim)
+		copy(own.Data, vectors.Data)
+	}
 
 	shardCfg := x.cfg
 	shardCfg.shards = 0
 	shardCfg.clusterK = 0
 	shardCfg.progress = nil
-	built, graphTime, err := buildShardLoop(ctx, own, shardCfg, []int{own.N}, nil)
+	built, graphTime, err := buildShardLoop(ctx, own, ownU8, shardCfg, []int{vectors.N}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -275,6 +292,7 @@ func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
 	gen := x.maxGen() + 1
 	y := &Index{
 		data:      newData,
+		u8:        newU8,
 		shards:    append(shards, built[0]),
 		shardBase: append(base, bound),
 		shardIDs:  append(ids, nil),
@@ -296,11 +314,15 @@ func (x *Index) Append(ctx context.Context, vectors *Matrix) (*Index, error) {
 		for s := 0; s < n; s++ {
 			cents = append(cents, x.route.Centroids(s))
 		}
-		m, err := router.BuildShard(own, x.route.K(), routingSeed(x.cfg.seed, gen, n), x.cfg.workers)
+		routeInput := own
+		if ownU8 != nil {
+			routeInput = ownU8.Widen()
+		}
+		m, err := router.BuildShard(routeInput, x.route.K(), routingSeed(x.cfg.seed, gen, n), x.cfg.workers)
 		if err != nil {
 			return nil, fmt.Errorf("gkmeans: routing centroids for appended shard: %w", err)
 		}
-		route, err := router.New(x.route.K(), x.data.Dim, append(cents, m))
+		route, err := router.New(x.route.K(), x.dims(), append(cents, m))
 		if err != nil {
 			return nil, fmt.Errorf("gkmeans: extending shard router: %w", err)
 		}
@@ -440,17 +462,33 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 		return nil, fmt.Errorf("gkmeans: compaction would empty the index (every row is deleted)")
 	}
 
-	newData := NewMatrix(keptRows+mergedLive, x.data.Dim)
+	var newData *Matrix
+	var newU8 *vec.U8Matrix
+	if x.u8 != nil {
+		newU8 = vec.NewU8Matrix(keptRows+mergedLive, x.u8.Dim)
+	} else {
+		newData = NewMatrix(keptRows+mergedLive, x.data.Dim)
+	}
 	mergedIDs := make([]int32, 0, mergedLive)
 	var layout []int // untargeted shards, in order
 	row := 0
 	mergedLo := -1
-	copyRow := func(dst int, src []float32) { copy(newData.Row(dst), src) }
-	srcRow := func(s, l int) []float32 {
-		if x.Sharded() {
-			return x.shards[s].data.Row(l)
+	// copyRow moves shard s's local row l into parent row dst, in whichever
+	// element type the index stores.
+	copyRow := func(dst, s, l int) {
+		if x.u8 != nil {
+			src := x.u8
+			if x.Sharded() {
+				src = x.shards[s].u8
+			}
+			copy(newU8.Row(dst), src.Row(l))
+			return
 		}
-		return x.data.Row(l)
+		src := x.data
+		if x.Sharded() {
+			src = x.shards[s].data
+		}
+		copy(newData.Row(dst), src.Row(l))
 	}
 	for s := 0; s < n; s++ {
 		switch {
@@ -467,7 +505,7 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 					if tomb != nil && tomb.Get(l) {
 						continue
 					}
-					copyRow(row, srcRow(t, l))
+					copyRow(row, t, l)
 					if idmap != nil {
 						mergedIDs = append(mergedIDs, idmap[l])
 					} else {
@@ -480,7 +518,7 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 			// Folded into the merged shard above.
 		default:
 			for l := 0; l < x.shardRows(s); l++ {
-				copyRow(row, srcRow(s, l))
+				copyRow(row, s, l)
 				row++
 			}
 			layout = append(layout, s)
@@ -494,7 +532,14 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 		shardCfg.shards = 0
 		shardCfg.clusterK = 0
 		shardCfg.progress = nil
-		built, graphTime, err := buildShardLoop(ctx, shardView(newData, mergedLo, mergedLo+mergedLive), shardCfg, []int{mergedLive}, nil)
+		var mergedView *Matrix
+		var mergedViewU8 *vec.U8Matrix
+		if newU8 != nil {
+			mergedViewU8 = shardViewU8(newU8, mergedLo, mergedLo+mergedLive)
+		} else {
+			mergedView = shardView(newData, mergedLo, mergedLo+mergedLive)
+		}
+		built, graphTime, err := buildShardLoop(ctx, mergedView, mergedViewU8, shardCfg, []int{mergedLive}, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -535,7 +580,13 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 			if x.route != nil {
 				// The merged shard's rows changed, so its routing centroids
 				// are recomputed from scratch; untargeted shards keep theirs.
-				m, err := router.BuildShard(shardView(newData, mergedLo, mergedLo+mergedLive),
+				var view *Matrix
+				if newU8 != nil {
+					view = shardViewU8(newU8, mergedLo, mergedLo+mergedLive).Widen()
+				} else {
+					view = shardView(newData, mergedLo, mergedLo+mergedLive)
+				}
+				m, err := router.BuildShard(view,
 					x.route.K(), routingSeed(x.cfg.seed, gen, len(shards)-1), x.cfg.workers)
 				if err != nil {
 					return nil, fmt.Errorf("gkmeans: routing centroids for compacted shard: %w", err)
@@ -566,6 +617,7 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 
 	y := &Index{
 		data:      newData,
+		u8:        newU8,
 		shards:    shards,
 		shardBase: base,
 		shardIDs:  ids,
@@ -580,7 +632,7 @@ func (x *Index) Compact(ctx context.Context, targets ...int) (*Index, error) {
 		y.probes = &probeStats{}
 	}
 	if x.route != nil {
-		route, err := router.New(x.route.K(), newData.Dim, cents)
+		route, err := router.New(x.route.K(), x.dims(), cents)
 		if err != nil {
 			return nil, fmt.Errorf("gkmeans: reassembling shard router: %w", err)
 		}

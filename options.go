@@ -19,8 +19,9 @@ type config struct {
 	entries int
 	builder string
 	shards  int
-	routing int // routing centroids per shard; 0 = no router
-	nprobe  int // default shards probed per query; <=0 = all
+	routing int   // routing centroids per shard; 0 = no router
+	nprobe  int   // default shards probed per query; <=0 = all
+	dtype   DType // dataset element type; zero value = float32
 
 	maxIter     int
 	trace       bool

@@ -74,26 +74,50 @@ import (
 //	per segment: matrix of routing centroids (vec.WriteMatrix,
 //	             1 <= rows <= min(k, segment rows), segment dimensionality)
 //
+// Version 5 — uint8: written for every index whose dataset is bytes
+// (WithDType(DTypeUint8)/BuildU8), monolithic, sharded, mutated or routed.
+// The layout is the v3/v4 shape with a dtype word inserted ahead of the
+// segment count and the dataset stored as raw bytes:
+//
+//	uint32  magic "GKIX"
+//	uint32  format version (5)
+//	uint32  flags (bit 1: sharded, bit 2: tombstones, bit 3: routed,
+//	        bit 4: uint8 — required in v5)
+//	uint32  requested entry points (0 = default)
+//	uint32  dtype word (1 = uint8; the only value v5 defines)
+//	uint32  segment count (>= 1)
+//	uint32  id bound
+//	matrix  full uint8 dataset  (vec.WriteU8Matrix)
+//	segment table + per-segment bodies exactly as v3
+//	[routing trailer exactly as v4, when bit 3 is set]
+//
 // The segment table states every segment's exact byte size up front, so a
 // reader can locate, skip or parallel-load segments without parsing them,
 // and a truncated or inconsistent file fails with a clear error instead of
-// a misaligned read. Loaders accept all four versions; writers emit v1
+// a misaligned read. Loaders accept all five versions; writers emit v1
 // for plain monolithic indexes and v2 for plain sharded ones (older
 // readers keep working, and saving an unmutated, unrouted index stays
 // byte-stable across this change), reserving v3 for indexes that actually
-// carry mutation state and v4 for routed ones. See ARCHITECTURE.md for the
-// full format reference.
+// carry mutation state, v4 for routed ones and v5 for uint8 datasets (a
+// float32 index never writes v5, so every pre-existing file stays
+// byte-stable). See ARCHITECTURE.md for the full format reference.
 const (
 	indexMagic          = uint32(0x474b4958) // "GKIX"
 	indexVersionSingle  = uint32(1)
 	indexVersionSharded = uint32(2)
 	indexVersionMutable = uint32(3)
 	indexVersionRouted  = uint32(4)
+	indexVersionU8      = uint32(5)
 
 	flagClusters = uint32(1 << 0)
 	flagSharded  = uint32(1 << 1)
 	flagTombs    = uint32(1 << 2)
 	flagRouting  = uint32(1 << 3)
+	flagU8       = uint32(1 << 4)
+
+	// dtypeWordU8 is the value of the v5 header's dtype word. float32 has
+	// no word (v1–v4 predate it); new element types would claim 2, 3, ….
+	dtypeWordU8 = uint32(1)
 
 	// Per-segment flags of the v3 segment table.
 	segFlagTombs = uint32(1 << 0)
@@ -182,7 +206,7 @@ func (x *Index) needsV3() bool {
 			return true
 		}
 	}
-	if x.nextID != 0 && int(x.nextID) != x.data.N {
+	if x.nextID != 0 && int(x.nextID) != x.rows() {
 		return true
 	}
 	return x.Sharded() && len(x.shards) == 1
@@ -191,10 +215,15 @@ func (x *Index) needsV3() bool {
 // WriteTo serialises the whole index to w and returns the number of bytes
 // written. It implements io.WriterTo. Plain monolithic indexes write the
 // v1 single-segment layout and plain sharded ones the v2 multi-segment
-// one; an index carrying mutation state writes v3 and a routed one
-// (WithRouting, always sharded) writes v4.
+// one; an index carrying mutation state writes v3, a routed one
+// (WithRouting, always sharded) writes v4, and a uint8 index — whatever
+// its shape — writes v5, the only layout with a byte dataset.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: w}
+	if x.u8 != nil {
+		err := x.writeMutable(cw, indexVersionU8)
+		return cw.n, err
+	}
 	if x.route != nil {
 		err := x.writeMutable(cw, indexVersionRouted)
 		return cw.n, err
@@ -271,16 +300,20 @@ func (x *Index) writeSharded(cw *countingWriter) error {
 	return nil
 }
 
-// writeMutable emits the mutable layout (version indexVersionMutable) or
-// its routed extension (indexVersionRouted): the v2 shape extended with
-// the id bound in the header and per-segment generation, base, tombstone
-// bitmap and id map; v4 appends the routing-centroid trailer. A monolithic
-// index writes one segment without the sharded flag.
+// writeMutable emits the mutable layout (version indexVersionMutable), its
+// routed extension (indexVersionRouted) or the uint8 layout
+// (indexVersionU8): the v2 shape extended with the id bound in the header
+// and per-segment generation, base, tombstone bitmap and id map; v4
+// appends the routing-centroid trailer. v5 inserts a dtype word ahead of
+// the segment count, stores the dataset as raw bytes, and carries the
+// routing trailer exactly when the index routes. A monolithic index writes
+// one segment without the sharded flag.
 func (x *Index) writeMutable(cw *countingWriter, version uint32) error {
 	if x.clusters != nil {
 		// Unreachable: every mutation drops or refuses a clustering.
 		return fmt.Errorf("gkmeans: internal error: mutated index carries a clustering")
 	}
+	routed := version == indexVersionRouted || (version == indexVersionU8 && x.route != nil)
 	segs := x.shardCount()
 	flags := uint32(0)
 	if x.Sharded() {
@@ -289,15 +322,23 @@ func (x *Index) writeMutable(cw *countingWriter, version uint32) error {
 	if x.Deleted() > 0 {
 		flags |= flagTombs
 	}
-	if version == indexVersionRouted {
+	if routed {
 		flags |= flagRouting
 	}
-	hdr := []uint32{indexMagic, version, flags, x.diskEntries(),
-		checked.U32(segs), uint32(x.idBound())}
+	hdr := []uint32{indexMagic, version, flags, x.diskEntries()}
+	if version == indexVersionU8 {
+		hdr[2] |= flagU8
+		hdr = append(hdr, dtypeWordU8)
+	}
+	hdr = append(hdr, checked.U32(segs), uint32(x.idBound()))
 	if err := binary.Write(cw, binary.LittleEndian, hdr); err != nil {
 		return err
 	}
-	if _, err := vec.WriteMatrix(cw, x.data); err != nil {
+	if version == indexVersionU8 {
+		if _, err := vec.WriteU8Matrix(cw, x.u8); err != nil {
+			return err
+		}
+	} else if _, err := vec.WriteMatrix(cw, x.data); err != nil {
 		return err
 	}
 	graphOf := func(s int) *knngraph.Graph {
@@ -344,7 +385,7 @@ func (x *Index) writeMutable(cw *countingWriter, version uint32) error {
 			}
 		}
 	}
-	if version == indexVersionRouted {
+	if routed {
 		if err := binary.Write(cw, binary.LittleEndian, checked.U32(x.route.K())); err != nil {
 			return err
 		}
@@ -375,17 +416,18 @@ func ReadIndexFrom(r io.Reader) (*Index, error) {
 		return readSingle(r, flags, entries)
 	case indexVersionSharded:
 		return readSharded(r, flags, entries)
-	case indexVersionMutable:
-		return readMutable(r, flags, entries, false)
-	case indexVersionRouted:
-		return readMutable(r, flags, entries, true)
+	case indexVersionMutable, indexVersionRouted, indexVersionU8:
+		return readMutable(r, hdr[1], flags, entries)
 	}
-	return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d, %d, %d or %d)",
-		hdr[1], indexVersionSingle, indexVersionSharded, indexVersionMutable, indexVersionRouted)
+	return nil, fmt.Errorf("gkmeans: unsupported index version %d (want %d, %d, %d, %d or %d)",
+		hdr[1], indexVersionSingle, indexVersionSharded, indexVersionMutable, indexVersionRouted, indexVersionU8)
 }
 
 // readSingle loads the body of a v1 single-segment container.
 func readSingle(r io.Reader, flags uint32, entries int) (*Index, error) {
+	if flags&flagU8 != 0 {
+		return nil, fmt.Errorf("gkmeans: v1 index with the uint8 flag — dtype/flag mismatch (flags %#x)", flags)
+	}
 	data, err := vec.ReadMatrix(r)
 	if err != nil {
 		return nil, err
@@ -431,6 +473,9 @@ func readSharded(r io.Reader, flags uint32, entries int) (*Index, error) {
 	if flags&flagSharded == 0 {
 		return nil, fmt.Errorf("gkmeans: v2 index without the sharded flag (flags %#x)", flags)
 	}
+	if flags&flagU8 != 0 {
+		return nil, fmt.Errorf("gkmeans: v2 index with the uint8 flag — dtype/flag mismatch (flags %#x)", flags)
+	}
 	var tail [2]uint32
 	if err := binary.Read(r, binary.LittleEndian, tail[:]); err != nil {
 		return nil, fmt.Errorf("gkmeans: reading sharded header: %w", err)
@@ -475,24 +520,40 @@ func readSharded(r io.Reader, flags uint32, entries int) (*Index, error) {
 		shards[s] = shard
 		row += rows
 	}
-	return newShardedIndex(data, shards, config{entries: entries, shards: nShards}), nil
+	return newShardedIndex(data, nil, shards, config{entries: entries, shards: nShards}), nil
 }
 
-// readMutable loads the body of a v3 mutable container or (routed=true) a
-// v4 routed one. Every piece of mutation and routing metadata is validated
-// against the dataset and the id bound: a corrupt file fails loudly
-// instead of producing an index whose ids alias, whose tombstones cover
-// rows that do not exist, or whose routing centroids have the wrong shape.
-func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, error) {
-	if !routed && flags&flagRouting != 0 {
+// readMutable loads the body of a v3 mutable container, a v4 routed one or
+// a v5 uint8 one. Every piece of mutation and routing metadata is
+// validated against the dataset and the id bound: a corrupt file fails
+// loudly instead of producing an index whose ids alias, whose tombstones
+// cover rows that do not exist, or whose routing centroids have the wrong
+// shape. A v5 container additionally pins its dtype twice — the flagU8 bit
+// and the dtype word must both say uint8 — so a flipped bit cannot make a
+// byte dataset parse as floats or vice versa.
+func readMutable(r io.Reader, version, flags uint32, entries int) (*Index, error) {
+	isU8 := version == indexVersionU8
+	routed := version == indexVersionRouted || (isU8 && flags&flagRouting != 0)
+	switch {
+	case version == indexVersionMutable && flags&flagRouting != 0:
 		return nil, fmt.Errorf("gkmeans: v3 index with the routing flag (flags %#x)", flags)
+	case version == indexVersionRouted && flags&flagRouting == 0:
+		return nil, fmt.Errorf("gkmeans: v4 index without the routing flag (flags %#x)", flags)
+	case !isU8 && flags&flagU8 != 0:
+		return nil, fmt.Errorf("gkmeans: v%d index with the uint8 flag — dtype/flag mismatch (flags %#x)", version, flags)
+	case isU8 && flags&flagU8 == 0:
+		return nil, fmt.Errorf("gkmeans: v5 index without the uint8 flag — dtype/flag mismatch (flags %#x)", flags)
 	}
-	if routed {
-		if flags&flagRouting == 0 {
-			return nil, fmt.Errorf("gkmeans: v4 index without the routing flag (flags %#x)", flags)
+	if routed && flags&flagSharded == 0 {
+		return nil, fmt.Errorf("gkmeans: routed index without the sharded flag (flags %#x)", flags)
+	}
+	if isU8 {
+		var dtype uint32
+		if err := binary.Read(r, binary.LittleEndian, &dtype); err != nil {
+			return nil, fmt.Errorf("gkmeans: reading dtype word: %w", err)
 		}
-		if flags&flagSharded == 0 {
-			return nil, fmt.Errorf("gkmeans: routed index without the sharded flag (flags %#x)", flags)
+		if dtype != dtypeWordU8 {
+			return nil, fmt.Errorf("gkmeans: bad dtype word %d (a v5 container stores uint8, word %d)", dtype, dtypeWordU8)
 		}
 	}
 	var tail [2]uint32
@@ -504,18 +565,30 @@ func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, e
 		return nil, fmt.Errorf("gkmeans: implausible segment count %d", segs)
 	}
 	if flags&flagSharded == 0 && segs != 1 {
-		return nil, fmt.Errorf("gkmeans: monolithic v3 index with %d segments", segs)
+		return nil, fmt.Errorf("gkmeans: monolithic v%d index with %d segments", version, segs)
 	}
 	if tail[1] > math.MaxInt32 {
 		return nil, fmt.Errorf("gkmeans: id bound %d overflows int32", tail[1])
 	}
 	nextID := int32(tail[1])
-	data, err := vec.ReadMatrix(r)
-	if err != nil {
-		return nil, err
+	var data *vec.Matrix
+	var u8 *vec.U8Matrix
+	var dataN, dataDim int
+	if isU8 {
+		m, err := vec.ReadU8Matrix(r)
+		if err != nil {
+			return nil, err
+		}
+		u8, dataN, dataDim = m, m.N, m.Dim
+	} else {
+		m, err := vec.ReadMatrix(r)
+		if err != nil {
+			return nil, err
+		}
+		data, dataN, dataDim = m, m.N, m.Dim
 	}
-	if int64(nextID) < int64(data.N) {
-		return nil, fmt.Errorf("gkmeans: id bound %d below row count %d", nextID, data.N)
+	if int64(nextID) < int64(dataN) {
+		return nil, fmt.Errorf("gkmeans: id bound %d below row count %d", nextID, dataN)
 	}
 	table := make([]segmentEntryV3, segs)
 	if err := binary.Read(r, binary.LittleEndian, table); err != nil {
@@ -525,8 +598,8 @@ func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, e
 	for _, e := range table {
 		totalRows += int64(e.Rows)
 	}
-	if totalRows != int64(data.N) {
-		return nil, fmt.Errorf("gkmeans: segment table covers %d rows, dataset has %d", totalRows, data.N)
+	if totalRows != int64(dataN) {
+		return nil, fmt.Errorf("gkmeans: segment table covers %d rows, dataset has %d", totalRows, dataN)
 	}
 	cr := &countingReader{r: r}
 	shards := make([]*Index, segs)
@@ -564,7 +637,7 @@ func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, e
 		}
 		if e.Flags&segFlagIDMap != 0 {
 			if flags&flagSharded == 0 {
-				return nil, fmt.Errorf("gkmeans: monolithic v3 index with an id map")
+				return nil, fmt.Errorf("gkmeans: monolithic v%d index with an id map", version)
 			}
 			ids := make([]int32, rows)
 			if err := binary.Read(cr, binary.LittleEndian, ids); err != nil {
@@ -586,7 +659,12 @@ func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, e
 			bases[s] = int32(e.Base)
 		}
 		gens[s] = e.Gen
-		shard, err := NewIndex(shardView(data, row, row+rows), g, WithEntryPoints(entries))
+		var shard *Index
+		if isU8 {
+			shard, err = newU8Index(shardViewU8(u8, row, row+rows), g, config{entries: entries})
+		} else {
+			shard, err = NewIndex(shardView(data, row, row+rows), g, WithEntryPoints(entries))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("gkmeans: segment %d: %w", s, err)
 		}
@@ -595,7 +673,7 @@ func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, e
 	}
 	if flags&flagSharded == 0 {
 		if table[0].Base != 0 {
-			return nil, fmt.Errorf("gkmeans: monolithic v3 index with base %d", table[0].Base)
+			return nil, fmt.Errorf("gkmeans: monolithic v%d index with base %d", version, table[0].Base)
 		}
 		x := shards[0]
 		x.tombs = tombs
@@ -605,11 +683,15 @@ func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, e
 		x.nextID = nextID
 		return x, nil
 	}
+	cfg := config{entries: entries, shards: segs}
+	if isU8 {
+		cfg.dtype = DTypeUint8
+	}
 	x := &Index{
-		data: data, shards: shards, shardBase: bases, shardIDs: idmaps,
+		data: data, u8: u8, shards: shards, shardBase: bases, shardIDs: idmaps,
 		shardGen: gens, tombs: tombs, nextID: nextID,
 		probes: &probeStats{},
-		cfg:    config{entries: entries, shards: segs},
+		cfg:    cfg,
 	}
 	if routed {
 		var k32 uint32
@@ -626,15 +708,15 @@ func readMutable(r io.Reader, flags uint32, entries int, routed bool) (*Index, e
 			if err != nil {
 				return nil, fmt.Errorf("gkmeans: reading segment %d routing centroids: %w", s, err)
 			}
-			if m.Dim != data.Dim {
-				return nil, fmt.Errorf("gkmeans: segment %d routing centroids are %d-dimensional, data is %d-dimensional", s, m.Dim, data.Dim)
+			if m.Dim != dataDim {
+				return nil, fmt.Errorf("gkmeans: segment %d routing centroids are %d-dimensional, data is %d-dimensional", s, m.Dim, dataDim)
 			}
 			if want := int(table[s].Rows); m.N > k || m.N > want || m.N < 1 {
 				return nil, fmt.Errorf("gkmeans: segment %d has %d routing centroids for %d rows (config %d per shard)", s, m.N, want, k)
 			}
 			cents[s] = m
 		}
-		route, err := router.New(k, data.Dim, cents)
+		route, err := router.New(k, dataDim, cents)
 		if err != nil {
 			return nil, fmt.Errorf("gkmeans: corrupt routing section: %w", err)
 		}

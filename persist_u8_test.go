@@ -1,0 +1,371 @@
+package gkmeans
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+
+	"gkmeans/internal/dataset"
+	"gkmeans/internal/vec"
+)
+
+// v5 container layout landmarks (persist.go): 28-byte header — magic,
+// version, flags, entries, dtype word, segment count, id bound — then the
+// uint8 matrix (8-byte shape + N·Dim payload bytes), the 32-byte-per-entry
+// segment table, the segment bodies and the optional routing trailer.
+const (
+	u8HdrFlagsOff = 8
+	u8HdrDtypeOff = 16
+	u8HdrEnd      = 28
+)
+
+// smallU8Index builds a compact uint8 index from byte-valued synthetic
+// data; opts compose on top of the fixed graph parameters.
+func smallU8Index(t *testing.T, n int, opts ...Option) *Index {
+	t.Helper()
+	data := dataset.SIFTLike(n, 17) // quantized: every value is an exact byte
+	u8, err := vec.U8FromMatrix(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildU8(context.Background(), u8,
+		append([]Option{WithKappa(5), WithXi(15), WithTau(3), WithSeed(17)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// writeBlob serialises an index and asserts the version word it wrote.
+func writeBlob(t *testing.T, idx *Index, wantVersion uint32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint32(buf.Bytes()[4:]); v != wantVersion {
+		t.Fatalf("index wrote format version %d, want %d", v, wantVersion)
+	}
+	return buf.Bytes()
+}
+
+// roundTrip loads a blob and asserts the reload re-serialises to exactly
+// the same bytes — the byte-stability contract of every .gkx version.
+func roundTrip(t *testing.T, blob []byte) *Index {
+	t.Helper()
+	loaded, err := ReadIndexFrom(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if _, err := loaded.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again.Bytes()) {
+		t.Fatal("load/save round-trip changed bytes")
+	}
+	return loaded
+}
+
+// assertSearchEqual compares two indexes' results and work counters on a
+// shared query set: a loaded index must answer exactly like the saved one.
+// Counters are compared as deltas so an index that already served queries
+// earlier in the test can still be diffed against a freshly loaded copy.
+func assertSearchEqual(t *testing.T, want, got *Index, queries *Matrix) {
+	t.Helper()
+	wb, gb := want.SearchStats(), got.SearchStats()
+	for qi := 0; qi < queries.N; qi++ {
+		w := want.Search(queries.Row(qi), 5, 40)
+		g := got.Search(queries.Row(qi), 5, 40)
+		if len(w) != len(g) {
+			t.Fatalf("query %d: %d vs %d results", qi, len(w), len(g))
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Fatalf("query %d result %d: %v vs %v", qi, i, w[i], g[i])
+			}
+		}
+	}
+	delta := func(after, before SearchStats) SearchStats {
+		return SearchStats{
+			Queries:            after.Queries - before.Queries,
+			DistanceComps:      after.DistanceComps - before.DistanceComps,
+			ExpandedCandidates: after.ExpandedCandidates - before.ExpandedCandidates,
+			ShardsProbed:       after.ShardsProbed - before.ShardsProbed,
+			RoutedQueries:      after.RoutedQueries - before.RoutedQueries,
+		}
+	}
+	wd, gd := delta(want.SearchStats(), wb), delta(got.SearchStats(), gb)
+	if wd != gd {
+		t.Fatalf("search stats diverge: %+v vs %+v", wd, gd)
+	}
+}
+
+// u8Queries derives a byte-valued query set from the same generator as the
+// index data (disjoint seed).
+func u8Queries(n int) *Matrix {
+	return dataset.SIFTLike(n, 91)
+}
+
+// A monolithic uint8 index must write v5 with the uint8 flag and dtype
+// word, load back as uint8, answer identically, and round-trip byte-stably.
+func TestU8MonoWritesVersion5(t *testing.T) {
+	idx := smallU8Index(t, 80)
+	blob := writeBlob(t, idx, 5)
+	flags := binary.LittleEndian.Uint32(blob[u8HdrFlagsOff:])
+	if flags&flagU8 == 0 {
+		t.Fatalf("v5 blob without the uint8 flag (flags %#x)", flags)
+	}
+	if dw := binary.LittleEndian.Uint32(blob[u8HdrDtypeOff:]); dw != dtypeWordU8 {
+		t.Fatalf("dtype word %d, want %d", dw, dtypeWordU8)
+	}
+	loaded := roundTrip(t, blob)
+	if loaded.DType() != DTypeUint8 {
+		t.Fatalf("loaded dtype %s, want uint8", loaded.DType())
+	}
+	if loaded.DataU8() == nil || loaded.Data() != nil {
+		t.Fatal("loaded uint8 index carries the wrong dataset kind")
+	}
+	if !loaded.DataU8().Equal(idx.DataU8()) {
+		t.Fatal("loaded byte dataset differs")
+	}
+	assertSearchEqual(t, idx, loaded, u8Queries(10))
+}
+
+// Sharded and routed uint8 indexes share the v5 layout; the routed one
+// carries the routing trailer and loads back routable.
+func TestU8ShardedAndRoutedRoundTrip(t *testing.T) {
+	queries := u8Queries(10)
+	t.Run("sharded", func(t *testing.T) {
+		idx := smallU8Index(t, 120, WithShards(3))
+		blob := writeBlob(t, idx, 5)
+		flags := binary.LittleEndian.Uint32(blob[u8HdrFlagsOff:])
+		if flags&(flagU8|flagSharded) != flagU8|flagSharded {
+			t.Fatalf("flags %#x missing uint8|sharded", flags)
+		}
+		loaded := roundTrip(t, blob)
+		if !loaded.Sharded() || loaded.Shards() != 3 || loaded.DType() != DTypeUint8 {
+			t.Fatalf("loaded shape: sharded=%v shards=%d dtype=%s", loaded.Sharded(), loaded.Shards(), loaded.DType())
+		}
+		assertSearchEqual(t, idx, loaded, queries)
+	})
+	t.Run("routed", func(t *testing.T) {
+		idx := smallU8Index(t, 120, WithShards(3), WithRouting(2))
+		blob := writeBlob(t, idx, 5)
+		flags := binary.LittleEndian.Uint32(blob[u8HdrFlagsOff:])
+		if flags&(flagU8|flagSharded|flagRouting) != flagU8|flagSharded|flagRouting {
+			t.Fatalf("flags %#x missing uint8|sharded|routing", flags)
+		}
+		loaded := roundTrip(t, blob)
+		if !loaded.Routed() || loaded.DType() != DTypeUint8 {
+			t.Fatalf("loaded routed=%v dtype=%s", loaded.Routed(), loaded.DType())
+		}
+		for qi := 0; qi < queries.N; qi++ {
+			w := idx.SearchNProbe(queries.Row(qi), 5, 40, 2)
+			g := loaded.SearchNProbe(queries.Row(qi), 5, 40, 2)
+			for i := range w {
+				if w[i] != g[i] {
+					t.Fatalf("nprobe query %d result %d: %v vs %v", qi, i, w[i], g[i])
+				}
+			}
+		}
+	})
+}
+
+// A mutated uint8 index (append, delete, compact) persists its mutation
+// metadata in v5 and loads back with ids, tombstones and dtype intact.
+func TestU8MutatedRoundTrip(t *testing.T) {
+	idx := smallU8Index(t, 80)
+	extra := NewMatrix(6, idx.Dim())
+	for i := range extra.Data {
+		extra.Data[i] = float32(i % 200)
+	}
+	idx, err := idx.Append(context.Background(), extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx, err = idx.Delete(2, 7, 81); err != nil {
+		t.Fatal(err)
+	}
+	blob := writeBlob(t, idx, 5)
+	flags := binary.LittleEndian.Uint32(blob[u8HdrFlagsOff:])
+	if flags&flagTombs == 0 {
+		t.Fatalf("mutated v5 blob without the tombstone flag (flags %#x)", flags)
+	}
+	loaded := roundTrip(t, blob)
+	if loaded.DType() != DTypeUint8 || loaded.Deleted() != 3 || loaded.IDBound() != idx.IDBound() {
+		t.Fatalf("loaded dtype=%s deleted=%d idbound=%d", loaded.DType(), loaded.Deleted(), loaded.IDBound())
+	}
+	assertSearchEqual(t, idx, loaded, u8Queries(8))
+
+	// Compaction produces an id-mapped segment; it must survive the trip too.
+	if idx, err = idx.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	loaded = roundTrip(t, writeBlob(t, idx, 5))
+	if loaded.DType() != DTypeUint8 || loaded.Deleted() != 0 {
+		t.Fatalf("compacted load dtype=%s deleted=%d", loaded.DType(), loaded.Deleted())
+	}
+	assertSearchEqual(t, idx, loaded, u8Queries(8))
+}
+
+// Float32 indexes must keep writing v1–v4 byte-stably: introducing v5 may
+// not move a single bit of any pre-existing layout.
+func TestFloat32VersionsUnchangedByV5(t *testing.T) {
+	build := func(t *testing.T, opts ...Option) *Index {
+		t.Helper()
+		data := dataset.SIFTLike(90, 29)
+		idx, err := Build(context.Background(), data,
+			append([]Option{WithKappa(5), WithXi(15), WithTau(3), WithSeed(29)}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return idx
+	}
+	t.Run("v1 mono", func(t *testing.T) {
+		roundTrip(t, writeBlob(t, build(t), 1))
+	})
+	t.Run("v2 sharded", func(t *testing.T) {
+		roundTrip(t, writeBlob(t, build(t, WithShards(3)), 2))
+	})
+	t.Run("v3 mutated", func(t *testing.T) {
+		idx := build(t)
+		idx, err := idx.Delete(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roundTrip(t, writeBlob(t, idx, 3))
+	})
+	t.Run("v4 routed", func(t *testing.T) {
+		roundTrip(t, writeBlob(t, build(t, WithShards(3), WithRouting(2)), 4))
+	})
+}
+
+// Corrupt v5 inputs — a lying dtype word, dtype/flag mismatches in either
+// direction, and truncations in every section — must produce an error,
+// never a panic or a byte dataset parsed as floats.
+func TestReadU8CorruptInputs(t *testing.T) {
+	idx := smallU8Index(t, 80)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	mustErr := func(t *testing.T, name string, b []byte, wantSub string) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: ReadIndexFrom panicked: %v", name, r)
+			}
+		}()
+		_, err := ReadIndexFrom(bytes.NewReader(b))
+		if err == nil {
+			t.Fatalf("%s: corrupt input accepted", name)
+		}
+		if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+	flip := func(mutate func(b []byte)) []byte {
+		b := bytes.Clone(whole)
+		mutate(b)
+		return b
+	}
+
+	t.Run("truncations", func(t *testing.T) {
+		stride := len(whole) / 120
+		if stride < 1 {
+			stride = 1
+		}
+		for cut := 0; cut < len(whole); cut += stride {
+			mustErr(t, fmt.Sprintf("cut at %d/%d", cut, len(whole)), whole[:cut], "")
+		}
+		for _, cut := range []int{4, u8HdrDtypeOff, u8HdrDtypeOff + 2, u8HdrEnd, u8HdrEnd + 8, len(whole) - 1} {
+			mustErr(t, fmt.Sprintf("boundary cut at %d", cut), whole[:cut], "")
+		}
+	})
+
+	t.Run("dtype words", func(t *testing.T) {
+		for _, w := range []uint32{0, 2, 99, 0xFFFFFFFF} {
+			mustErr(t, fmt.Sprintf("dtype word %d", w), flip(func(b []byte) {
+				binary.LittleEndian.PutUint32(b[u8HdrDtypeOff:], w)
+			}), "dtype word")
+		}
+	})
+
+	t.Run("flag mismatches", func(t *testing.T) {
+		// v5 with the uint8 flag cleared.
+		mustErr(t, "v5 without flagU8", flip(func(b []byte) {
+			f := binary.LittleEndian.Uint32(b[u8HdrFlagsOff:])
+			binary.LittleEndian.PutUint32(b[u8HdrFlagsOff:], f&^flagU8)
+		}), "dtype/flag mismatch")
+
+		// Each float32 version with the uint8 flag forced on. The bodies are
+		// valid for their version, so the flag check alone must reject them.
+		data := dataset.SIFTLike(90, 31)
+		floatBlob := func(mutateIdx func(*Index) *Index, opts ...Option) []byte {
+			fidx, err := Build(context.Background(), data,
+				append([]Option{WithKappa(5), WithXi(15), WithTau(3), WithSeed(31)}, opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mutateIdx != nil {
+				fidx = mutateIdx(fidx)
+			}
+			var fb bytes.Buffer
+			if _, err := fidx.WriteTo(&fb); err != nil {
+				t.Fatal(err)
+			}
+			b := fb.Bytes()
+			f := binary.LittleEndian.Uint32(b[u8HdrFlagsOff:])
+			binary.LittleEndian.PutUint32(b[u8HdrFlagsOff:], f|flagU8)
+			return b
+		}
+		mustErr(t, "v1 with flagU8", floatBlob(nil), "dtype/flag mismatch")
+		mustErr(t, "v2 with flagU8", floatBlob(nil, WithShards(3)), "dtype/flag mismatch")
+		mustErr(t, "v3 with flagU8", floatBlob(func(x *Index) *Index {
+			y, err := x.Delete(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return y
+		}), "dtype/flag mismatch")
+		mustErr(t, "v4 with flagU8", floatBlob(nil, WithShards(3), WithRouting(2)), "dtype/flag mismatch")
+	})
+
+	t.Run("shape mutations", func(t *testing.T) {
+		mustErr(t, "rows huge", flip(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[u8HdrEnd:], 0xFFFFFF00)
+		}), "")
+		mustErr(t, "dim zero", flip(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[u8HdrEnd+4:], 0)
+		}), "")
+		mustErr(t, "segment count zero", flip(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[u8HdrDtypeOff+4:], 0)
+		}), "")
+		mustErr(t, "id bound below rows", flip(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[u8HdrDtypeOff+8:], 1)
+		}), "")
+	})
+}
+
+// SaveIndex/LoadIndex work for uint8 indexes end to end on disk.
+func TestU8SaveLoadFile(t *testing.T) {
+	idx := smallU8Index(t, 80)
+	path := t.TempDir() + "/u8.gkx"
+	if err := SaveIndex(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.DType() != DTypeUint8 || loaded.N() != idx.N() {
+		t.Fatalf("loaded dtype=%s n=%d", loaded.DType(), loaded.N())
+	}
+	assertSearchEqual(t, idx, loaded, u8Queries(6))
+}

@@ -279,14 +279,32 @@ func assignBalanced(shardOf []int, micro *kmeans.Result, anchors *Matrix, nRows,
 // buildRouted is Build's WithRouting path: coarse-partition the data into
 // spatially coherent shards, build one sub-index per shard over the
 // reordered parent matrix, then compute each shard's routing centroids.
-// External ids are preserved through per-shard id maps: result id i always
-// names row i of the matrix the caller passed to Build.
-func buildRouted(ctx context.Context, data *Matrix, cfg config, nShards int) (*Index, error) {
-	groups, err := routePartition(data, cfg, nShards)
+// Exactly one of data (float32) and u8 (uint8) is non-nil; on the uint8
+// path the partition and centroid passes run over transient widened views
+// — bytes are exact in float32, so the partition, graphs and centroids are
+// bit-identical to the float32 build of the same values — while the
+// reordered parent stays bytes. External ids are preserved through
+// per-shard id maps: result id i always names row i of the matrix the
+// caller passed to Build.
+func buildRouted(ctx context.Context, data *Matrix, u8 *vec.U8Matrix, cfg config, nShards int) (*Index, error) {
+	wide := data
+	if u8 != nil {
+		// Transient full widened copy for the partition k-means only; it is
+		// garbage before the per-shard graph builds start.
+		wide = u8.Widen()
+	}
+	groups, err := routePartition(wide, cfg, nShards)
 	if err != nil {
 		return nil, err
 	}
-	parent := NewMatrix(data.N, data.Dim)
+	var parent *Matrix
+	var parentU8 *vec.U8Matrix
+	if u8 != nil {
+		parentU8 = vec.NewU8Matrix(u8.N, u8.Dim)
+	} else {
+		parent = NewMatrix(data.N, data.Dim)
+	}
+	wide = nil
 	idmaps := make([][]int32, nShards)
 	bases := make([]int32, nShards)
 	sizes := make([]int, nShards)
@@ -294,7 +312,11 @@ func buildRouted(ctx context.Context, data *Matrix, cfg config, nShards int) (*I
 	for s, g := range groups {
 		ids := make([]int32, len(g))
 		for i, src := range g {
-			copy(parent.Row(row), data.Row(src))
+			if u8 != nil {
+				copy(parentU8.Row(row), u8.Row(src))
+			} else {
+				copy(parent.Row(row), data.Row(src))
+			}
 			ids[i] = checked.Int32(src)
 			row++
 		}
@@ -316,15 +338,24 @@ func buildRouted(ctx context.Context, data *Matrix, cfg config, nShards int) (*I
 			}
 		}
 	}
-	shards, graphTime, err := buildShardLoop(ctx, parent, shardCfg, sizes, progressFor)
+	shards, graphTime, err := buildShardLoop(ctx, parent, parentU8, shardCfg, sizes, progressFor)
 	if err != nil {
 		return nil, err
 	}
 
+	dim := 0
 	cents := make([]*Matrix, nShards)
 	lo := 0
 	for s, sz := range sizes {
-		m, err := router.BuildShard(shardView(parent, lo, lo+sz), cfg.routing,
+		var view *Matrix
+		if parentU8 != nil {
+			view = shardViewU8(parentU8, lo, lo+sz).Widen()
+			dim = parentU8.Dim
+		} else {
+			view = shardView(parent, lo, lo+sz)
+			dim = parent.Dim
+		}
+		m, err := router.BuildShard(view, cfg.routing,
 			routingSeed(cfg.seed, 0, s), cfg.workers)
 		if err != nil {
 			return nil, fmt.Errorf("gkmeans: routing centroids for shard %d: %w", s, err)
@@ -332,13 +363,14 @@ func buildRouted(ctx context.Context, data *Matrix, cfg config, nShards int) (*I
 		cents[s] = m
 		lo += sz
 	}
-	route, err := router.New(cfg.routing, data.Dim, cents)
+	route, err := router.New(cfg.routing, dim, cents)
 	if err != nil {
 		return nil, fmt.Errorf("gkmeans: assembling shard router: %w", err)
 	}
 
 	return &Index{
 		data:      parent,
+		u8:        parentU8,
 		shards:    shards,
 		shardBase: bases,
 		shardIDs:  idmaps,

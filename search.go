@@ -16,7 +16,13 @@ func (x *Index) ensureSearcher() *anns.Searcher {
 		panic("gkmeans: internal error: per-index searcher requested on a sharded index")
 	}
 	x.searcherOnce.Do(func() {
-		s, err := anns.NewSearcher(x.data, x.graph, x.cfg.entries)
+		var s *anns.Searcher
+		var err error
+		if x.u8 != nil {
+			s, err = anns.NewSearcherU8(x.u8, x.graph, x.cfg.entries)
+		} else {
+			s, err = anns.NewSearcher(x.data, x.graph, x.cfg.entries)
+		}
 		if err != nil {
 			// Unreachable by construction; keep the invariant loud.
 			panic("gkmeans: index searcher: " + err.Error())
@@ -46,8 +52,8 @@ func defaultEf(topK, ef int) int {
 // error, like an out-of-range slice index), so the violation is a panic
 // with a message that names both sides.
 func (x *Index) checkQueryDim(dim int) {
-	if dim != x.data.Dim {
-		panic(fmt.Sprintf("gkmeans: query dimensionality %d, index dimensionality %d", dim, x.data.Dim))
+	if dim != x.dims() {
+		panic(fmt.Sprintf("gkmeans: query dimensionality %d, index dimensionality %d", dim, x.dims()))
 	}
 }
 

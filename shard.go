@@ -9,6 +9,7 @@ import (
 
 	"gkmeans/internal/checked"
 	"gkmeans/internal/parallel"
+	"gkmeans/internal/vec"
 )
 
 // Sharded indexes: WithShards(n) partitions the dataset into n contiguous
@@ -59,28 +60,35 @@ func shardView(m *Matrix, lo, hi int) *Matrix {
 	return &Matrix{Data: m.Data[lo*m.Dim : hi*m.Dim : hi*m.Dim], N: hi - lo, Dim: m.Dim}
 }
 
+// shardViewU8 is shardView for a byte dataset.
+func shardViewU8(m *vec.U8Matrix, lo, hi int) *vec.U8Matrix {
+	return &vec.U8Matrix{Data: m.Data[lo*m.Dim : hi*m.Dim : hi*m.Dim], N: hi - lo, Dim: m.Dim}
+}
+
 // newShardedIndex assembles the fan-out shell over already-built shard
-// sub-indexes. The shards must cover data contiguously in order — both
-// callers (buildSharded, the multi-segment loader) construct them from
+// sub-indexes; exactly one of data (float32) and u8 must be non-nil, and
+// the shards must cover it contiguously in order — both callers
+// (buildSharded, the multi-segment loader) construct them from
 // shardBounds, so the bases are recomputed the same way here.
-func newShardedIndex(data *Matrix, shards []*Index, cfg config) *Index {
+func newShardedIndex(data *Matrix, u8 *vec.U8Matrix, shards []*Index, cfg config) *Index {
 	base := make([]int32, len(shards))
 	row := 0
 	for s, shard := range shards {
 		base[s] = checked.Int32(row)
 		row += shard.N()
 	}
-	return &Index{data: data, shards: shards, shardBase: base, probes: &probeStats{}, cfg: cfg}
+	return &Index{data: data, u8: u8, shards: shards, shardBase: base, probes: &probeStats{}, cfg: cfg}
 }
 
 // buildSharded is Build's WithShards(n) path: one monolithic sub-index per
 // contiguous shard, built sequentially so at most one build pipeline (and
 // its scratch memory) is in flight, each using the full WithWorkers
-// parallelism. ctx cancellation is honoured inside every shard build.
+// parallelism. Exactly one of data and u8 is non-nil (the dtype of the
+// build). ctx cancellation is honoured inside every shard build.
 // WithRouting switches to the cluster-aligned routed build (see route.go).
-func buildSharded(ctx context.Context, data *Matrix, cfg config, nShards int) (*Index, error) {
+func buildSharded(ctx context.Context, data *Matrix, u8 *vec.U8Matrix, cfg config, nShards int) (*Index, error) {
 	if cfg.routing > 0 {
-		return buildRouted(ctx, data, cfg, nShards)
+		return buildRouted(ctx, data, u8, cfg, nShards)
 	}
 	shardCfg := cfg
 	shardCfg.shards = 0
@@ -97,26 +105,35 @@ func buildSharded(ctx context.Context, data *Matrix, cfg config, nShards int) (*
 			}
 		}
 	}
+	n := 0
+	if u8 != nil {
+		n = u8.N
+	} else {
+		n = data.N
+	}
 	sizes := make([]int, nShards)
 	for s := range sizes {
-		lo, hi := shardBounds(s, nShards, data.N)
+		lo, hi := shardBounds(s, nShards, n)
 		sizes[s] = hi - lo
 	}
-	shards, graphTime, err := buildShardLoop(ctx, data, shardCfg, sizes, progressFor)
+	shards, graphTime, err := buildShardLoop(ctx, data, u8, shardCfg, sizes, progressFor)
 	if err != nil {
 		return nil, err
 	}
-	x := newShardedIndex(data, shards, cfg)
+	x := newShardedIndex(data, u8, shards, cfg)
 	x.graphTime = graphTime
 	return x, nil
 }
 
 // buildShardLoop builds one sub-index per entry of sizes over consecutive
-// views of data (which the sizes must cover exactly). progressFor, when
-// non-nil, supplies each shard's progress callback. Callers: the even
-// contiguous split (buildSharded), the coarse-partitioned routed build
-// (buildRouted), and the single-shard builds of Append and Compact.
-func buildShardLoop(ctx context.Context, data *Matrix, shardCfg config, sizes []int,
+// views of the parent dataset — data (float32) or u8 (uint8), exactly one
+// non-nil — which the sizes must cover exactly. A uint8 shard widens its
+// view transiently for graph construction (bit-identical to the float32
+// build) and keeps only the byte view resident. progressFor, when non-nil,
+// supplies each shard's progress callback. Callers: the even contiguous
+// split (buildSharded), the coarse-partitioned routed build (buildRouted),
+// and the single-shard builds of Append and Compact.
+func buildShardLoop(ctx context.Context, data *Matrix, u8 *vec.U8Matrix, shardCfg config, sizes []int,
 	progressFor func(s int) func(stage string, done, total int)) ([]*Index, time.Duration, error) {
 
 	shards := make([]*Index, len(sizes))
@@ -128,7 +145,13 @@ func buildShardLoop(ctx context.Context, data *Matrix, shardCfg config, sizes []
 		if progressFor != nil {
 			cfg.progress = progressFor(s)
 		}
-		shard, err := buildMono(ctx, shardView(data, lo, hi), cfg)
+		var shard *Index
+		var err error
+		if u8 != nil {
+			shard, err = buildMonoU8(ctx, shardViewU8(u8, lo, hi), cfg)
+		} else {
+			shard, err = buildMono(ctx, shardView(data, lo, hi), cfg)
+		}
 		if err != nil {
 			return nil, 0, fmt.Errorf("gkmeans: building shard %d/%d (rows %d..%d): %w", s, len(sizes), lo, hi, err)
 		}
@@ -211,8 +234,8 @@ func (x *Index) remapShard(s int, res []Neighbor) []Neighbor {
 func (x *Index) searchMonoLive(q []float32, topK, ef int) []Neighbor {
 	tomb := x.tombs[0]
 	k2 := topK + tomb.Count()
-	if k2 > x.data.N {
-		k2 = x.data.N
+	if k2 > x.rows() {
+		k2 = x.rows()
 	}
 	ef2 := ef
 	if ef2 < k2 {
